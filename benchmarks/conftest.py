@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark file regenerates one table or figure of the paper
+(`pytest benchmarks/ --benchmark-only`).  Benchmarks time the *model* —
+the pipeline scheduler, the threading model, the analytic memory model —
+and print the regenerated artifact alongside the paper's expected values
+so a run doubles as the reproduction report.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def print_rows():
+    """Pretty-print helper: renders rows once per benchmark session."""
+    from repro._util import format_table
+
+    printed = set()
+
+    def _print(title: str, rows, columns=None):
+        if title in printed:
+            return
+        printed.add(title)
+        bar = "=" * max(8, len(title))
+        print(f"\n{title}\n{bar}\n{format_table(rows, columns)}")
+
+    return _print

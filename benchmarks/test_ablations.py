@@ -1,0 +1,68 @@
+"""Ablation benchmarks: the design choices DESIGN.md calls out, each
+switched off to show it carries its figure."""
+
+from repro.bench.ablations import (
+    blocking_sqrt_ablation,
+    coalescing_ablation,
+    newton_steps_ablation,
+    placement_ablation,
+    unroll_ablation,
+    window_ablation,
+)
+
+
+def test_window_ablation(benchmark, print_rows):
+    rows = benchmark(window_ablation)
+    print_rows("Ablation: ROB window vs Sec. IV exp kernel", rows)
+    by = {r["window"]: r["cycles_per_elem"] for r in rows}
+    # small windows expose the chain; large ones converge to port bound
+    assert by[16] > 2.0 * by[256]
+    assert by[256] <= by[128] <= by[32]
+
+
+def test_unroll_ablation(benchmark, print_rows):
+    rows = benchmark(unroll_ablation)
+    print_rows("Ablation: unroll factor vs FEXPA kernel", rows)
+    by = {r["unroll"]: r["cycles_per_elem"] for r in rows}
+    assert by[2] < by[1]  # "Unrolling once decreased this..."
+    assert by[8] <= by[2]
+
+
+def test_coalescing_ablation(benchmark, print_rows):
+    rows = benchmark(coalescing_ablation)
+    print_rows("Ablation: 128-byte gather pair coalescing", rows)
+    t = {(r["machine"].split(" ")[0], r["loop"]): r["cycles_per_elem"]
+         for r in rows}
+    # with the rule: short gather ~2x cheaper; without: no difference
+    assert t[("with", "short_gather")] < 0.75 * t[("with", "gather")]
+    assert abs(t[("without", "short_gather")] - t[("without", "gather")]) < 0.05
+
+
+def test_placement_ablation(benchmark, print_rows):
+    rows = benchmark(placement_ablation)
+    print_rows("Ablation: NUMA placement vs SP full-node", rows)
+    t = {(r["threads"], r["placement"]): r["seconds"] for r in rows}
+    # at 48 threads the CMG-0 policy is the pathology; at 12 (one CMG)
+    # the policies coincide
+    assert t[(48, "single_domain")] > 1.5 * t[(48, "first_touch")]
+    assert abs(t[(12, "single_domain")] - t[(12, "first_touch")]) < 0.5
+
+
+def test_newton_steps_ablation(benchmark, print_rows):
+    rows = benchmark(newton_steps_ablation, samples=50_000)
+    print_rows("Ablation: Newton steps — accuracy vs cost", rows)
+    by = {r["method"]: r for r in rows}
+    # accuracy improves with steps; even 3 steps stay far cheaper than
+    # the blocking hardware instruction
+    assert by["newton-3step"]["max_ulp"] < by["newton-1step"]["max_ulp"]
+    assert (by["newton-3step"]["cycles_per_elem_tput"]
+            < by["hardware FSQRT (blocking)"]["cycles_per_elem_tput"] / 5)
+
+
+def test_blocking_sqrt_ablation(benchmark, print_rows):
+    rows = benchmark(blocking_sqrt_ablation)
+    print_rows("Ablation: blocking vs pipelined FSQRT", rows)
+    blocking = rows[0]["gnu_vs_fujitsu"]
+    pipelined = rows[1]["gnu_vs_fujitsu"]
+    # the 'blocking' property carries most of the Fig. 2 sqrt gap
+    assert blocking > 3 * pipelined

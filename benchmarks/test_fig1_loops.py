@@ -1,0 +1,23 @@
+"""Figure 1: runtime of simple vector loops relative to Skylake+Intel.
+
+Benchmarks the full pipeline (IR -> vectorize -> lower -> schedule) for
+the six structural loops across all five toolchains, and prints the
+regenerated figure.
+"""
+
+from repro.bench.expected import FIG1_FIG2_RATIO_BANDS
+from repro.bench.figures import fig1_loop_suite
+
+
+def test_fig1(benchmark, print_rows):
+    rows = benchmark(fig1_loop_suite)
+    print_rows(
+        "Figure 1: loop runtimes relative to Skylake (model)",
+        rows,
+        columns=["loop", "toolchain", "cycles_per_elem", "ns_per_elem",
+                 "rel_skylake"],
+    )
+    for row in rows:
+        if row["toolchain"] == "fujitsu":
+            lo, hi = FIG1_FIG2_RATIO_BANDS[row["loop"]]
+            assert lo <= row["rel_skylake"] <= hi, row["loop"]

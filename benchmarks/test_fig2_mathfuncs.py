@@ -1,0 +1,25 @@
+"""Figure 2: runtime of vectorized math functions relative to Skylake.
+
+The math loops exercise the full library-model path: per-toolchain
+recipes (FEXPA / 13-term / sleef / SVML), Newton-vs-hardware instruction
+selection, and GNU's scalar-libm fallback.
+"""
+
+from repro.bench.expected import FIG1_FIG2_RATIO_BANDS
+from repro.bench.figures import fig2_math_suite
+
+
+def test_fig2(benchmark, print_rows):
+    rows = benchmark(fig2_math_suite)
+    print_rows(
+        "Figure 2: math-function runtimes relative to Skylake (model)",
+        rows,
+        columns=["loop", "toolchain", "cycles_per_elem", "rel_skylake",
+                 "vectorized"],
+    )
+    for row in rows:
+        if row["toolchain"] == "fujitsu":
+            lo, hi = FIG1_FIG2_RATIO_BANDS[row["loop"]]
+            assert lo <= row["rel_skylake"] <= hi, row["loop"]
+        if row["toolchain"] == "gnu" and row["loop"] in ("exp", "sin", "pow"):
+            assert not row["vectorized"]

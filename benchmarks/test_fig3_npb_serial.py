@@ -1,0 +1,20 @@
+"""Figure 3: NPB class C single-core runtime per compiler."""
+
+from repro.bench.expected import FIG3_RATIO_BANDS
+from repro.bench.figures import fig3_npb_serial
+
+
+def test_fig3(benchmark, print_rows):
+    rows = benchmark(fig3_npb_serial)
+    print_rows(
+        "Figure 3: NPB class C serial runtime (s, model)",
+        rows,
+        columns=["bench", "toolchain", "seconds", "rel_icc"],
+    )
+    best = {}
+    for row in rows:
+        if row["toolchain"] != "intel":
+            best.setdefault(row["bench"], []).append(row["rel_icc"])
+    for bench, ratios in best.items():
+        lo, hi = FIG3_RATIO_BANDS[bench]
+        assert lo <= min(ratios) <= hi, bench

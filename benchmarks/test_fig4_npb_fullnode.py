@@ -1,0 +1,21 @@
+"""Figure 4: NPB class C full-node runtimes, including the
+fujitsu-first-touch configuration."""
+
+from repro.bench.figures import fig4_npb_fullnode
+
+
+def test_fig4(benchmark, print_rows):
+    rows = benchmark(fig4_npb_fullnode)
+    print_rows(
+        "Figure 4: NPB class C full-node runtime (s, model)",
+        rows,
+        columns=["bench", "config", "seconds"],
+    )
+    t = {(r["bench"], r["config"]): r["seconds"] for r in rows}
+    # A64FX wins the memory-bound apps, Skylake the compute-bound ones
+    for bench in ("SP", "UA", "CG"):
+        assert t[(bench, "gnu")] < t[(bench, "intel/skylake")], bench
+    for bench in ("BT", "LU", "EP"):
+        assert t[(bench, "intel/skylake")] < t[(bench, "gnu")], bench
+    # first touch rescues SP for the Fujitsu runtime
+    assert t[("SP", "fujitsu-first-touch")] < t[("SP", "fujitsu")] / 1.5

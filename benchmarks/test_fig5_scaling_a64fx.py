@@ -1,0 +1,19 @@
+"""Figure 5: NPB parallel efficiency on A64FX with GCC."""
+
+from repro.bench.expected import FIG5_EFFICIENCY_BANDS
+from repro.bench.figures import fig5_scaling_a64fx
+
+
+def test_fig5(benchmark, print_rows):
+    rows = benchmark(fig5_scaling_a64fx)
+    print_rows(
+        "Figure 5: A64FX (GCC) parallel efficiency (model)",
+        rows,
+        columns=["bench", "threads", "efficiency"],
+    )
+    at48 = {r["bench"]: r["efficiency"] for r in rows if r["threads"] == 48}
+    for bench, (lo, hi) in FIG5_EFFICIENCY_BANDS.items():
+        assert lo <= at48[bench] <= hi, bench
+    # EP scales almost linearly; SP is the least efficient
+    assert at48["EP"] > 0.95
+    assert min(at48, key=at48.get) == "SP"

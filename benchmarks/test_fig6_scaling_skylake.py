@@ -1,0 +1,19 @@
+"""Figure 6: NPB parallel efficiency on Skylake with icc."""
+
+from repro.bench.expected import FIG6_EFFICIENCY_BANDS
+from repro.bench.figures import fig6_scaling_skylake
+
+
+def test_fig6(benchmark, print_rows):
+    rows = benchmark(fig6_scaling_skylake)
+    print_rows(
+        "Figure 6: Skylake (icc) parallel efficiency (model)",
+        rows,
+        columns=["bench", "threads", "efficiency"],
+    )
+    at36 = {r["bench"]: r["efficiency"] for r in rows if r["threads"] == 36}
+    for bench, (lo, hi) in FIG6_EFFICIENCY_BANDS.items():
+        assert lo <= at36[bench] <= hi, bench
+    # the paper's envelope: EP at the top, SP at the bottom
+    assert max(at36, key=at36.get) == "EP"
+    assert min(at36, key=at36.get) == "SP"

@@ -1,0 +1,33 @@
+"""Figure 8: DGEMM per-core performance and percent of peak."""
+
+import numpy as np
+import pytest
+
+from repro.bench.expected import FIG8_PERCENT_OF_PEAK
+from repro.bench.figures import fig8_dgemm
+
+
+def test_fig8(benchmark, print_rows):
+    rows = benchmark(fig8_dgemm)
+    print_rows(
+        "Figure 8: DGEMM GFLOP/s per core (model)",
+        rows,
+        columns=["system", "library", "gflops_per_core", "percent_of_peak"],
+    )
+    by = {(r["system"], r["library"]): r for r in rows}
+    for key, pct in FIG8_PERCENT_OF_PEAK.items():
+        assert by[key]["percent_of_peak"] == pytest.approx(pct, abs=1.0)
+    fj = by[("ookami", "fujitsu-blas")]["gflops_per_core"]
+    ob = by[("ookami", "openblas")]["gflops_per_core"]
+    assert fj / ob == pytest.approx(14.0, rel=0.15)
+
+
+def test_dgemm_blocked_numeric(benchmark):
+    """Time the real blocked GEMM (the numeric half of Fig. 8)."""
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((256, 256))
+    b = rng.standard_normal((256, 256))
+    from repro.hpcc.dgemm import dgemm_blocked
+
+    c = benchmark(dgemm_blocked, a, b, 64)
+    assert np.allclose(c, a @ b, atol=1e-10)

@@ -1,0 +1,35 @@
+"""Figure 9C/9D: FFT single- and multi-node performance."""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import fig9_fft
+
+
+def test_fig9cd(benchmark, print_rows):
+    rows = benchmark(fig9_fft)
+    print_rows(
+        "Figure 9C/9D: FFT GFLOP/s (model)",
+        rows,
+        columns=["system", "library", "nodes", "gflops"],
+    )
+    one = {(r["system"], r["library"]): r["gflops"]
+           for r in rows if r["nodes"] == 1}
+    assert one[("ookami", "fujitsu-fftw")] / one[("ookami", "fftw")] == (
+        pytest.approx(4.2, rel=0.1)
+    )
+    # multi-node flatness for the Fujitsu stack
+    fj = [r["gflops"] for r in rows
+          if r["library"] == "fujitsu-fftw" and r["system"] == "ookami"]
+    assert max(fj) / min(fj) < 2.5
+
+
+def test_fft_numeric(benchmark):
+    """Time the real radix-2 FFT against numpy."""
+    from repro.hpcc.fft import fft_iterative
+
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(1 << 14) + 1j * rng.standard_normal(1 << 14)
+    y = benchmark(fft_iterative, x)
+    ref = np.fft.fft(x)
+    assert np.max(np.abs(y - ref)) / np.max(np.abs(ref)) < 1e-12

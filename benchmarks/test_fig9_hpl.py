@@ -1,0 +1,35 @@
+"""Figure 9A/9B: HPL single- and multi-node performance."""
+
+import pytest
+
+from repro.bench.figures import fig9_hpl
+
+
+def test_fig9ab(benchmark, print_rows):
+    rows = benchmark(fig9_hpl)
+    print_rows(
+        "Figure 9A/9B: HPL GFLOP/s (model)",
+        rows,
+        columns=["system", "library", "nodes", "gflops"],
+    )
+    one = {(r["system"], r["library"]): r["gflops"]
+           for r in rows if r["nodes"] == 1}
+    # single node: fujitsu ~10x openblas; node parity with SKX
+    assert one[("ookami", "fujitsu-blas")] / one[("ookami", "openblas")] == (
+        pytest.approx(10.0, rel=0.25)
+    )
+    assert one[("ookami", "fujitsu-blas")] == pytest.approx(
+        one[("skx", "mkl-skx")], rel=0.15
+    )
+    # multi node: ARMPL overtakes Fujitsu MPI beyond one node
+    multi = {(r["library"], r["nodes"]): r["gflops"]
+             for r in rows if r["system"] == "ookami"}
+    assert multi[("armpl", 8)] > multi[("fujitsu-blas", 8)]
+
+
+def test_hpl_numeric(benchmark):
+    """Time the real blocked LU solve with residual verification."""
+    from repro.hpcc.hpl import hpl_benchmark
+
+    result = benchmark(hpl_benchmark, 192, 32)
+    assert result.passed

@@ -1,0 +1,46 @@
+"""Section IV: the exponential-function study.
+
+Regenerates the cycles/element and ULP table — including the real
+numeric ULP measurement of the FEXPA kernel — and benchmarks both the
+model side (scheduling the kernels) and the numeric side (evaluating
+exp over a large vector with this project's implementations).
+"""
+
+import numpy as np
+
+from repro.bench.expected import SEC4_EXP_CYCLES
+from repro.bench.figures import sec4_exp_study
+
+
+def test_sec4_table(benchmark, print_rows):
+    rows = benchmark(sec4_exp_study, ulp_samples=100_000)
+    print_rows(
+        "Section IV: exponential function (model cycles + measured ULP)",
+        rows,
+        columns=["impl", "cycles_per_elem", "max_ulp", "bound"],
+    )
+    by_impl = {r["impl"]: r for r in rows}
+    # paper-quoted cycle counts (model within a band)
+    assert by_impl["gnu library (scalar libm)"]["cycles_per_elem"] == (
+        __import__("pytest").approx(SEC4_EXP_CYCLES["gnu-serial"], rel=0.1)
+    )
+    assert by_impl["fexpa-vla (paper kernel)"]["max_ulp"] <= 6.0
+
+
+def test_exp_fexpa_numeric_throughput(benchmark):
+    """Time the actual numpy FEXPA-exp kernel over 1M elements."""
+    from repro.mathlib.exp import exp_fexpa
+
+    rng = np.random.default_rng(0)
+    x = rng.uniform(-700, 700, 1_000_000)
+    result = benchmark(exp_fexpa, x)
+    assert np.all(np.isfinite(result))
+
+
+def test_exp_plain_numeric_throughput(benchmark):
+    from repro.mathlib.exp import exp_plain
+
+    rng = np.random.default_rng(1)
+    x = rng.uniform(-700, 700, 1_000_000)
+    result = benchmark(exp_plain, x)
+    assert np.all(np.isfinite(result))

@@ -1,0 +1,10 @@
+"""Table I: compiler flags used in the loop vectorization tests."""
+
+
+def test_table1(benchmark, print_rows):
+    from repro.bench.figures import table1_flags
+
+    rows = benchmark(table1_flags)
+    print_rows("Table I: compiler flags", rows,
+               columns=["compiler", "version", "flags"])
+    assert len(rows) == 5

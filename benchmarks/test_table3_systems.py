@@ -1,0 +1,17 @@
+"""Table III: specifications of the compared HPC systems (derived)."""
+
+from repro.bench.expected import TABLE3_EXPECTED
+from repro.bench.figures import table3_systems
+
+
+def test_table3(benchmark, print_rows):
+    rows = benchmark(table3_systems)
+    print_rows(
+        "Table III: system specifications (derived from the models)",
+        rows,
+    )
+    for got, want in zip(rows, TABLE3_EXPECTED):
+        assert got["cores_per_node"] == want["cores"]
+        assert got["simd"] == want["simd"]
+        assert abs(got["peak_gflops_core"] - want["peak_core"]) < 0.1
+        assert abs(got["peak_gflops_node"] - want["peak_node"]) <= 3

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""The complete HPC Challenge suite: real kernels + the Section VII models.
+
+The paper "concentrate[s] on matrix-matrix multiplication (DGEMM), HPL,
+and Fast Fourier Transformation (FFT)"; HPCC has seven components.  This
+example runs all of them:
+
+* the four the models reproduce from the paper (DGEMM, HPL, FFT, plus
+  STREAM which underwrites the bandwidth narrative), and
+* the remaining components (RandomAccess/GUPS, PTRANS) completing the
+  suite — each with its *real* numeric kernel executed and verified
+  locally before the modeled A64FX/Skylake rates are printed.
+
+Run:  python examples/hpcc_suite.py
+"""
+
+from repro._util import format_table
+from repro.bench.harness import run_experiment
+from repro.hpcc.dgemm import dgemm_blocked
+from repro.hpcc.fft import fft_benchmark
+from repro.hpcc.hpl import hpl_benchmark
+from repro.hpcc.ptrans import transpose_blocked
+from repro.hpcc.randomaccess import run_randomaccess
+from repro.hpcc.stream import run_stream
+
+import numpy as np
+
+
+def main() -> None:
+    print("=== real kernels, executed and verified on this host ===")
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((192, 192))
+    b = rng.standard_normal((192, 192))
+    ok = np.allclose(dgemm_blocked(a, b, 64), a @ b, atol=1e-10)
+    print(f"  DGEMM (blocked 192x192)      : {'OK' if ok else 'FAIL'}")
+
+    hpl = hpl_benchmark(n=256)
+    print(f"  HPL (n=256, pivoted LU)      : "
+          f"{'OK' if hpl.passed else 'FAIL'} "
+          f"(scaled residual {hpl.scaled_residual:.3f})")
+
+    fft = fft_benchmark(log2n=14)
+    print(f"  FFT (2^14, radix-2)          : "
+          f"{'OK' if fft.max_error < 1e-12 else 'FAIL'} "
+          f"(vs numpy {fft.max_error:.1e})")
+
+    stream = run_stream(n=1_000_000)
+    print(f"  STREAM (1M elems)            : "
+          f"{'OK' if stream.verified else 'FAIL'} "
+          f"(triad here: {stream.rates_gbs['triad']:.1f} GB/s)")
+
+    gups = run_randomaccess(log2_table=14)
+    print(f"  RandomAccess (2^14 table)    : "
+          f"{'OK' if gups.verified else 'FAIL'} "
+          f"(XOR replay restores table)")
+
+    t = rng.standard_normal((300, 200))
+    ok = np.array_equal(transpose_blocked(t, 64), t.T)
+    print(f"  PTRANS (blocked transpose)   : {'OK' if ok else 'FAIL'}\n")
+
+    print("=== modeled rates (the Section VII landscape) ===")
+    for exp_id, title in (
+        ("fig8", "DGEMM per core (Figure 8)"),
+        ("fig9ab", "HPL (Figures 9A/9B)"),
+        ("fig9cd", "FFT (Figures 9C/9D)"),
+        ("stream", "STREAM Triad"),
+        ("gups", "RandomAccess"),
+        ("ptrans", "PTRANS"),
+    ):
+        rows = run_experiment(exp_id)
+        print(f"--- {title} ---")
+        print(format_table(rows))
+        print()
+
+
+if __name__ == "__main__":
+    main()

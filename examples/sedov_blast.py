@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""LULESH's physics: the Sedov point blast with analytic answers.
+
+Runs the real spherical Lagrangian hydrodynamics solver, prints the
+shock trajectory against the Sedov-Taylor similarity law r_s ~ t^(2/5),
+the energy bookkeeping, and the strong-shock density jump — the
+'simplified Sedov blast problem with analytic answers' of Section VI.
+Then exercises the actual LULESH hexahedral element kernels (Base vs
+Vect variants of Table II) on a jittered 3-D mesh.
+
+Run:  python examples/sedov_blast.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.apps.lulesh.hexkernels import (
+    hex_volumes_base,
+    hex_volumes_vect,
+    make_box_mesh,
+)
+from repro.apps.lulesh.hydro import GAMMA, SedovSpherical
+
+
+def main() -> None:
+    s = SedovSpherical(nzones=200)
+    e0 = s.total_energy()
+    print(f"Sedov blast: {s.nzones} Lagrangian shells, E0 = {e0:.4f}\n")
+
+    print(f"{'t':>8} {'cycles':>8} {'r_shock':>9} {'r/t^0.4':>9} "
+          f"{'rho_max':>8} {'E/E0':>8}")
+    for t_end in (0.02, 0.04, 0.08, 0.16, 0.32):
+        s.run(t_end)
+        rs = s.shock_radius()
+        print(f"{s.t:8.3f} {s.cycles:8d} {rs:9.4f} "
+              f"{rs / s.t**0.4:9.4f} {np.max(s.rho):8.3f} "
+              f"{s.total_energy() / e0:8.4f}")
+
+    ts = np.array([0.02, 0.04, 0.08, 0.16, 0.32])
+    # refit from a fresh run for a clean exponent estimate
+    s2 = SedovSpherical(nzones=200)
+    rs = []
+    for t_end in ts:
+        s2.run(t_end)
+        rs.append(s2.shock_radius())
+    slope = np.polyfit(np.log(ts), np.log(rs), 1)[0]
+    print(f"\nfitted r_s ~ t^{slope:.3f}   (Sedov-Taylor: t^0.400)")
+    jump = (GAMMA + 1) / (GAMMA - 1)
+    print(f"peak compression {np.max(s2.rho):.2f} "
+          f"(strong-shock limit {jump:.1f})\n")
+
+    print("--- LULESH hex-element kernels: Base vs Vect (Table II) ---")
+    coords, conn = make_box_mesh(16, jitter=0.3, seed=0)
+    t0 = time.perf_counter()
+    vb = hex_volumes_base(coords, conn)
+    t_base = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    vv = hex_volumes_vect(coords, conn)
+    t_vect = time.perf_counter() - t0
+    assert np.array_equal(vb, vv)
+    print(f"  {conn.shape[0]} elements, total volume "
+          f"{vv.sum():.12f} (exact: 1.0)")
+    print(f"  Base (per-element loop) : {t_base * 1e3:8.2f} ms")
+    print(f"  Vect (array program)    : {t_vect * 1e3:8.2f} ms  "
+          f"({t_base / t_vect:.0f}x — why Table II has two columns)")
+
+
+if __name__ == "__main__":
+    main()

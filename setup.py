@@ -1,0 +1,7 @@
+"""Legacy setup shim: lets ``pip install -e .`` work offline with older
+setuptools (no ``wheel`` package available).  All metadata lives in
+``pyproject.toml``."""
+
+from setuptools import setup
+
+setup()

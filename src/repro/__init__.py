@@ -1,0 +1,59 @@
+"""repro — reproduction of "A64FX performance: experience on Ookami"
+(CLUSTER 2021).
+
+The package rebuilds the paper's entire experimental apparatus in Python:
+
+* :mod:`repro.machine` — cycle-approximate models of the A64FX and the
+  comparison CPUs (Skylake, KNL, EPYC): SVE/AVX instruction timing, cache
+  and HBM hierarchy, CMG NUMA topology.
+* :mod:`repro.compilers` — models of the five toolchains (Fujitsu, Cray,
+  ARM, GNU, Intel): vectorization capabilities, math-library bindings,
+  instruction selection, OpenMP runtime traits.
+* :mod:`repro.engine` — pipeline scheduler, roofline composition, kernel
+  executor and OpenMP threading model.
+* :mod:`repro.mathlib` — real, ULP-validated vector math kernels
+  (the Section IV FEXPA exponential, Newton sqrt/recip, sin, log, pow).
+* :mod:`repro.kernels` — the Section III loop suite and the Monte Carlo
+  example.
+* :mod:`repro.npb` — NAS Parallel Benchmarks (EP/CG complete with
+  official verification; BT/SP/LU/UA as real reduced-scale solvers) plus
+  class-C workload signatures.
+* :mod:`repro.apps.lulesh` — the LULESH Sedov-blast proxy app.
+* :mod:`repro.hpcc` — DGEMM / HPL / FFT implementations and the
+  library-performance catalog.
+* :mod:`repro.bench` — the harness regenerating every table and figure.
+
+Quick start::
+
+    from repro import quickstart
+    print(quickstart())
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+from repro.machine.systems import SYSTEMS, get_system
+from repro.compilers.toolchains import TOOLCHAINS, get_toolchain
+
+
+def quickstart() -> str:
+    """One-paragraph smoke test: compile the paper's 'simple' loop with
+    every toolchain and report modeled runtime ratios vs Skylake+icc."""
+    from repro.bench.figures import fig1_loop_suite
+
+    rows = fig1_loop_suite(loops=("simple",))
+    lines = ["simple loop, runtime relative to Skylake + Intel:"]
+    for row in rows:
+        lines.append(f"  {row['toolchain']:<10} {row['rel_skylake']:.2f}x")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "SYSTEMS",
+    "get_system",
+    "TOOLCHAINS",
+    "get_toolchain",
+    "quickstart",
+    "__version__",
+]

@@ -1,0 +1,160 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    List the available experiments (tables/figures).
+``run <id> [...]``
+    Regenerate one or more experiments as text tables (``run all`` for
+    everything).
+``asm <loop> <toolchain>``
+    Show the pseudo-assembly + schedule for a suite loop under one
+    toolchain (loops: simple/predicate/gather/scatter/short_gather/
+    short_scatter/recip/sqrt/exp/sin/pow).
+``pipeline <loop> <toolchain>``
+    Render the pipeline diagram of the compiled loop's first iterations.
+``verify``
+    Run the real-numerics headline checks (NPB EP/CG class S official
+    verification, HPL residual, FFT parity, Sedov exponent).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.harness import EXPERIMENTS, EXTRAS
+from repro.bench.report import render_experiment
+
+_USAGE = __doc__ or ""
+
+
+def _cmd_list() -> int:
+    print("paper artifacts:")
+    for exp_id, (title, _) in EXPERIMENTS.items():
+        print(f"  {exp_id:<10} {title}")
+    print("extras:")
+    for exp_id, (title, _) in EXTRAS.items():
+        print(f"  {exp_id:<10} {title}")
+    return 0
+
+
+def _cmd_run(args: list[str]) -> int:
+    ids = list(EXPERIMENTS) if args == ["all"] or not args else args
+    if args == ["extras"]:
+        ids = list(EXTRAS)
+    for exp_id in ids:
+        if exp_id not in EXPERIMENTS and exp_id not in EXTRAS:
+            print(f"unknown experiment {exp_id!r}; try 'python -m repro list'")
+            return 1
+        print(render_experiment(exp_id))
+    return 0
+
+
+def _resolve_loop_toolchain(args: list[str]):
+    from repro.compilers.codegen import compile_loop
+    from repro.compilers.toolchains import get_toolchain
+    from repro.kernels.loops import LOOP_NAMES, MATH_LOOP_NAMES, build_loop
+    from repro.machine.microarch import A64FX, SKYLAKE_6140
+
+    if len(args) != 2:
+        print("usage: python -m repro asm|pipeline <loop> <toolchain>")
+        print(f"loops: {', '.join(LOOP_NAMES + MATH_LOOP_NAMES)}")
+        return None
+    loop_name, tc_name = args
+    tc = get_toolchain(tc_name)
+    march = SKYLAKE_6140 if tc.target == "x86" else A64FX
+    return compile_loop(build_loop(loop_name), tc, march)
+
+
+def _cmd_asm(args: list[str]) -> int:
+    from repro.compilers.asm import render_compiled_loop
+
+    compiled = _resolve_loop_toolchain(args)
+    if compiled is None:
+        return 1
+    print(render_compiled_loop(compiled))
+    return 0
+
+
+def _cmd_pipeline(args: list[str]) -> int:
+    from repro.engine.trace import render_pipeline_diagram
+
+    compiled = _resolve_loop_toolchain(args)
+    if compiled is None:
+        return 1
+    print(render_pipeline_diagram(compiled.march, compiled.stream))
+    return 0
+
+
+def _cmd_verify() -> int:
+    import numpy as np
+
+    from repro.apps.lulesh.hydro import SedovSpherical
+    from repro.hpcc.fft import fft_benchmark
+    from repro.hpcc.hpl import hpl_benchmark
+    from repro.npb.cg import run_cg
+    from repro.npb.ep import run_ep
+
+    failures = 0
+
+    ep = run_ep("S")
+    print(f"NPB EP class S  : {'OK' if ep.verified else 'FAIL'} "
+          f"(sx={ep.sx:.9e})")
+    failures += not ep.verified
+
+    cg = run_cg("S")
+    print(f"NPB CG class S  : {'OK' if cg.verified else 'FAIL'} "
+          f"(zeta={cg.zeta:.10f})")
+    failures += not cg.verified
+
+    hpl = hpl_benchmark(n=256)
+    print(f"HPL residual    : {'OK' if hpl.passed else 'FAIL'} "
+          f"({hpl.scaled_residual:.4f} < 16)")
+    failures += not hpl.passed
+
+    fft = fft_benchmark(log2n=14)
+    ok = fft.max_error < 1e-12
+    print(f"FFT vs numpy    : {'OK' if ok else 'FAIL'} "
+          f"(max rel err {fft.max_error:.2e})")
+    failures += not ok
+
+    s = SedovSpherical(nzones=150)
+    ts, rs = [], []
+    for t_end in (0.02, 0.04, 0.08, 0.16, 0.32):
+        s.run(t_end)
+        ts.append(s.t)
+        rs.append(s.shock_radius())
+    slope = float(np.polyfit(np.log(ts), np.log(rs), 1)[0])
+    ok = abs(slope - 0.4) < 0.04
+    print(f"Sedov exponent  : {'OK' if ok else 'FAIL'} "
+          f"(t^{slope:.3f} vs t^0.400)")
+    failures += not ok
+
+    return 1 if failures else 0
+
+
+def main(argv: list[str]) -> int:
+    if not argv or argv[0] in ("-h", "--help", "help"):
+        print(_USAGE)
+        return 0
+    cmd, *rest = argv
+    if cmd == "list":
+        return _cmd_list()
+    if cmd == "run":
+        return _cmd_run(rest)
+    if cmd == "asm":
+        return _cmd_asm(rest)
+    if cmd == "pipeline":
+        return _cmd_pipeline(rest)
+    if cmd == "verify":
+        return _cmd_verify()
+    print(f"unknown command {cmd!r}\n{_USAGE}")
+    return 1
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main(sys.argv[1:]))
+    except BrokenPipeError:
+        # output piped into head/less that exited early: not an error
+        raise SystemExit(0) from None

@@ -1,0 +1,100 @@
+"""Small shared utilities used across the :mod:`repro` package.
+
+Nothing in this module is specific to the paper; it provides argument
+validation helpers, formatting helpers for the benchmark harness, and a
+couple of numpy conveniences that keep the rest of the code base terse.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from typing import Any, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+__all__ = [
+    "require",
+    "require_positive",
+    "require_in",
+    "as_float_array",
+    "format_table",
+    "geomean",
+    "KIB",
+    "MIB",
+    "GIB",
+]
+
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with *message* unless *condition* holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_positive(value: float, name: str) -> None:
+    """Raise :class:`ValueError` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def require_in(value: T, allowed: Iterable[T], name: str) -> None:
+    """Raise :class:`ValueError` unless *value* is one of *allowed*."""
+    allowed = tuple(allowed)
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {allowed!r}, got {value!r}")
+
+
+def as_float_array(x: Any, name: str = "array") -> np.ndarray:
+    """Coerce *x* to a contiguous float64 numpy array, validating dtype."""
+    arr = np.ascontiguousarray(x, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    return arr
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (used to summarize speedups)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("geomean of empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geomean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    float_fmt: str = "{:.4g}",
+) -> str:
+    """Render a list of dict rows as an aligned plain-text table.
+
+    Used by the benchmark harness to print paper-style tables without any
+    plotting dependency.  Column order follows *columns* when given, else
+    the key order of the first row.
+    """
+    if not rows:
+        return "(empty table)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+
+    def fmt(v: Any) -> str:
+        if isinstance(v, float):
+            return float_fmt.format(v)
+        return str(v)
+
+    rendered = [[fmt(row.get(c, "")) for c in cols] for row in rows]
+    widths = [
+        max(len(c), *(len(r[i]) for r in rendered)) for i, c in enumerate(cols)
+    ]
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(cell.ljust(w) for cell, w in zip(r, widths)) for r in rendered
+    )
+    return f"{header}\n{sep}\n{body}"

@@ -1,0 +1,1 @@
+"""Proxy applications: LULESH (Section VI of the paper)."""

@@ -1,0 +1,48 @@
+"""LULESH — Livermore Unstructured Lagrangian Explicit Shock Hydrodynamics.
+
+"LULESH solves a simplified Sedov blast problem with analytic answers
+while capturing the numerical essentials of more complex hydrodynamic
+applications."  (paper, Sec. VI)
+
+Three layers:
+
+* :mod:`repro.apps.lulesh.hydro` — a complete spherically-symmetric
+  Lagrangian hydrodynamics solver (staggered von Neumann–Richtmyer scheme
+  with artificial viscosity, ideal-gas EOS, Courant-limited time steps)
+  running the Sedov point-blast problem with *analytic answers*: the
+  shock radius follows ``r_s ~ t^(2/5)`` and total energy is conserved.
+* :mod:`repro.apps.lulesh.hexkernels` — the real LULESH 3-D hex-element
+  hot kernels (element volume from 8 corner nodes, shape-function
+  derivatives / B-matrix, characteristic length) in two variants: the
+  reference per-element loop (``Base`` in Table II) and the
+  array-vectorized form (``Vect``).
+* :mod:`repro.apps.lulesh.model` — Table II / Figure 7 performance
+  signatures (base vs vectorized, single-thread vs full node, per
+  toolchain).
+"""
+
+from repro.apps.lulesh.hydro import SedovSpherical
+from repro.apps.lulesh.hexkernels import (
+    hex_volumes_base,
+    hex_volumes_vect,
+    characteristic_length,
+    shape_function_derivatives,
+)
+from repro.apps.lulesh.model import (
+    LULESH_BASE,
+    LULESH_VECT,
+    lulesh_time,
+    table2_rows,
+)
+
+__all__ = [
+    "SedovSpherical",
+    "hex_volumes_base",
+    "hex_volumes_vect",
+    "characteristic_length",
+    "shape_function_derivatives",
+    "LULESH_BASE",
+    "LULESH_VECT",
+    "lulesh_time",
+    "table2_rows",
+]

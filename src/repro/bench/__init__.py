@@ -1,0 +1,15 @@
+"""The benchmark harness: one generator per paper table/figure.
+
+* :mod:`repro.bench.figures` — ``fig1_*`` .. ``fig9_*``, ``table1_*`` ..
+  ``table3_*``, ``sec4_*``: each returns the rows of the corresponding
+  paper artifact as plain dicts.
+* :mod:`repro.bench.expected` — the values the paper itself prints
+  (tables verbatim, quoted ratios and cycle counts) for comparison.
+* :mod:`repro.bench.report` — text rendering and paper-vs-model deltas.
+* :mod:`repro.bench.harness` — the experiment registry and ``run_all``.
+"""
+
+from repro.bench.harness import EXPERIMENTS, EXTRAS, run_experiment, run_all
+from repro.bench.report import render_experiment
+
+__all__ = ["EXPERIMENTS", "EXTRAS", "run_experiment", "run_all", "render_experiment"]

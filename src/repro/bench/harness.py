@@ -1,0 +1,147 @@
+"""Experiment registry: every table and figure of the paper, runnable.
+
+``run_all()`` regenerates the complete evaluation section; each entry is
+also exercised individually by ``benchmarks/`` (pytest-benchmark) and by
+``examples/reproduce_paper.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.bench import figures as F
+
+__all__ = ["EXPERIMENTS", "EXTRAS", "run_experiment", "run_all"]
+
+ExperimentFn = Callable[[], list[dict]]
+
+#: id -> (title, generator) for every artifact in the paper's evaluation
+EXPERIMENTS: dict[str, tuple[str, ExperimentFn]] = {
+    "table1": ("Compiler flags used in loop vectorization tests",
+               F.table1_flags),
+    "fig1": ("Runtime of simple vector loops relative to Skylake",
+             F.fig1_loop_suite),
+    "fig2": ("Runtime of vectorized math functions relative to Skylake",
+             F.fig2_math_suite),
+    "sec4": ("Evaluation of the exponential function (cycles/elem, ULP)",
+             F.sec4_exp_study),
+    "fig3": ("NPB class C single-core runtime per compiler",
+             F.fig3_npb_serial),
+    "fig4": ("NPB class C full-node runtime per compiler",
+             F.fig4_npb_fullnode),
+    "fig5": ("NPB parallel efficiency on A64FX (GCC)",
+             F.fig5_scaling_a64fx),
+    "fig6": ("NPB parallel efficiency on Skylake (icc)",
+             F.fig6_scaling_skylake),
+    "table2": ("LULESH timings", F.table2_lulesh),
+    "fig7": ("LULESH timings chart series", F.fig7_lulesh),
+    "table3": ("Specifications of compared HPC systems", F.table3_systems),
+    "fig8": ("DGEMM per-core performance and percent of peak",
+             F.fig8_dgemm),
+    "fig9ab": ("HPL single/multi-node performance", F.fig9_hpl),
+    "fig9cd": ("FFT single/multi-node performance", F.fig9_fft),
+}
+
+
+def _accuracy_rows() -> list[dict]:
+    from repro.mathlib.accuracy import accuracy_sweep
+
+    return [r.as_row() for r in accuracy_sweep(samples=100_000)]
+
+
+def _ladder_rows() -> list[dict]:
+    from repro.kernels.ladder import optimization_ladder
+
+    return [r.as_row() for r in optimization_ladder()]
+
+
+def _stream_rows() -> list[dict]:
+    from repro.hpcc.stream import stream_model_gbs
+
+    rows = []
+    for sys_key, threads in (("ookami", (1, 12, 48)),
+                             ("skylake", (1, 18, 36))):
+        for t in threads:
+            rows.append(
+                {"system": sys_key, "threads": t,
+                 "triad_gbs": round(stream_model_gbs(sys_key, t), 1)}
+            )
+    return rows
+
+
+def _gups_rows() -> list[dict]:
+    from repro.hpcc.randomaccess import gups_model
+
+    return [
+        {"system": k, "gups": round(gups_model(k), 4)}
+        for k in ("ookami", "skylake", "knl", "bridges2")
+    ]
+
+
+def _ptrans_rows() -> list[dict]:
+    from repro.hpcc.ptrans import ptrans_rate_model
+
+    rows = []
+    for nodes in (1, 2, 4, 8):
+        rows.append(
+            {"system": "ookami", "nodes": nodes,
+             "gbs": round(ptrans_rate_model("ookami", nodes), 1)}
+        )
+    rows.append({"system": "skylake", "nodes": 1,
+                 "gbs": round(ptrans_rate_model("skylake", 1), 1)})
+    return rows
+
+
+def _ablation_rows() -> list[dict]:
+    from repro.bench import ablations as ab
+
+    rows: list[dict] = []
+    for name in ("window_ablation", "unroll_ablation",
+                 "coalescing_ablation", "newton_steps_ablation",
+                 "blocking_sqrt_ablation"):
+        for r in getattr(ab, name)():
+            rows.append({"study": name.replace("_ablation", ""), **r})
+    return rows
+
+
+def _roofline_rows() -> list[dict]:
+    from repro.bench.roofline_study import roofline_positions
+
+    return roofline_positions()
+
+
+#: beyond-the-paper studies: the announced accuracy follow-up, the MC
+#: optimization ladder, the remaining HPCC components, the ablations
+EXTRAS: dict[str, tuple[str, ExperimentFn]] = {
+    "accuracy": ("Math-library accuracy study (the paper's announced "
+                 "follow-up): max/mean ULP per implementation and domain",
+                 _accuracy_rows),
+    "ladder": ("Monte Carlo optimization ladder (Sec. III's sequence, "
+               "quantified)", _ladder_rows),
+    "stream": ("HPCC STREAM: modeled Triad bandwidth", _stream_rows),
+    "gups": ("HPCC RandomAccess: modeled GUPS per node", _gups_rows),
+    "ptrans": ("HPCC PTRANS: modeled transpose rates", _ptrans_rows),
+    "ablations": ("Model ablations: window, unroll, gather coalescing, "
+                  "Newton steps, blocking FSQRT", _ablation_rows),
+    "roofline": ("Roofline positioning of the NPB workloads",
+                 _roofline_rows),
+}
+
+
+def run_experiment(exp_id: str) -> list[dict]:
+    """Run one experiment (paper artifact or extra) and return its rows."""
+    entry = EXPERIMENTS.get(exp_id) or EXTRAS.get(exp_id)
+    if entry is None:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; available: "
+            f"{sorted(EXPERIMENTS)} + extras {sorted(EXTRAS)}"
+        )
+    return entry[1]()
+
+
+def run_all(include_extras: bool = False) -> dict[str, list[dict]]:
+    """Regenerate every table and figure; returns ``{id: rows}``."""
+    out = {exp_id: fn() for exp_id, (_, fn) in EXPERIMENTS.items()}
+    if include_extras:
+        out.update({exp_id: fn() for exp_id, (_, fn) in EXTRAS.items()})
+    return out

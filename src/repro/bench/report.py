@@ -1,0 +1,34 @@
+"""Text rendering of experiments (no plotting dependencies)."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+from repro._util import format_table
+
+__all__ = ["render_experiment", "render_rows"]
+
+
+def render_rows(
+    title: str,
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+) -> str:
+    """A titled plain-text table."""
+    bar = "=" * max(len(title), 8)
+    return f"{title}\n{bar}\n{format_table(rows, columns)}\n"
+
+
+def render_experiment(exp_id: str) -> str:
+    """Run and render one registered experiment by id (e.g. ``fig1``,
+    or an extra such as ``accuracy``)."""
+    from repro.bench.harness import EXPERIMENTS, EXTRAS
+
+    entry = EXPERIMENTS.get(exp_id) or EXTRAS.get(exp_id)
+    if entry is None:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; available: "
+            f"{sorted(EXPERIMENTS)} + extras {sorted(EXTRAS)}"
+        )
+    title, fn = entry
+    return render_rows(f"{exp_id}: {title}", fn())

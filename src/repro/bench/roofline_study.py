@@ -1,0 +1,81 @@
+"""Roofline positioning of the paper's workloads.
+
+Places every NPB benchmark, LULESH and the HPCC kernels on the A64FX and
+Skylake node rooflines — the analysis that *explains* the paper's Fig. 4
+winners ("A64FX performs well in memory-bound applications (CG, SP, UA)
+while Skylake wins out in compute-bound applications"): an application
+left of the A64FX ridge (~2.7 flop/byte) rides the 1 TB/s HBM; one right
+of it needs the compute the Skylake node clocks higher for.
+"""
+
+from __future__ import annotations
+
+from repro.engine.roofline import Roofline
+from repro.machine.systems import get_system
+
+__all__ = ["workload_intensity", "roofline_positions", "crossover_intensity"]
+
+
+def workload_intensity(name: str) -> float:
+    """Arithmetic intensity (flop / DRAM byte) of one NPB workload."""
+    from repro.npb.workloads import NPB_WORKLOADS
+
+    work = NPB_WORKLOADS[name.upper()]
+    traffic = work.contig_bytes + work.random_bytes
+    if traffic == 0:
+        return float("inf")
+    return work.flops / traffic
+
+
+def crossover_intensity() -> float:
+    """Intensity at which the Skylake node overtakes the A64FX node.
+
+    Below it the A64FX's bandwidth advantage dominates; above it
+    Skylake's (all-core) compute may win.  With the A64FX holding both a
+    bandwidth *and* a peak advantage over the 36-core 6140 node, this is
+    where the ratio of attainable performance is closest.
+    """
+    a64 = Roofline.for_node(get_system("ookami"))
+    skl = Roofline.for_node(get_system("skylake"))
+    # scan intensities for the minimum A64FX/Skylake attainable ratio
+    best_x, best_ratio = 0.1, float("inf")
+    x = 0.05
+    while x < 200.0:
+        ratio = a64.attainable_gflops(x) / skl.attainable_gflops(x)
+        if ratio < best_ratio:
+            best_ratio, best_x = ratio, x
+        x *= 1.05
+    return best_x
+
+
+def roofline_positions() -> list[dict]:
+    """One row per workload: intensity, attainable GFLOP/s on each node,
+    and which machine the roofline favours."""
+    a64 = Roofline.for_node(get_system("ookami"))
+    skl = Roofline.for_node(get_system("skylake"))
+
+    from repro.npb.workloads import NPB_WORKLOADS
+
+    rows = []
+    for name in sorted(NPB_WORKLOADS):
+        x = workload_intensity(name)
+        if x == float("inf"):
+            a_att, s_att = a64.peak_gflops, skl.peak_gflops
+            x_label = "compute-only"
+        else:
+            a_att, s_att = a64.attainable_gflops(x), skl.attainable_gflops(x)
+            x_label = f"{x:.2f}"
+        rows.append(
+            {
+                "workload": name,
+                "intensity_flop_per_byte": x_label,
+                "a64fx_attainable_gflops": round(a_att, 1),
+                "skylake_attainable_gflops": round(s_att, 1),
+                "roofline_favours": "A64FX" if a_att >= s_att else "Skylake",
+                "regime": (
+                    "memory-bound" if x != float("inf")
+                    and x < a64.ridge_intensity else "compute-bound"
+                ),
+            }
+        )
+    return rows

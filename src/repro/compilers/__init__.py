@@ -1,0 +1,53 @@
+"""Toolchain models: loop IR, vectorization, instruction selection.
+
+The paper's central subject is how five compiler toolchains (Fujitsu,
+Cray, ARM, GNU on A64FX; Intel on Skylake) turn the same source loops into
+very differently performing machine code.  This package models that
+pipeline:
+
+* :mod:`repro.compilers.ir` — a small typed loop IR describing the
+  paper's kernels (arithmetic, math calls, predicated stores,
+  gather/scatter).
+* :mod:`repro.compilers.toolchains` — the catalog of toolchains with
+  their Table-I flags, vectorization capabilities, math-library bindings,
+  instruction-selection quirks and OpenMP runtime traits.
+* :mod:`repro.compilers.vectorizer` — the legality/strategy pass deciding
+  per statement whether a toolchain vectorizes it.
+* :mod:`repro.compilers.codegen` — lowering of (possibly vectorized) IR
+  to an abstract instruction stream for a target microarchitecture.
+"""
+
+from repro.compilers.ir import (
+    ArrayInfo,
+    BinOp,
+    Call,
+    Cmp,
+    Const,
+    Load,
+    Loop,
+    LoopIdx,
+    Reduce,
+    Store,
+    Var,
+)
+from repro.compilers.toolchains import (
+    ARM,
+    CRAY,
+    FUJITSU,
+    GNU,
+    INTEL,
+    TOOLCHAINS,
+    Toolchain,
+    get_toolchain,
+)
+from repro.compilers.vectorizer import VectorizationReport, vectorize
+from repro.compilers.codegen import CompiledLoop, compile_loop
+
+__all__ = [
+    "ArrayInfo", "BinOp", "Call", "Cmp", "Const", "Load", "Loop", "LoopIdx",
+    "Reduce", "Store", "Var",
+    "Toolchain", "TOOLCHAINS", "FUJITSU", "CRAY", "ARM", "GNU", "INTEL",
+    "get_toolchain",
+    "VectorizationReport", "vectorize",
+    "CompiledLoop", "compile_loop",
+]

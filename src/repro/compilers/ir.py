@@ -1,0 +1,285 @@
+"""A small typed loop IR for the paper's kernels.
+
+The IR describes one countable innermost loop over ``i = 0..n-1`` whose
+body is a sequence of statements over float64 arrays.  It is deliberately
+minimal — just rich enough to express every kernel in Sections III and IV
+of the paper:
+
+* ``simple``:     ``y[i] = 2*x[i] + 3*x[i]*x[i]``
+* ``predicate``:  ``if (x[i] > 0) y[i] = x[i]``
+* ``gather``:     ``y[i] = x[index[i]]``
+* ``scatter``:    ``y[index[i]] = x[i]``
+* math loops:     ``y[i] = f(x[i])`` for recip/sqrt/exp/sin/pow
+* reductions:     ``sum += x[i]`` (Monte Carlo statistics)
+
+Expressions form a tree of :class:`Const`, :class:`Load`, :class:`Var`,
+:class:`BinOp`, :class:`Call` and :class:`Cmp` nodes; statements are
+:class:`Store` (optionally masked by a compare) and :class:`Reduce`.
+Every loop carries an :class:`ArrayInfo` table describing footprints and
+access patterns, which the code generator forwards to the memory model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Literal, Mapping, Sequence, Union
+
+from repro._util import require_in, require_positive
+
+__all__ = [
+    "ArrayInfo", "Const", "Var", "LoopIdx", "Load", "BinOp", "Call", "Cmp",
+    "Store", "Reduce", "Loop", "Expr", "Stmt", "MATH_FUNCTIONS",
+]
+
+#: math functions recognized by Call nodes (the paper's Section III suite)
+MATH_FUNCTIONS = ("recip", "sqrt", "exp", "sin", "pow", "log")
+
+BinOpKind = Literal["+", "-", "*", "/"]
+CmpKind = Literal["<", "<=", ">", ">=", "=="]
+
+
+@dataclass(frozen=True)
+class ArrayInfo:
+    """Memory characteristics of one array referenced by the loop."""
+
+    name: str
+    footprint: float               #: bytes the loop touches in this array
+    pattern: str = "contig"        #: contig | random | window128 | stride
+    elem_size: int = 8
+
+    def __post_init__(self) -> None:
+        require_positive(self.footprint, "footprint")
+        require_in(self.pattern, ("contig", "random", "window128", "stride"),
+                   "pattern")
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Const:
+    """A floating-point literal."""
+
+    value: float
+
+
+@dataclass(frozen=True)
+class Var:
+    """A scalar variable live across the loop (reduction accumulator or a
+    loop-invariant input such as the exponent of ``pow``)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class LoopIdx:
+    """The loop induction variable used as an index."""
+
+
+@dataclass(frozen=True)
+class Load:
+    """``array[index]``.  ``index`` is the induction variable or another
+    Load (indirection — a gather)."""
+
+    array: str
+    index: "IndexExpr" = field(default_factory=LoopIdx)
+
+    @property
+    def is_gather(self) -> bool:
+        return isinstance(self.index, Load)
+
+
+@dataclass(frozen=True)
+class BinOp:
+    kind: BinOpKind
+    lhs: "Expr"
+    rhs: "Expr"
+
+    def __post_init__(self) -> None:
+        require_in(self.kind, ("+", "-", "*", "/"), "BinOp.kind")
+
+
+@dataclass(frozen=True)
+class Call:
+    """A math-function call, e.g. ``exp(x[i])`` or ``pow(x[i], p)``."""
+
+    fn: str
+    args: tuple["Expr", ...]
+
+    def __post_init__(self) -> None:
+        require_in(self.fn, MATH_FUNCTIONS, "Call.fn")
+        if not self.args:
+            raise ValueError("Call needs at least one argument")
+
+
+@dataclass(frozen=True)
+class Cmp:
+    kind: CmpKind
+    lhs: "Expr"
+    rhs: "Expr"
+
+    def __post_init__(self) -> None:
+        require_in(self.kind, ("<", "<=", ">", ">=", "=="), "Cmp.kind")
+
+
+Expr = Union[Const, Var, Load, BinOp, Call]
+IndexExpr = Union[LoopIdx, Load]
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Store:
+    """``array[index] = value``, optionally predicated by ``mask``.
+
+    A masked store models ``if (cond) y[i] = ...`` — the paper's
+    ``predicate`` kernel.  An indirect index models a scatter.
+    """
+
+    array: str
+    value: Expr
+    index: IndexExpr = field(default_factory=LoopIdx)
+    mask: Cmp | None = None
+
+    @property
+    def is_scatter(self) -> bool:
+        return isinstance(self.index, Load)
+
+
+@dataclass(frozen=True)
+class Reduce:
+    """``acc <op>= value`` — a loop-carried reduction."""
+
+    var: str
+    kind: Literal["+", "max", "min"]
+    value: Expr
+
+    def __post_init__(self) -> None:
+        require_in(self.kind, ("+", "max", "min"), "Reduce.kind")
+
+
+Stmt = Union[Store, Reduce]
+
+
+# --------------------------------------------------------------------------
+# The loop
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Loop:
+    """One countable innermost loop."""
+
+    name: str
+    length: int
+    body: tuple[Stmt, ...]
+    arrays: Mapping[str, ArrayInfo]
+
+    def __post_init__(self) -> None:
+        require_positive(self.length, "length")
+        if not self.body:
+            raise ValueError("loop body must not be empty")
+        for arr in self.referenced_arrays():
+            if arr not in self.arrays:
+                raise ValueError(
+                    f"loop {self.name!r} references array {arr!r} without "
+                    "an ArrayInfo entry"
+                )
+
+    # -- analysis helpers ------------------------------------------------
+    def referenced_arrays(self) -> set[str]:
+        out: set[str] = set()
+        for stmt in self.body:
+            out |= _stmt_arrays(stmt)
+        return out
+
+    def expressions(self) -> Iterator[Expr]:
+        """All expression nodes in the body, depth-first."""
+        for stmt in self.body:
+            if isinstance(stmt, Store):
+                yield from _walk(stmt.value)
+                if isinstance(stmt.index, Load):
+                    yield from _walk(stmt.index)
+                if stmt.mask is not None:
+                    yield from _walk(stmt.mask.lhs)
+                    yield from _walk(stmt.mask.rhs)
+            else:
+                yield from _walk(stmt.value)
+
+    def math_calls(self) -> list[str]:
+        """Names of math functions called per iteration (with repeats)."""
+        return [e.fn for e in self.expressions() if isinstance(e, Call)]
+
+    def has_gather(self) -> bool:
+        return any(isinstance(e, Load) and e.is_gather for e in self.expressions())
+
+    def has_scatter(self) -> bool:
+        return any(isinstance(s, Store) and s.is_scatter for s in self.body)
+
+    def has_predicated_store(self) -> bool:
+        return any(isinstance(s, Store) and s.mask is not None for s in self.body)
+
+    def has_reduction(self) -> bool:
+        return any(isinstance(s, Reduce) for s in self.body)
+
+    def flops_per_iter(self) -> int:
+        """Scalar flop count of one iteration (calls counted as 1 flop —
+        the convention used when reporting kernel GFLOP/s is arithmetic
+        only; math-call cost is tracked separately)."""
+        count = 0
+        for e in self.expressions():
+            if isinstance(e, (BinOp, Call)):
+                count += 1
+        return count
+
+
+def _walk(e: Expr | Cmp) -> Iterator[Expr]:
+    if isinstance(e, Cmp):
+        yield from _walk(e.lhs)
+        yield from _walk(e.rhs)
+        return
+    yield e
+    if isinstance(e, BinOp):
+        yield from _walk(e.lhs)
+        yield from _walk(e.rhs)
+    elif isinstance(e, Call):
+        for a in e.args:
+            yield from _walk(a)
+    elif isinstance(e, Load) and isinstance(e.index, Load):
+        yield from _walk(e.index)
+
+
+def _stmt_arrays(stmt: Stmt) -> set[str]:
+    out: set[str] = set()
+
+    def visit(e: Expr | Cmp) -> None:
+        if isinstance(e, Cmp):
+            visit(e.lhs)
+            visit(e.rhs)
+            return
+        if isinstance(e, Load):
+            out.add(e.array)
+            if isinstance(e.index, Load):
+                visit(e.index)
+        elif isinstance(e, BinOp):
+            visit(e.lhs)
+            visit(e.rhs)
+        elif isinstance(e, Call):
+            for a in e.args:
+                visit(a)
+
+    if isinstance(stmt, Store):
+        out.add(stmt.array)
+        if isinstance(stmt.index, Load):
+            visit(stmt.index)
+        if stmt.mask is not None:
+            visit(stmt.mask)
+        visit(stmt.value)
+    else:
+        visit(stmt.value)
+    return out

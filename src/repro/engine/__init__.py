@@ -1,0 +1,30 @@
+"""The performance engine: pipeline scheduling, roofline composition,
+single-kernel execution, and the OpenMP-like threading model.
+
+* :mod:`repro.engine.scheduler` — replays an abstract instruction stream
+  against a :class:`~repro.machine.microarch.Microarch` and reports
+  steady-state cycles/iteration (the quantity behind every
+  "cycles per element" number in the paper).
+* :mod:`repro.engine.roofline` — peak/bandwidth ceilings and arithmetic
+  intensity helpers.
+* :mod:`repro.engine.executor` — combines compute cycles with memory-
+  hierarchy time into a kernel runtime on a full :class:`System`.
+* :mod:`repro.engine.openmp` — fork/join threading with NUMA placement,
+  scheduling overheads and parallel-efficiency accounting (Figs. 4-6).
+"""
+
+from repro.engine.scheduler import PipelineScheduler, ScheduleResult
+from repro.engine.roofline import Roofline
+from repro.engine.executor import KernelExecutor, KernelRun
+from repro.engine.openmp import OpenMPModel, ParallelRun, RuntimeTraits
+
+__all__ = [
+    "PipelineScheduler",
+    "ScheduleResult",
+    "Roofline",
+    "KernelExecutor",
+    "KernelRun",
+    "OpenMPModel",
+    "ParallelRun",
+    "RuntimeTraits",
+]

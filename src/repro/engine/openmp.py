@@ -1,0 +1,235 @@
+"""OpenMP-like fork/join threading model with NUMA placement.
+
+This module turns a *work decomposition* (serial compute time, memory
+traffic split into streaming and random components, number of parallel
+regions, load imbalance) into multi-threaded runtimes — the machinery
+behind the paper's full-node NPB comparison (Fig. 4), the parallel-
+efficiency curves (Figs. 5-6), and the LULESH ``mt`` columns (Table II).
+
+The mechanisms encoded:
+
+* **Amdahl + imbalance** — the parallelizable compute shrinks as
+  ``f/p * (1+imbalance)``; the serial remainder does not.
+* **Bandwidth saturation** — memory time is bounded by the aggregate
+  bandwidth the active threads can draw, which depends on how many NUMA
+  domains host both threads *and pages*.  The Fujitsu runtime's default
+  "allocate on CMG 0" policy squeezes all 48 threads through one CMG's
+  controller; first-touch unlocks all four (Fig. 4's ``fujitsu`` vs
+  ``fujitsu-first-touch`` bars).
+* **Clock throttling** — x86 cores drop from boost to the all-core
+  AVX-512 license clock once every core is busy, which alone caps
+  Skylake's EP efficiency near 0.7 (Fig. 6); the A64FX clock is fixed.
+* **Runtime overhead** — each parallel region pays a fork/join plus a
+  barrier that grows with the thread count; OpenMP runtimes differ
+  (the ARM runtime's higher costs reproduce its BT/UA full-node anomaly).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro._util import require_positive
+from repro.machine.numa import PagePlacement
+from repro.machine.systems import System
+
+__all__ = ["RuntimeTraits", "WorkDecomposition", "ParallelRun", "OpenMPModel"]
+
+
+@dataclass(frozen=True)
+class RuntimeTraits:
+    """Performance-relevant traits of one OpenMP runtime implementation."""
+
+    name: str
+    fork_join_us: float = 2.0          #: cost to enter/exit a parallel region
+    barrier_us_log2: float = 0.5       #: barrier cost per log2(threads)
+    default_placement: PagePlacement = PagePlacement.FIRST_TOUCH
+    scheduling_imbalance: float = 0.0  #: extra fractional imbalance added
+
+    def __post_init__(self) -> None:
+        if self.fork_join_us < 0 or self.barrier_us_log2 < 0:
+            raise ValueError("overheads must be non-negative")
+        if self.scheduling_imbalance < 0:
+            raise ValueError("scheduling_imbalance must be non-negative")
+
+    def region_overhead_s(self, threads: int) -> float:
+        """Overhead of one parallel region with *threads* threads."""
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
+        if threads == 1:
+            return 0.0
+        return 1e-6 * (self.fork_join_us + self.barrier_us_log2 * math.log2(threads))
+
+
+@dataclass(frozen=True)
+class WorkDecomposition:
+    """How one application run decomposes for the threading model.
+
+    All quantities describe the *whole run* on one node.
+
+    ``compute_serial_s`` is the single-core compute time (from the kernel
+    executor / workload model).  ``contig_bytes`` and ``random_bytes`` are
+    DRAM-level traffic (useful bytes) with streaming and random access
+    patterns respectively.  ``parallel_fraction`` is the Amdahl fraction of
+    the compute; ``regions`` the number of parallel regions entered during
+    the run; ``imbalance`` the fractional load imbalance of the static
+    schedule.
+    """
+
+    compute_serial_s: float
+    contig_bytes: float = 0.0
+    random_bytes: float = 0.0
+    parallel_fraction: float = 1.0
+    regions: float = 1.0
+    imbalance: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.compute_serial_s, "compute_serial_s")
+        if not 0.0 <= self.parallel_fraction <= 1.0:
+            raise ValueError("parallel_fraction must be in [0, 1]")
+        if self.contig_bytes < 0 or self.random_bytes < 0:
+            raise ValueError("byte counts must be non-negative")
+        if self.regions < 0 or self.imbalance < 0:
+            raise ValueError("regions and imbalance must be non-negative")
+
+
+@dataclass(frozen=True)
+class ParallelRun:
+    """Predicted multi-threaded execution."""
+
+    seconds: float
+    threads: int
+    compute_seconds: float
+    memory_seconds: float
+    overhead_seconds: float
+    serial_seconds: float  # the 1-thread prediction, for efficiency
+
+    @property
+    def speedup(self) -> float:
+        return self.serial_seconds / self.seconds
+
+    @property
+    def efficiency(self) -> float:
+        """Parallel efficiency, the y-axis of the paper's Figs. 5-6."""
+        return self.speedup / self.threads
+
+    @property
+    def bound(self) -> str:
+        return "memory" if self.memory_seconds > self.compute_seconds else "compute"
+
+
+class OpenMPModel:
+    """Threading model for one system + OpenMP runtime pair."""
+
+    def __init__(self, system: System, traits: RuntimeTraits) -> None:
+        self.system = system
+        self.traits = traits
+
+    # ------------------------------------------------------------------
+    def aggregate_bw_gbs(
+        self, threads: int, placement: PagePlacement, pattern: str = "contig"
+    ) -> float:
+        """Usable aggregate DRAM bandwidth for *threads* under *placement*.
+
+        Contiguous traffic is capped by per-thread streaming ability and
+        the placement-limited controller bandwidth; random traffic is
+        additionally limited by per-thread memory-level parallelism and
+        line utilization (useful bytes per transferred line).
+        """
+        hier = self.system.hierarchy
+        topo = self.system.topology
+        raw = topo.aggregate_bandwidth_gbs(threads, placement)
+        if pattern == "contig":
+            return min(raw, threads * hier.stream_bw_core_gbs)
+        # random: latency-bound per thread, line-utilization derated
+        lat = hier.dram_latency_ns * topo.latency_factor(placement, threads)
+        per_thread = hier.mlp * hier.line / lat
+        util = 8.0 / hier.line
+        return min(raw, threads * per_thread) * util
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        work: WorkDecomposition,
+        threads: int,
+        placement: PagePlacement | None = None,
+    ) -> ParallelRun:
+        """Predict the wall time of *work* on *threads* threads.
+
+        ``placement=None`` uses the runtime's default policy — this is how
+        the Fujitsu runtime's CMG-0 behaviour enters the NPB results
+        without the caller doing anything special.
+        """
+        if threads < 1 or threads > self.system.cores:
+            raise ValueError(
+                f"threads must be in [1, {self.system.cores}], got {threads}"
+            )
+        if placement is None:
+            placement = self.traits.default_placement
+
+        cpu = self.system.cpu
+        # clock derating when the whole chip runs wide SIMD
+        frac_busy = threads / self.system.cores
+        clock_scale = 1.0
+        if threads > 1:
+            # linear interpolation between boost and all-core license clock
+            target = (
+                cpu.clock_ghz
+                + (cpu.allcore_clock_ghz - cpu.clock_ghz) * frac_busy
+            )
+            clock_scale = cpu.clock_ghz / target
+
+        f = work.parallel_fraction
+        # a single thread has no partner to be imbalanced against
+        imbalance = (
+            work.imbalance + self.traits.scheduling_imbalance
+            if threads > 1
+            else 0.0
+        )
+        compute_s = work.compute_serial_s * clock_scale * (
+            (1.0 - f) + f * (1.0 + imbalance) / threads
+        )
+
+        memory_s = 0.0
+        if work.contig_bytes:
+            bw = self.aggregate_bw_gbs(threads, placement, "contig")
+            memory_s += work.contig_bytes / (bw * 1e9)
+        if work.random_bytes:
+            bw = self.aggregate_bw_gbs(threads, placement, "random")
+            memory_s += work.random_bytes / (bw * 1e9)
+
+        overhead_s = work.regions * self.traits.region_overhead_s(threads)
+        total = max(compute_s, memory_s) + overhead_s
+
+        serial = self._serial_seconds(work)
+        return ParallelRun(
+            seconds=total,
+            threads=threads,
+            compute_seconds=compute_s,
+            memory_seconds=memory_s,
+            overhead_seconds=overhead_s,
+            serial_seconds=serial,
+        )
+
+    def _serial_seconds(self, work: WorkDecomposition) -> float:
+        """One-thread prediction with the same composition rules."""
+        memory_s = 0.0
+        if work.contig_bytes:
+            bw = self.aggregate_bw_gbs(1, PagePlacement.FIRST_TOUCH, "contig")
+            memory_s += work.contig_bytes / (bw * 1e9)
+        if work.random_bytes:
+            bw = self.aggregate_bw_gbs(1, PagePlacement.FIRST_TOUCH, "random")
+            memory_s += work.random_bytes / (bw * 1e9)
+        return max(work.compute_serial_s, memory_s)
+
+    # ------------------------------------------------------------------
+    def efficiency_curve(
+        self,
+        work: WorkDecomposition,
+        thread_counts: list[int],
+        placement: PagePlacement | None = None,
+    ) -> dict[int, float]:
+        """Parallel efficiency at each thread count (Figs. 5-6)."""
+        return {
+            p: self.run(work, p, placement).efficiency for p in thread_counts
+        }

@@ -1,0 +1,69 @@
+"""Roofline-model helpers.
+
+The roofline model bounds a kernel's attainable performance by
+``min(peak_flops, intensity * bandwidth)``.  The executor uses it to
+compose compute and memory time; the HPCC benchmarks and the reports use
+it to express results as a percentage of theoretical peak, the convention
+of the paper's Figures 8 and 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import require_positive
+from repro.machine.systems import System
+
+__all__ = ["Roofline"]
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """A two-ceiling roofline: peak GFLOP/s and one bandwidth ceiling."""
+
+    peak_gflops: float
+    bw_gbs: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.peak_gflops, "peak_gflops")
+        require_positive(self.bw_gbs, "bw_gbs")
+
+    @classmethod
+    def for_core(cls, system: System, allcore: bool = False) -> "Roofline":
+        """Single-core roofline of *system* (streaming bandwidth cap)."""
+        peak = system.cpu.peak_gflops_core(allcore=allcore)
+        bw = min(system.hierarchy.stream_bw_core_gbs, system.hierarchy.dram_bw_gbs)
+        return cls(peak_gflops=peak, bw_gbs=bw)
+
+    @classmethod
+    def for_node(cls, system: System) -> "Roofline":
+        """Full-node roofline of *system*."""
+        return cls(
+            peak_gflops=system.peak_gflops_node,
+            bw_gbs=system.hierarchy.node_dram_bw_gbs,
+        )
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Arithmetic intensity (flop/byte) where the ceilings meet."""
+        return self.peak_gflops / self.bw_gbs
+
+    def attainable_gflops(self, intensity: float) -> float:
+        """Attainable GFLOP/s at *intensity* flop/byte."""
+        require_positive(intensity, "intensity")
+        return min(self.peak_gflops, intensity * self.bw_gbs)
+
+    def fraction_of_peak(self, achieved_gflops: float) -> float:
+        """Express an achieved rate as a fraction of the compute peak."""
+        if achieved_gflops < 0:
+            raise ValueError("achieved_gflops must be non-negative")
+        return achieved_gflops / self.peak_gflops
+
+    def time_seconds(self, flops: float, nbytes: float) -> float:
+        """Roofline execution-time bound for a phase moving *nbytes* and
+        computing *flops* (max of the compute and memory times)."""
+        if flops < 0 or nbytes < 0:
+            raise ValueError("flops and nbytes must be non-negative")
+        t_compute = flops / (self.peak_gflops * 1e9) if flops else 0.0
+        t_memory = nbytes / (self.bw_gbs * 1e9) if nbytes else 0.0
+        return max(t_compute, t_memory)

@@ -1,0 +1,48 @@
+"""HPC Challenge benchmarks: DGEMM, HPL, FFT (Section VII of the paper).
+
+* :mod:`repro.hpcc.dgemm` — a real blocked matrix-matrix multiply (with
+  a naive reference) and the per-library/system DGEMM rate model behind
+  Figure 8.
+* :mod:`repro.hpcc.hpl` — a real blocked LU factorization with partial
+  pivoting and the HPL benchmark driver (scaled-residual verification),
+  plus the single/multi-node rate model behind Figures 9A/9B.
+* :mod:`repro.hpcc.fft` — a real iterative radix-2 FFT validated against
+  numpy, plus the single/multi-node model behind Figures 9C/9D.
+* :mod:`repro.hpcc.libraries` — the library catalog (Fujitsu BLAS/FFTW,
+  ARMPL, Cray LibSci, OpenBLAS, FFTW, MKL) with per-system efficiency
+  derivations.
+* :mod:`repro.hpcc.interconnect` — MPI collective models with per-stack
+  efficiency (the Fujitsu-MPI multi-node HPL pathology).
+* :mod:`repro.hpcc.stream` / :mod:`repro.hpcc.randomaccess` — the
+  remaining HPCC components (STREAM bandwidth, GUPS), completing the
+  suite the paper samples from.
+"""
+
+from repro.hpcc.dgemm import dgemm_blocked, dgemm_naive, dgemm_rate_gflops
+from repro.hpcc.hpl import hpl_benchmark, hpl_rate_gflops, lu_factor_blocked
+from repro.hpcc.fft import fft_iterative, fft_benchmark, fft_rate_gflops
+from repro.hpcc.libraries import LIBRARIES, Library, get_library
+from repro.hpcc.interconnect import MpiStack, MPI_STACKS
+from repro.hpcc.stream import run_stream, stream_model_gbs
+from repro.hpcc.randomaccess import run_randomaccess, gups_model
+
+__all__ = [
+    "dgemm_blocked",
+    "dgemm_naive",
+    "dgemm_rate_gflops",
+    "hpl_benchmark",
+    "hpl_rate_gflops",
+    "lu_factor_blocked",
+    "fft_iterative",
+    "fft_benchmark",
+    "fft_rate_gflops",
+    "LIBRARIES",
+    "Library",
+    "get_library",
+    "MpiStack",
+    "MPI_STACKS",
+    "run_stream",
+    "stream_model_gbs",
+    "run_randomaccess",
+    "gups_model",
+]

@@ -1,0 +1,160 @@
+"""FFT: a real iterative radix-2 transform + the Figure 9C/9D model.
+
+The numeric half is an iterative (bit-reversal + butterfly stages)
+radix-2 complex FFT whose stage loop is numpy-vectorized — validated
+against ``numpy.fft`` and by the inverse round-trip.
+
+The modeling half treats the HPCC 1-D FFT as bandwidth-bound (its
+arithmetic intensity at ``N = 20000^2 * Nn`` is ~1.5 flop/byte over
+multiple out-of-cache passes):
+
+* single node (Fig. 9C): rate = library bandwidth fraction x the node's
+  stream-bandwidth bound.  Fujitsu FFTW's SVE kernels reach ~4.2x the
+  un-SVE'd FFTW ("smaller than what we see in the LA library
+  comparison"), while the percent of peak stays below the mature x86
+  libraries — both paper observations.
+* multi node (Fig. 9D): the distributed transform is dominated by two
+  all-to-all transposes per FFT, so aggregate rate is "relatively flat
+  across all tested node counts".
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import require_positive
+from repro.hpcc.interconnect import get_mpi_stack
+from repro.hpcc.libraries import Library, get_library
+from repro.machine.systems import System, get_system
+
+__all__ = [
+    "bit_reverse_permutation",
+    "fft_iterative",
+    "ifft_iterative",
+    "fft_flops",
+    "fft_benchmark",
+    "fft_rate_gflops",
+    "FftResult",
+]
+
+#: bytes moved per flop at HPCC sizes (3 out-of-cache passes of 32 B per
+#: complex element against 5 log2(N) flops/element, N ~ 4e8)
+FFT_BYTES_PER_FLOP = 0.674
+
+
+def bit_reverse_permutation(n: int) -> np.ndarray:
+    """Index permutation reversing ``log2(n)`` bits."""
+    require_positive(n, "n")
+    if n & (n - 1):
+        raise ValueError("n must be a power of two")
+    bits = n.bit_length() - 1
+    idx = np.arange(n, dtype=np.int64)
+    rev = np.zeros_like(idx)
+    for _ in range(bits):
+        rev = (rev << 1) | (idx & 1)
+        idx >>= 1
+    return rev
+
+
+def fft_iterative(x: np.ndarray) -> np.ndarray:
+    """Radix-2 decimation-in-time FFT (numpy-vectorized butterflies).
+
+    Matches ``numpy.fft.fft`` to ~1e-10 relative for power-of-two sizes.
+    """
+    x = np.asarray(x, dtype=np.complex128)
+    n = x.size
+    if n & (n - 1) or n == 0:
+        raise ValueError("size must be a power of two")
+    a = x[bit_reverse_permutation(n)].copy()
+    half = 1
+    while half < n:
+        step = half * 2
+        # twiddles for this stage
+        tw = np.exp(-2j * np.pi * np.arange(half) / step)
+        blocks = a.reshape(n // step, step)
+        even = blocks[:, :half].copy()  # copy: the write below aliases it
+        odd = blocks[:, half:] * tw
+        blocks[:, :half] = even + odd
+        blocks[:, half:] = even - odd
+        half = step
+    return a
+
+
+def ifft_iterative(x: np.ndarray) -> np.ndarray:
+    """Inverse transform via conjugation."""
+    x = np.asarray(x, dtype=np.complex128)
+    return np.conj(fft_iterative(np.conj(x))) / x.size
+
+
+def fft_flops(n: int) -> float:
+    """The HPCC convention: ``5 n log2(n)`` flops per complex FFT."""
+    require_positive(n, "n")
+    return 5.0 * n * math.log2(n)
+
+
+@dataclass(frozen=True)
+class FftResult:
+    n: int
+    seconds: float
+    gflops: float
+    max_error: float
+
+
+def fft_benchmark(log2n: int = 16, seed: int = 0) -> FftResult:
+    """Run one FFT and validate against numpy."""
+    require_positive(log2n, "log2n")
+    n = 1 << log2n
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    t0 = time.perf_counter()
+    y = fft_iterative(x)
+    dt = time.perf_counter() - t0
+    ref = np.fft.fft(x)
+    err = float(np.max(np.abs(y - ref)) / np.max(np.abs(ref)))
+    return FftResult(n=n, seconds=dt, gflops=fft_flops(n) / dt / 1e9,
+                     max_error=err)
+
+
+# ---------------------------------------------------------------------------
+# Figure 9C/9D model
+# ---------------------------------------------------------------------------
+
+
+def fft_rate_gflops(
+    system: System | str,
+    library: Library | str,
+    nodes: int = 1,
+) -> float:
+    """Modeled HPCC-FFT rate (GFLOP/s aggregate) for Figures 9C/9D.
+
+    The vector has ``20000^2 * nodes`` elements (the paper's weak
+    scaling).  Single-node rate is the bandwidth-bound ceiling times the
+    library's efficiency fraction; multi-node adds two all-to-all
+    transposes per transform through the MPI stack model.
+    """
+    require_positive(nodes, "nodes")
+    sys_ = get_system(system) if isinstance(system, str) else system
+    lib = get_library(library) if isinstance(library, str) else library
+    if lib.fft_bw_fraction <= 0.0:
+        raise ValueError(f"{lib.name} has no FFT implementation in the catalog")
+
+    n_total = 20000.0**2 * nodes
+    flops = fft_flops(int(n_total))
+    bw_bound_gflops = sys_.node_stream_bw_gbs / FFT_BYTES_PER_FLOP
+    node_rate = bw_bound_gflops * lib.fft_bw_fraction * 1e9
+    compute_s = flops / (node_rate * nodes)
+    if nodes == 1:
+        return flops / compute_s / 1e9
+
+    stack = get_mpi_stack(lib.mpi_stack)
+    # two distributed transposes; each node exchanges its whole local
+    # slab (16 bytes per complex element)
+    slab_bytes = 16.0 * n_total / nodes
+    comm_s = stack.effective_comm_s(
+        2.0 * stack.alltoall_time_s(sys_.interconnect, slab_bytes, nodes)
+    )
+    return flops / (compute_s + comm_s) / 1e9

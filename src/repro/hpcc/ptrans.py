@@ -1,0 +1,78 @@
+"""HPCC PTRANS: parallel matrix transpose (A = A^T + B).
+
+The seventh HPCC component: a network-stressing global transpose whose
+single-node form exercises exactly the strided-access behaviour the
+paper's cache discussion covers (reading columns of a row-major matrix
+touches one element per line — catastrophic on 256-byte lines).
+
+* :func:`transpose_blocked` — the real cache-blocked transpose kernel
+  (tile-wise, the standard optimization), validated against ``.T``.
+* :func:`ptrans_rate_model` — single/multi-node GB/s: on one node it is
+  a bandwidth-bound sweep; across nodes it is a pairwise exchange of
+  sub-blocks through the MPI stack model.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro._util import require_positive
+from repro.hpcc.interconnect import get_mpi_stack
+from repro.machine.systems import System, get_system
+
+__all__ = ["transpose_naive", "transpose_blocked", "ptrans_rate_model"]
+
+
+def transpose_naive(a: np.ndarray) -> np.ndarray:
+    """Materialized row-by-row transpose (the cache-hostile order)."""
+    n, m = a.shape
+    out = np.empty((m, n), dtype=a.dtype)
+    for i in range(n):
+        out[:, i] = a[i, :]
+    return out
+
+
+def transpose_blocked(a: np.ndarray, block: int = 64) -> np.ndarray:
+    """Cache-blocked transpose: both the read and the write stay within
+    a tile that fits in cache — the line-utilization fix."""
+    require_positive(block, "block")
+    n, m = a.shape
+    out = np.empty((m, n), dtype=a.dtype)
+    for i0 in range(0, n, block):
+        i1 = min(i0 + block, n)
+        for j0 in range(0, m, block):
+            j1 = min(j0 + block, m)
+            out[j0:j1, i0:i1] = a[i0:i1, j0:j1].T
+    return out
+
+
+def ptrans_rate_model(
+    system: System | str, nodes: int = 1, mpi_stack: str = "openmpi"
+) -> float:
+    """Modeled PTRANS rate in GB/s (matrix bytes transposed per second).
+
+    Weak scaling with the HPCC convention ``N = 20000 * sqrt(nodes)``.
+    Single node: the blocked transpose moves each element twice (read +
+    write-allocate+write ~ 3 transfers of 8 B) at stream bandwidth.
+    Multi node: all-to-all block exchange through the MPI stack, which
+    dominates — PTRANS is HPCC's interconnect stress test.
+    """
+    require_positive(nodes, "nodes")
+    sys_ = get_system(system) if isinstance(system, str) else system
+    n = int(20000 * math.sqrt(nodes))
+    matrix_bytes = 8.0 * n * n
+
+    local_bytes = 3.0 * matrix_bytes / nodes       # per-node memory traffic
+    mem_s = local_bytes / (sys_.node_stream_bw_gbs * 1e9)
+    if nodes == 1:
+        return matrix_bytes / mem_s / 1e9
+
+    stack = get_mpi_stack(mpi_stack)
+    # each node exchanges all but 1/nodes of its slab with the others
+    slab = matrix_bytes / nodes * (1.0 - 1.0 / nodes)
+    comm_s = stack.effective_comm_s(
+        stack.alltoall_time_s(sys_.interconnect, slab, nodes)
+    )
+    return matrix_bytes / (mem_s + comm_s) / 1e9

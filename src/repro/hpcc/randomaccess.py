@@ -1,0 +1,119 @@
+"""HPCC RandomAccess (GUPS): the latency-bound end of the suite.
+
+RandomAccess updates a huge table at pseudo-random 64-bit locations —
+the pattern the paper's gather/scatter kernels and CG study probe.  This
+completes the HPCC component set alongside DGEMM/HPL/FFT/STREAM:
+
+* the real benchmark (official x(i+1) = 2*x(i) XOR poly LFSR stream,
+  table XOR updates, self-inverse verification — re-running the updates
+  restores the initial table);
+* the GUPS model derived from the same random-access machinery as the
+  CG figures: updates cost a full line transfer each, bounded by
+  latency x memory-level parallelism per core.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import require_positive
+from repro.machine.systems import System, get_system
+
+__all__ = ["GupsResult", "run_randomaccess", "gups_model"]
+
+#: the official HPCC LFSR polynomial (x^63 feedback)
+_POLY = np.uint64(0x0000000000000007)
+_MSB = np.uint64(1) << np.uint64(63)
+
+
+def _lfsr_stream(n: int, start: np.uint64 = np.uint64(1)) -> np.ndarray:
+    """The official RandomAccess sequence: a(i+1) = (a(i) << 1) ^ (poly
+    if the top bit was set).  Generated sequentially (it is an LFSR) but
+    in one numpy pass per output — fine at benchmark sizes here."""
+    out = np.empty(n, dtype=np.uint64)
+    x = np.uint64(start)
+    one = np.uint64(1)
+    for i in range(n):
+        x = np.uint64((x << one) ^ (_POLY if (x & _MSB) else np.uint64(0)))
+        out[i] = x
+    return out
+
+
+@dataclass(frozen=True)
+class GupsResult:
+    """One RandomAccess run."""
+
+    table_words: int
+    updates: int
+    seconds: float
+    gups: float
+    verified: bool
+
+
+def run_randomaccess(log2_table: int = 16, updates_factor: int = 1,
+                     chunk: int = 4096) -> GupsResult:
+    """Run the real table-update benchmark at reduced scale.
+
+    The official verification trick: XOR updates are self-inverse, so
+    replaying the same update stream restores the initial table exactly.
+    """
+    require_positive(updates_factor, "updates_factor")
+    require_positive(chunk, "chunk")
+    size = 1 << log2_table
+    updates = updates_factor * 4 * size
+    table = np.arange(size, dtype=np.uint64)
+    initial = table.copy()
+
+    stream = _lfsr_stream(updates)
+    mask = np.uint64(size - 1)
+
+    t0 = time.perf_counter()
+    for lo in range(0, updates, chunk):
+        vals = stream[lo : lo + chunk]
+        idx = (vals & mask).astype(np.int64)
+        # XOR-update with duplicate-index reduction (the vector-hostile
+        # conflict the paper's scatter kernel dramatizes)
+        np.bitwise_xor.at(table, idx, vals)
+    dt = time.perf_counter() - t0
+
+    # verification pass: replay -> table must return to its initial state
+    for lo in range(0, updates, chunk):
+        vals = stream[lo : lo + chunk]
+        idx = (vals & mask).astype(np.int64)
+        np.bitwise_xor.at(table, idx, vals)
+    ok = bool(np.array_equal(table, initial))
+
+    return GupsResult(
+        table_words=size,
+        updates=updates,
+        seconds=dt,
+        gups=updates / dt / 1e9,
+        verified=ok,
+    )
+
+
+def gups_model(system: System | str, threads: int | None = None) -> float:
+    """Modeled GUPS for *system* (giga-updates/s).
+
+    Each update is a dependent read-modify-write of one 8-byte word on a
+    table far larger than cache: a full line transfer per update, with
+    per-core concurrency limited to ``mlp`` outstanding misses — the same
+    latency-bound path that prices CG's gathers.  The A64FX's 256-byte
+    lines hurt here exactly as the paper's line-utilization argument
+    predicts.
+    """
+    sys_ = get_system(system) if isinstance(system, str) else system
+    threads = sys_.cores if threads is None else threads
+    require_positive(threads, "threads")
+    if threads > sys_.cores:
+        raise ValueError(f"{threads} threads exceed {sys_.cores} cores")
+    hier = sys_.hierarchy
+    # per-core update rate: mlp lines in flight / latency (x2: RMW)
+    per_core = hier.mlp / (2.0 * hier.dram_latency_ns)  # updates/ns
+    # aggregate cap: raw line bandwidth of all controllers
+    domains = sys_.topology.active_domains(threads)
+    raw_lines = sys_.topology.local_bw_gbs * domains / hier.line  # Glines/s
+    return min(threads * per_core, raw_lines / 2.0)

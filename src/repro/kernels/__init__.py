@@ -1,0 +1,39 @@
+"""The paper's kernel suite: Section III test loops and the Monte Carlo
+motivating example, plus the workload-signature machinery used by the
+application studies (NPB, LULESH).
+
+* :mod:`repro.kernels.loops` — simple / predicate / gather / scatter /
+  short-gather / short-scatter / math-function loops as IR + numpy
+  reference implementations.
+* :mod:`repro.kernels.mc` — the Monte Carlo exponential-integral example
+  from the introduction (serial Markov chain vs vectorized independent
+  chains).
+* :mod:`repro.kernels.workload` — aggregate workload signatures and the
+  application performance model built on them.
+"""
+
+from repro.kernels.loops import (
+    LOOP_NAMES,
+    MATH_LOOP_NAMES,
+    build_loop,
+    make_permutation,
+    reference_run,
+)
+from repro.kernels.mc import (
+    mc_exp_integral_serial,
+    mc_exp_integral_vectorized,
+    mc_serial_stream,
+)
+from repro.kernels.workload import Workload
+
+__all__ = [
+    "LOOP_NAMES",
+    "MATH_LOOP_NAMES",
+    "build_loop",
+    "make_permutation",
+    "reference_run",
+    "mc_exp_integral_serial",
+    "mc_exp_integral_vectorized",
+    "mc_serial_stream",
+    "Workload",
+]

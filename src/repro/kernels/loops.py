@@ -1,0 +1,237 @@
+"""The Section III loop-vectorization test suite.
+
+The paper: "we developed a small test suite to explore the ability of
+toolchains to vectorize code and the resulting performance":
+
+* ``simple``:        ``y[i] = 2*x[i] + 3*x[i]*x[i]``
+* ``predicate``:     ``if (x[i] > 0) y[i] = x[i]``
+* ``gather``:        ``y[i] = x[index[i]]``, index a random permutation
+* ``scatter``:       ``y[index[i]] = x[i]``
+* ``short_gather``/``short_scatter``: the permutation stays inside
+  128-byte (16-double) windows, exercising the A64FX gather-coalescing
+  special case.
+* math loops:        ``y[i] = f(x[i])`` for recip, sqrt, exp, sin, pow
+
+"The sizes of working vectors were adjusted to collectively fill the L1
+cache" — :func:`l1_resident_length` computes that size per machine, and
+each builder defaults to the A64FX value.
+
+Each loop exists twice: as IR (:func:`build_loop`, consumed by the
+toolchain models) and as a numpy reference (:func:`reference_run`,
+consumed by correctness tests and by the runnable examples).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro._util import KIB, require_in, require_positive
+from repro.compilers.ir import (
+    ArrayInfo,
+    BinOp,
+    Call,
+    Cmp,
+    Const,
+    Load,
+    Loop,
+    LoopIdx,
+    Store,
+    Var,
+)
+from repro.mathlib import exp_fexpa, log_poly, pow_explog, sin_poly
+from repro.mathlib.newton import recip_newton, sqrt_newton
+
+__all__ = [
+    "LOOP_NAMES",
+    "MATH_LOOP_NAMES",
+    "WINDOW_DOUBLES",
+    "l1_resident_length",
+    "build_loop",
+    "make_permutation",
+    "reference_run",
+]
+
+#: a 128-byte window holds 16 doubles (the A64FX coalescing granule)
+WINDOW_DOUBLES = 16
+
+#: structural loops of Figure 1
+LOOP_NAMES = (
+    "simple",
+    "predicate",
+    "gather",
+    "scatter",
+    "short_gather",
+    "short_scatter",
+)
+#: math-function loops of Figure 2
+MATH_LOOP_NAMES = ("recip", "sqrt", "exp", "sin", "pow")
+
+#: default exponent for the pow loop (loop-invariant scalar input)
+POW_EXPONENT = 1.5
+
+
+def l1_resident_length(l1_bytes: int = 64 * KIB, n_arrays: int = 2) -> int:
+    """Vector length filling the L1 cache with *n_arrays* float64 arrays,
+    rounded down to a multiple of the 16-double window."""
+    require_positive(l1_bytes, "l1_bytes")
+    require_positive(n_arrays, "n_arrays")
+    n = l1_bytes // (8 * n_arrays)
+    return max(WINDOW_DOUBLES, (n // WINDOW_DOUBLES) * WINDOW_DOUBLES)
+
+
+def make_permutation(
+    n: int, *, short: bool = False, seed: int = 2021
+) -> np.ndarray:
+    """Index vector for the gather/scatter tests.
+
+    ``short=False``: "a random permutation of the entire index space".
+    ``short=True``: "randomly permuting within 128 byte windows (i.e., 16
+    doubles)" — each aligned window is shuffled internally, so every
+    gathered element pair stays inside one aligned 128-byte region.
+    """
+    require_positive(n, "n")
+    rng = np.random.default_rng(seed)
+    if not short:
+        return rng.permutation(n).astype(np.int64)
+    if n % WINDOW_DOUBLES:
+        raise ValueError(f"short permutation needs n divisible by {WINDOW_DOUBLES}")
+    idx = np.arange(n, dtype=np.int64).reshape(-1, WINDOW_DOUBLES)
+    idx = rng.permuted(idx, axis=1)
+    return idx.reshape(-1)
+
+
+# ---------------------------------------------------------------------------
+# IR builders
+# ---------------------------------------------------------------------------
+
+
+def _xy_arrays(n: int, extra: dict[str, ArrayInfo] | None = None,
+               y_pattern: str = "contig") -> dict[str, ArrayInfo]:
+    arrays = {
+        "x": ArrayInfo("x", footprint=8.0 * n),
+        "y": ArrayInfo("y", footprint=8.0 * n, pattern=y_pattern),
+    }
+    if extra:
+        arrays.update(extra)
+    return arrays
+
+
+def build_loop(name: str, n: int | None = None) -> Loop:
+    """Build the named suite loop at length *n* (default: L1-resident)."""
+    require_in(
+        name, LOOP_NAMES + MATH_LOOP_NAMES, "loop name"
+    )
+    x = Load("x")
+
+    if name == "simple":
+        n = n if n is not None else l1_resident_length(n_arrays=2)
+        body = Store(
+            "y",
+            BinOp("+", BinOp("*", Const(2.0), x),
+                  BinOp("*", Const(3.0), BinOp("*", x, x))),
+        )
+        return Loop("simple", n, (body,), _xy_arrays(n))
+
+    if name == "predicate":
+        n = n if n is not None else l1_resident_length(n_arrays=2)
+        body = Store("y", x, mask=Cmp(">", x, Const(0.0)))
+        return Loop("predicate", n, (body,), _xy_arrays(n))
+
+    if name in ("gather", "scatter", "short_gather", "short_scatter"):
+        n = n if n is not None else l1_resident_length(n_arrays=3)
+        short = name.startswith("short_")
+        pattern = "window128" if short else "random"
+        idx_info = ArrayInfo("index", footprint=8.0 * n)
+        if name.endswith("gather"):
+            arrays = {
+                "x": ArrayInfo("x", footprint=8.0 * n, pattern=pattern),
+                "y": ArrayInfo("y", footprint=8.0 * n),
+                "index": idx_info,
+            }
+            body = Store("y", Load("x", index=Load("index")))
+        else:
+            arrays = {
+                "x": ArrayInfo("x", footprint=8.0 * n),
+                "y": ArrayInfo("y", footprint=8.0 * n, pattern=pattern),
+                "index": idx_info,
+            }
+            body = Store("y", x, index=Load("index"))
+        return Loop(name, n, (body,), arrays)
+
+    # math loops
+    n = n if n is not None else l1_resident_length(n_arrays=2)
+    if name == "recip":
+        expr = Call("recip", (x,))
+    elif name == "pow":
+        expr = Call("pow", (x, Var("p")))
+    else:
+        expr = Call(name, (x,))
+    return Loop(name, n, (Store("y", expr),), _xy_arrays(n))
+
+
+# ---------------------------------------------------------------------------
+# numpy reference implementations (real numerics)
+# ---------------------------------------------------------------------------
+
+
+def _ref_simple(x: np.ndarray) -> np.ndarray:
+    return 2.0 * x + 3.0 * x * x
+
+
+def _ref_predicate(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    return np.where(x > 0.0, x, y)
+
+
+def _ref_gather(x: np.ndarray, idx: np.ndarray) -> np.ndarray:
+    return x[idx]
+
+
+def _ref_scatter(x: np.ndarray, idx: np.ndarray) -> np.ndarray:
+    y = np.empty_like(x)
+    y[idx] = x
+    return y
+
+
+_MATH_REFS: dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "recip": lambda x: recip_newton(x),
+    "sqrt": lambda x: sqrt_newton(x),
+    "exp": lambda x: exp_fexpa(x),
+    "sin": lambda x: sin_poly(x),
+    "pow": lambda x: pow_explog(x, POW_EXPONENT),
+    "log": lambda x: log_poly(x),
+}
+
+
+def reference_run(name: str, n: int | None = None, seed: int = 7):
+    """Run the named kernel's reference numerics on random data.
+
+    Returns ``(inputs, output)`` where ``inputs`` is a dict of the arrays
+    used.  These are *this project's* math kernels for the math loops (the
+    Newton/FEXPA algorithms), so the suite exercises the real library
+    implementations, not just numpy built-ins.
+    """
+    require_in(name, LOOP_NAMES + MATH_LOOP_NAMES, "loop name")
+    loop = build_loop(name, n)
+    n = loop.length
+    rng = np.random.default_rng(seed)
+
+    if name in ("simple", "predicate"):
+        x = rng.standard_normal(n)
+        if name == "simple":
+            return {"x": x}, _ref_simple(x)
+        y0 = rng.standard_normal(n)
+        return {"x": x, "y0": y0}, _ref_predicate(x, y0)
+
+    if name in ("gather", "scatter", "short_gather", "short_scatter"):
+        short = name.startswith("short_")
+        x = rng.standard_normal(n)
+        idx = make_permutation(n, short=short, seed=seed)
+        if name.endswith("gather"):
+            return {"x": x, "index": idx}, _ref_gather(x, idx)
+        return {"x": x, "index": idx}, _ref_scatter(x, idx)
+
+    # math loops: positive operands keep recip/sqrt/pow in-domain
+    x = rng.uniform(0.1, 10.0, n)
+    return {"x": x}, _MATH_REFS[name](x)

@@ -1,0 +1,182 @@
+"""The Monte Carlo motivating example from the paper's introduction.
+
+The naive three-line kernel samples a Metropolis chain targeting the
+density ``exp(-x)`` on ``[0, 23]``:
+
+.. code-block:: c
+
+    xnew = 23.0*rand();
+    if (exp(-xnew) > exp(-x)*rand()) x = xnew;
+    sum += x;
+
+On a CPU this chain "exposes nearly the full latency of most of the
+operations in the loop"; the remedy is "introducing an additional loop
+over independent samples, splitting that loop to serve both thread and
+vector parallelism" — many independent chains advanced in lockstep.
+
+This module provides both versions with *real numerics* (they estimate
+``E[x] = 1 - 24*exp(-23)/(1-exp(-23)) ~= 1.0``), plus hand-built
+instruction streams so the performance model can quantify the serial
+latency wall the paper teaches with.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro._util import require_positive
+from repro.machine.isa import Instruction, InstructionStream, Op
+from repro.mathlib.exp import exp_fexpa
+from repro.mathlib.rng import VectorRng
+
+__all__ = [
+    "MC_UPPER",
+    "mc_expected_mean",
+    "mc_exp_integral_serial",
+    "mc_exp_integral_vectorized",
+    "mc_serial_stream",
+    "mc_vector_stream",
+]
+
+#: the paper samples x in [0, 23]
+MC_UPPER = 23.0
+
+
+def mc_expected_mean() -> float:
+    """Exact mean of x under the truncated density exp(-x) on [0, 23]."""
+    u = MC_UPPER
+    z = 1.0 - math.exp(-u)
+    return (1.0 - (1.0 + u) * math.exp(-u)) / z
+
+
+def mc_exp_integral_serial(n_samples: int, seed: int = 0) -> float:
+    """The literal serial Markov chain (small *n* only — it is meant to be
+    slow; the paper's point is exactly that this form defeats vector and
+    thread parallelism)."""
+    require_positive(n_samples, "n_samples")
+    rng = VectorRng(seed)
+    # draw all randoms up-front (2 per step + initial)
+    u = rng.uniform(2 * n_samples + 1)
+    x = MC_UPPER * float(u[0])
+    total = 0.0
+    ex = math.exp(-x)
+    for k in range(n_samples):
+        xnew = MC_UPPER * float(u[1 + 2 * k])
+        enew = math.exp(-xnew)
+        if enew > ex * float(u[2 + 2 * k]):
+            x = xnew
+            ex = enew
+        total += x
+    return total / n_samples
+
+
+def mc_exp_integral_vectorized(
+    n_samples: int, seed: int = 0, chains: int = 4096, burn_in: int = 64
+) -> float:
+    """Vectorized variant: *chains* independent chains in lockstep.
+
+    Each numpy statement below corresponds to one vector instruction
+    stream over the chain axis — the loop structure the paper derives
+    (outer loop over steps, inner data-parallel loop over chains), using
+    the counter-based RNG and this project's FEXPA exponential.
+    """
+    require_positive(n_samples, "n_samples")
+    require_positive(chains, "chains")
+    steps = max(1, math.ceil(n_samples / chains))
+    rng = VectorRng(seed)
+    x = MC_UPPER * rng.uniform(chains)
+    ex = exp_fexpa(-x)
+    total = 0.0
+    count = 0
+    for step in range(burn_in + steps):
+        u1, u2 = rng.uniform_pairs(chains)
+        xnew = MC_UPPER * u1
+        enew = exp_fexpa(-xnew)
+        accept = enew > ex * u2
+        x = np.where(accept, xnew, x)
+        ex = np.where(accept, enew, ex)
+        if step >= burn_in:
+            total += float(np.sum(x))
+            count += chains
+    return total / count
+
+
+# ---------------------------------------------------------------------------
+# Instruction-stream models
+# ---------------------------------------------------------------------------
+
+
+def mc_serial_stream(exp_cycles: float = 32.0, rand_cycles: float = 18.0
+                     ) -> InstructionStream:
+    """The naive kernel as a scalar, loop-carried instruction stream.
+
+    Every iteration depends on the previous one through ``x`` (and the
+    accept/reject select), so the chain length — libm exp, libm rand,
+    compare, select — is fully exposed, exactly the paper's diagnosis.
+    """
+    body = [
+        Instruction(Op.CALL, "u1", (), tag="rand()",
+                    latency_override=rand_cycles, rtput_override=rand_cycles),
+        Instruction(Op.SFP, "xnew", ("u1",), tag="23*u1"),
+        Instruction(Op.CALL, "enew", ("xnew",), tag="exp(-xnew)",
+                    latency_override=exp_cycles, rtput_override=exp_cycles),
+        Instruction(Op.CALL, "u2", (), tag="rand()",
+                    latency_override=rand_cycles, rtput_override=rand_cycles),
+        Instruction(Op.SFP, "thresh", ("ex", "u2"), tag="exp(-x)*u2"),
+        Instruction(Op.SFP, "cmp", ("enew", "thresh"), tag="compare"),
+        Instruction(Op.SFP, "x", ("cmp", "xnew", "x"), carried=True,
+                    tag="select x"),
+        Instruction(Op.SFP, "ex", ("cmp", "enew", "ex"), carried=True,
+                    tag="select exp(-x)"),
+        Instruction(Op.SFP, "sum", ("sum", "x"), carried=True, tag="sum+=x"),
+    ]
+    return InstructionStream(body=body, elements_per_iter=1,
+                             label="mc-serial")
+
+
+def mc_vector_stream(lanes: int = 8) -> InstructionStream:
+    """One step of the lockstep-chains variant over one vector of chains:
+    counter RNG (integer ops), FEXPA exp, predicated select, running sums.
+    Independent across iterations — the latency wall is gone.
+    """
+    require_positive(lanes, "lanes")
+    body = [
+        # counter-based rand: 2 uniforms = ~6 integer ops + 2 converts
+        Instruction(Op.IADD, "c1", (), tag="ctr+gamma"),
+        Instruction(Op.ILOGIC, "h1", ("c1",), tag="mix1"),
+        Instruction(Op.IMUL, "h1b", ("h1",), tag="mix2"),
+        Instruction(Op.ILOGIC, "h1c", ("h1b",), tag="mix3"),
+        Instruction(Op.FCVT, "u1", ("h1c",), tag="to double"),
+        Instruction(Op.IADD, "c2", (), tag="ctr+gamma"),
+        Instruction(Op.ILOGIC, "h2", ("c2",), tag="mix1"),
+        Instruction(Op.IMUL, "h2b", ("h2",), tag="mix2"),
+        Instruction(Op.ILOGIC, "h2c", ("h2b",), tag="mix3"),
+        Instruction(Op.FCVT, "u2", ("h2c",), tag="to double"),
+        Instruction(Op.FMUL, "xnew", ("u1",), tag="23*u1"),
+        # FEXPA exp(-xnew): condensed form of the Sec. IV kernel
+        Instruction(Op.FMA, "n", ("xnew",), tag="reduce n"),
+        Instruction(Op.FADD, "n2", ("n",), tag="n-=magic"),
+        Instruction(Op.FMA, "r", ("xnew", "n2"), tag="r hi"),
+        Instruction(Op.FMA, "r2", ("r", "n2"), tag="r lo"),
+        Instruction(Op.ILOGIC, "bits", ("n2",), tag="fexpa bits"),
+        Instruction(Op.FEXPA, "s", ("bits",), tag="FEXPA"),
+        Instruction(Op.FMA, "q1", ("r2",), tag="p pair1"),
+        Instruction(Op.FMA, "q2", ("r2",), tag="p pair2"),
+        Instruction(Op.FMA, "q3", ("r2",), tag="p pair3"),
+        Instruction(Op.FMUL, "rr", ("r2", "r2"), tag="r^2"),
+        Instruction(Op.FMA, "p1", ("q1", "q2", "rr"), tag="combine"),
+        Instruction(Op.FMA, "p", ("p1", "q3", "rr"), tag="combine2"),
+        Instruction(Op.FMUL, "enew", ("s", "p"), tag="s*p"),
+        # accept/reject
+        Instruction(Op.FMUL, "thresh", ("ex", "u2"), tag="exp(-x)*u2"),
+        Instruction(Op.FCMP, "acc", ("enew", "thresh"), tag="accept?"),
+        Instruction(Op.FSEL, "x", ("acc", "xnew", "x"), carried=True,
+                    tag="select x"),
+        Instruction(Op.FSEL, "ex", ("acc", "enew", "ex"), carried=True,
+                    tag="select ex"),
+        Instruction(Op.FADD, "sum", ("sum", "x"), carried=True, tag="sum+=x"),
+    ]
+    return InstructionStream(body=body, elements_per_iter=lanes,
+                             label="mc-vector")

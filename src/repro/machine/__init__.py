@@ -1,0 +1,55 @@
+"""Hardware models: ISA, microarchitecture, memory hierarchy, NUMA, systems.
+
+The :mod:`repro.machine` package is the substrate every experiment runs on.
+It replaces the physical A64FX / Skylake / KNL / EPYC machines of the paper
+with mechanistic models:
+
+* :mod:`repro.machine.isa` — the abstract operation vocabulary shared by
+  the code generator and the pipeline scheduler.
+* :mod:`repro.machine.microarch` — per-core timing models (pipes, latency
+  and throughput tables, out-of-order window) for each CPU studied.
+* :mod:`repro.machine.memory` — cache hierarchy and bandwidth model,
+  including the A64FX 128-byte gather-coalescing window.
+* :mod:`repro.machine.numa` — CMG topology and page-placement policies.
+* :mod:`repro.machine.systems` — the catalog of full systems from
+  Table III of the paper.
+"""
+
+from repro.machine.isa import Instruction, InstructionStream, Op, Pipe
+from repro.machine.microarch import (
+    A64FX,
+    EPYC_7742,
+    KNL_7250,
+    Microarch,
+    OpTiming,
+    SKYLAKE_6130,
+    SKYLAKE_6140,
+    SKYLAKE_8160,
+)
+from repro.machine.memory import CacheLevel, CacheSim, MemoryHierarchy, MemoryStream
+from repro.machine.numa import CMGTopology, PagePlacement
+from repro.machine.systems import SYSTEMS, System, get_system
+
+__all__ = [
+    "Instruction",
+    "InstructionStream",
+    "Op",
+    "Pipe",
+    "Microarch",
+    "OpTiming",
+    "A64FX",
+    "SKYLAKE_6140",
+    "SKYLAKE_6130",
+    "SKYLAKE_8160",
+    "KNL_7250",
+    "EPYC_7742",
+    "CacheLevel",
+    "CacheSim",
+    "MemoryHierarchy",
+    "MemoryStream",
+    "CMGTopology",
+    "PagePlacement",
+    "System",
+    "SYSTEMS",
+    "get_system",
+]

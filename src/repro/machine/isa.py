@@ -1,0 +1,216 @@
+"""Abstract instruction-set vocabulary for the machine model.
+
+The performance engine does not interpret real machine code.  Instead the
+code generator (:mod:`repro.compilers.codegen`) lowers loop kernels to a
+stream of :class:`Instruction` records drawn from the operation vocabulary
+:class:`Op`.  Each microarchitecture (:mod:`repro.machine.microarch`) maps
+every :class:`Op` to a latency / throughput / pipe-set record, and the
+pipeline scheduler (:mod:`repro.engine.scheduler`) replays the stream
+against that timing model.
+
+The vocabulary is deliberately small — it covers exactly the operations
+that appear in the kernels of the paper: fused multiply-add arithmetic,
+divide/sqrt (both the blocking hardware instructions and the
+estimate+Newton sequences), the SVE ``FEXPA`` exponential accelerator,
+predicated selects, contiguous and indexed (gather/scatter) memory
+accesses, permutes for table lookups, and the scalar loop-control tail.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+__all__ = ["Op", "Pipe", "Instruction", "InstructionStream"]
+
+
+class Op(enum.Enum):
+    """Operation kinds understood by every microarchitecture model.
+
+    Vector ops operate on one full hardware vector (e.g. 8 float64 lanes
+    for 512-bit SIMD); scalar ops operate on one element.  The scheduler
+    never needs the element width — the code generator already decided how
+    many instructions a loop iteration needs.
+    """
+
+    # --- vector floating point -------------------------------------------------
+    FADD = "fadd"          #: vector FP add/sub
+    FMUL = "fmul"          #: vector FP multiply
+    FMA = "fma"            #: vector fused multiply-add
+    FMOV = "fmov"          #: vector register move / abs / neg
+    FCMP = "fcmp"          #: vector FP compare producing a predicate/mask
+    FSEL = "fsel"          #: predicated select / blend
+    FMINMAX = "fminmax"    #: vector min/max
+    FCVT = "fcvt"          #: float<->int convert, round-to-int
+    FDIV = "fdiv"          #: vector FP divide (hardware instruction)
+    FSQRT = "fsqrt"        #: vector FP square root (hardware instruction)
+    FRECPE = "frecpe"      #: reciprocal estimate (8-bit seed)
+    FRSQRTE = "frsqrte"    #: reciprocal sqrt estimate (8-bit seed)
+    FEXPA = "fexpa"        #: SVE exponential accelerator (2^(m + i/64) table)
+    FSCALE = "fscale"      #: multiply by 2^n via exponent-field add
+
+    # --- vector integer / logical ----------------------------------------------
+    IADD = "iadd"          #: vector integer add/sub/compare
+    IMUL = "imul"          #: vector integer multiply
+    ILOGIC = "ilogic"      #: vector and/or/xor/shift
+    PERM = "perm"          #: permute / table lookup (TBL) / broadcast
+
+    # --- predicate ---------------------------------------------------------------
+    PLOGIC = "plogic"      #: predicate and/or/not
+    PWHILE = "pwhile"      #: WHILELT-style loop predicate generation
+    PTEST = "ptest"        #: predicate test feeding a branch
+
+    # --- memory ------------------------------------------------------------------
+    VLOAD = "vload"        #: contiguous vector load
+    VSTORE = "vstore"      #: contiguous vector store
+    GATHER_UOP = "gather_uop"    #: one split transaction of a gather load
+    SCATTER_UOP = "scatter_uop"  #: one split transaction of a scatter store
+    SLOAD = "sload"        #: scalar load
+    SSTORE = "sstore"      #: scalar store
+
+    # --- scalar / control ----------------------------------------------------------
+    SALU = "salu"          #: scalar integer ALU op (pointer/counter updates)
+    SFP = "sfp"            #: scalar FP op
+    SFDIV = "sfdiv"        #: scalar FP divide
+    SFSQRT = "sfsqrt"      #: scalar FP square root
+    BRANCH = "branch"      #: conditional branch closing the loop
+    CALL = "call"          #: opaque call (scalar libm); timing supplied per-op
+
+
+class Pipe(enum.Enum):
+    """Execution resources.  A64FX names are used; x86 ports are mapped onto
+    the same six-way split (two FP/SIMD pipes, two load/store pipes, two
+    scalar/integer pipes, plus predicate and branch resources)."""
+
+    FLA = "fla"    #: FP/SIMD pipe A (also the only divide/sqrt pipe)
+    FLB = "flb"    #: FP/SIMD pipe B (also the permute pipe on A64FX)
+    LS1 = "ls1"    #: load/store pipe 1
+    LS2 = "ls2"    #: load/store pipe 2 (loads only on A64FX)
+    EXA = "exa"    #: scalar integer pipe A
+    EXB = "exb"    #: scalar integer pipe B
+    PR = "pr"      #: predicate pipe
+    BR = "br"      #: branch pipe
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One abstract instruction in a kernel body.
+
+    Parameters
+    ----------
+    op:
+        Operation kind; indexes the microarchitecture timing table.
+    dest:
+        Name of the value this instruction produces (``""`` for stores and
+        branches that produce nothing consumed by the dataflow model).
+    srcs:
+        Names of the values consumed.  Dependencies are tracked purely by
+        these names within one loop iteration; cross-iteration dependencies
+        are expressed with the ``carried`` flag.
+    carried:
+        True when the instruction consumes the value its own ``dest``
+        produced in the *previous* iteration (loop-carried dependence, e.g.
+        a running sum).  The scheduler serializes such chains.
+    tag:
+        Free-form label used in traces and tests.
+    latency_override / rtput_override:
+        Optional per-instruction timing overrides; used for :attr:`Op.CALL`
+        (opaque scalar libm calls) whose cost depends on the library, not
+        the microarchitecture table.
+    """
+
+    op: Op
+    dest: str = ""
+    srcs: tuple[str, ...] = ()
+    carried: bool = False
+    tag: str = ""
+    latency_override: float | None = None
+    rtput_override: float | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.op, Op):
+            raise TypeError(f"op must be an Op, got {type(self.op).__name__}")
+        if self.carried and not self.dest:
+            raise ValueError("a loop-carried instruction must name its dest")
+
+
+@dataclass
+class InstructionStream:
+    """An ordered loop body plus bookkeeping about the loop it came from.
+
+    ``body`` is the per-iteration instruction sequence.  ``elements_per_iter``
+    records how many *result elements* one iteration produces (the vector
+    length for a vectorized loop, 1 for scalar code) so that schedulers can
+    report cycles *per element*, the unit used throughout the paper.
+    """
+
+    body: list[Instruction] = field(default_factory=list)
+    elements_per_iter: int = 1
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.elements_per_iter < 1:
+            raise ValueError("elements_per_iter must be >= 1")
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.body)
+
+    def __len__(self) -> int:
+        return len(self.body)
+
+    def append(self, instr: Instruction) -> None:
+        self.body.append(instr)
+
+    def extend(self, instrs: Iterable[Instruction]) -> None:
+        self.body.extend(instrs)
+
+    def counts(self) -> dict[Op, int]:
+        """Histogram of operation kinds in the body (used by tests)."""
+        out: dict[Op, int] = {}
+        for ins in self.body:
+            out[ins.op] = out.get(ins.op, 0) + 1
+        return out
+
+    def fp_ops(self) -> int:
+        """Number of vector FP arithmetic instructions in the body."""
+        fp = {Op.FADD, Op.FMUL, Op.FMA, Op.FDIV, Op.FSQRT, Op.FRECPE,
+              Op.FRSQRTE, Op.FEXPA, Op.FSCALE, Op.FCMP, Op.FSEL,
+              Op.FMINMAX, Op.FCVT, Op.FMOV}
+        return sum(1 for ins in self.body if ins.op in fp)
+
+    def validate(self) -> None:
+        """Check dataflow consistency.
+
+        Three source classes are legal: names produced earlier in the
+        body (same-iteration dataflow), names never produced (loop
+        inputs, ready at cycle 0), and names produced *later* in the
+        body (implicit references to the previous iteration's value —
+        how software-pipelined chains such as the Monte Carlo kernel are
+        expressed; the scheduler resolves them with an iteration delta
+        of one).  The check rejects only instructions that consume their
+        own not-yet-produced dest without being marked ``carried`` —
+        the one case that is always a builder mistake.
+        """
+        for idx, ins in enumerate(self.body):
+            for src in ins.srcs:
+                if src == ins.dest and src and not ins.carried:
+                    raise ValueError(
+                        f"instruction {idx} ({ins.tag or ins.op.value}) "
+                        f"consumes its own dest {src!r} without being "
+                        "marked loop-carried"
+                    )
+
+
+def concat_streams(streams: Sequence[InstructionStream], label: str = "") -> InstructionStream:
+    """Concatenate loop bodies that execute back-to-back in one iteration."""
+    if not streams:
+        raise ValueError("need at least one stream")
+    epi = streams[0].elements_per_iter
+    for s in streams:
+        if s.elements_per_iter != epi:
+            raise ValueError("streams disagree on elements_per_iter")
+    out = InstructionStream(elements_per_iter=epi, label=label)
+    for s in streams:
+        out.extend(s.body)
+    return out

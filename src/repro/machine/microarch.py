@@ -1,0 +1,374 @@
+"""Per-core timing models for the CPUs studied in the paper.
+
+Each :class:`Microarch` gives, for every abstract :class:`~repro.machine.isa.Op`,
+a latency / reciprocal-throughput / pipe-set record, plus the global core
+parameters the scheduler needs (issue width, out-of-order window, vector
+width, clock domains).
+
+Numbers for the A64FX come from the public *A64FX Microarchitecture Manual*
+(github.com/fujitsu/A64FX); the paper itself quotes the headline ones (two
+512-bit FMA pipes, 9-cycle FP latency, the blocking 134-cycle ``FSQRT``,
+the 128-byte gather-coalescing window).  x86 numbers follow Agner Fog's
+instruction tables for Skylake-X / KNL / Zen 2.  These are *models*: they
+are accurate enough to reproduce the relative performance the paper reports
+(its stated reproduction bar), not cycle-exact RTL.
+
+Key mechanisms encoded here that the paper's results hinge on:
+
+* A64FX peak: 2 pipes x 8 lanes x 2 flops x 1.8 GHz = 57.6 GFLOP/s/core.
+* ``FSQRT``/``FDIV`` are **blocking** (non-pipelined) on A64FX — reciprocal
+  throughput equals latency — which is why toolchains that select
+  ``FSQRT`` (GNU, ARM v20) lose ~20x on sqrt loops while Fujitsu/Cray use
+  ``FRSQRTE`` + Newton refinement (Section III).
+* ``FEXPA`` exists only on SVE, enabling the 5-term exponential of
+  Section IV.
+* Gather loads are split into per-element transactions unless an aligned
+  128-byte window covers an element pair (``gather_pair_coalescing``).
+* Skylake boosts its clock for single-core runs but drops to an all-core
+  AVX-512 license frequency when every core is busy — the mechanism behind
+  the paper's EP scaling efficiency of ~0.7 on Skylake (Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro._util import require_positive
+from repro.machine.isa import Op, Pipe
+
+__all__ = [
+    "OpTiming",
+    "Microarch",
+    "A64FX",
+    "SKYLAKE_6140",
+    "SKYLAKE_6130",
+    "SKYLAKE_8160",
+    "KNL_7250",
+    "EPYC_7742",
+    "THUNDERX2",
+]
+
+
+@dataclass(frozen=True)
+class OpTiming:
+    """Timing of one operation kind on one microarchitecture.
+
+    ``latency`` is cycles from issue to result availability; ``rtput`` is
+    the reciprocal throughput in cycles the chosen pipe stays busy (1.0 for
+    fully pipelined ops; equal to latency for blocking ops such as the
+    A64FX ``FSQRT``).
+    """
+
+    latency: float
+    rtput: float
+    pipes: frozenset[Pipe]
+
+    def __post_init__(self) -> None:
+        require_positive(self.latency, "latency")
+        require_positive(self.rtput, "rtput")
+        if not self.pipes:
+            raise ValueError("an OpTiming needs at least one pipe")
+
+
+def _t(latency: float, rtput: float, *pipes: Pipe) -> OpTiming:
+    return OpTiming(latency, rtput, frozenset(pipes))
+
+
+@dataclass(frozen=True)
+class Microarch:
+    """A per-core pipeline model.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (used in reports).
+    vector_bits:
+        SIMD register width; float64 lanes = ``vector_bits / 64``.
+    clock_ghz:
+        Sustained clock for single-core vector work.  The A64FX runs at a
+        fixed 1.8 GHz; x86 parts boost here.
+    allcore_clock_ghz:
+        Clock when all cores run wide-SIMD code (AVX-512 license frequency
+        on Skylake; equal to ``clock_ghz`` on A64FX/KNL).
+    issue_width:
+        Maximum instructions issued per cycle.
+    window:
+        Out-of-order scheduling window in instructions (bounds how much
+        cross-iteration parallelism the scheduler may exploit).
+    timings:
+        Map from :class:`Op` to :class:`OpTiming`.
+    has_fexpa:
+        Whether the ISA provides the ``FEXPA`` accelerator (SVE only).
+    gather_pair_coalescing:
+        Whether gathers merge element pairs that share an aligned 128-byte
+        window into one transaction (A64FX special case, paper Section III).
+    fp_pipes:
+        Number of FP/SIMD pipes (for peak-FLOP computations).
+    """
+
+    name: str
+    vector_bits: int
+    clock_ghz: float
+    allcore_clock_ghz: float
+    issue_width: int
+    window: int
+    timings: Mapping[Op, OpTiming]
+    has_fexpa: bool = False
+    gather_pair_coalescing: bool = False
+    fp_pipes: int = 2
+    smt: int = 1
+
+    def __post_init__(self) -> None:
+        require_positive(self.clock_ghz, "clock_ghz")
+        require_positive(self.allcore_clock_ghz, "allcore_clock_ghz")
+        if self.vector_bits % 64:
+            raise ValueError("vector_bits must be a multiple of 64")
+        if self.issue_width < 1 or self.window < 1:
+            raise ValueError("issue_width and window must be >= 1")
+
+    # -- derived quantities -------------------------------------------------
+    @property
+    def lanes_f64(self) -> int:
+        """Number of float64 lanes per vector register."""
+        return self.vector_bits // 64
+
+    def peak_gflops_core(self, allcore: bool = False) -> float:
+        """Theoretical peak double-precision GFLOP/s for one core.
+
+        ``fp_pipes`` FMA pipes x lanes x 2 flops/FMA x clock.  For the
+        A64FX this reproduces the paper's 57.6 GFLOP/s/core.
+        """
+        clock = self.allcore_clock_ghz if allcore else self.clock_ghz
+        return clock * self.fp_pipes * self.lanes_f64 * 2.0
+
+    def timing(self, op: Op) -> OpTiming:
+        try:
+            return self.timings[op]
+        except KeyError:
+            raise KeyError(
+                f"{self.name} has no timing for {op.value!r} — the code "
+                "generator emitted an op this ISA does not support"
+            ) from None
+
+    def supports(self, op: Op) -> bool:
+        return op in self.timings
+
+
+# ---------------------------------------------------------------------------
+# A64FX (Ookami compute node CPU) — 48 cores, 512-bit SVE, 1.8 GHz fixed.
+# ---------------------------------------------------------------------------
+
+_A64FX_TIMINGS: dict[Op, OpTiming] = {
+    Op.FADD: _t(9, 1, Pipe.FLA, Pipe.FLB),
+    Op.FMUL: _t(9, 1, Pipe.FLA, Pipe.FLB),
+    Op.FMA: _t(9, 1, Pipe.FLA, Pipe.FLB),
+    Op.FMOV: _t(4, 1, Pipe.FLA, Pipe.FLB),
+    Op.FCMP: _t(4, 1, Pipe.FLA),
+    Op.FSEL: _t(4, 1, Pipe.FLA, Pipe.FLB),
+    Op.FMINMAX: _t(4, 1, Pipe.FLA, Pipe.FLB),
+    Op.FCVT: _t(9, 1, Pipe.FLA, Pipe.FLB),
+    # Blocking iterative units: reciprocal throughput == latency.  The paper
+    # quotes 134 cycles for a 512-bit FSQRT; FDIV is of the same class.
+    Op.FDIV: _t(112, 112, Pipe.FLA),
+    Op.FSQRT: _t(134, 134, Pipe.FLA),
+    Op.FRECPE: _t(4, 1, Pipe.FLA, Pipe.FLB),
+    Op.FRSQRTE: _t(4, 1, Pipe.FLA, Pipe.FLB),
+    Op.FEXPA: _t(4, 1, Pipe.FLA, Pipe.FLB),
+    Op.FSCALE: _t(9, 1, Pipe.FLA, Pipe.FLB),
+    Op.IADD: _t(4, 1, Pipe.FLA, Pipe.FLB),
+    Op.IMUL: _t(9, 1, Pipe.FLA, Pipe.FLB),
+    Op.ILOGIC: _t(4, 1, Pipe.FLA, Pipe.FLB),
+    Op.PERM: _t(6, 1, Pipe.FLB),       # single shuffle pipe on A64FX
+    Op.PLOGIC: _t(3, 1, Pipe.PR),
+    Op.PWHILE: _t(3, 1, Pipe.PR),
+    Op.PTEST: _t(3, 1, Pipe.PR),
+    Op.VLOAD: _t(11, 1, Pipe.LS1, Pipe.LS2),
+    Op.VSTORE: _t(1, 1, Pipe.LS1),
+    Op.GATHER_UOP: _t(11, 1, Pipe.LS1),
+    Op.SCATTER_UOP: _t(1, 1, Pipe.LS1),
+    Op.SLOAD: _t(8, 1, Pipe.LS1, Pipe.LS2),
+    Op.SSTORE: _t(1, 1, Pipe.LS1),
+    Op.SALU: _t(1, 0.5, Pipe.EXA, Pipe.EXB),
+    Op.SFP: _t(9, 1, Pipe.FLA, Pipe.FLB),
+    Op.SFDIV: _t(43, 43, Pipe.FLA),
+    Op.SFSQRT: _t(51, 51, Pipe.FLA),
+    Op.BRANCH: _t(1, 1, Pipe.BR),
+    Op.CALL: _t(1, 1, Pipe.BR),  # real cost comes from per-instr overrides
+}
+
+A64FX = Microarch(
+    name="A64FX",
+    vector_bits=512,
+    clock_ghz=1.8,
+    allcore_clock_ghz=1.8,
+    issue_width=4,
+    window=128,  # 128-entry commit stack (A64FX microarchitecture manual)
+    timings=_A64FX_TIMINGS,
+    has_fexpa=True,
+    gather_pair_coalescing=True,
+    fp_pipes=2,
+)
+
+
+# ---------------------------------------------------------------------------
+# Skylake-SP family.  Three SKUs appear in the paper: Gold 6140 (loop and
+# NPB comparisons; 2.3 base / 3.7 boost), Gold 6130 (LULESH system), and
+# Platinum 8160 (TACC Stampede 2, 1.4 GHz AVX-512 all-core).
+# ---------------------------------------------------------------------------
+
+_SKX_TIMINGS: dict[Op, OpTiming] = {
+    Op.FADD: _t(4, 1, Pipe.FLA, Pipe.FLB),
+    Op.FMUL: _t(4, 1, Pipe.FLA, Pipe.FLB),
+    Op.FMA: _t(4, 1, Pipe.FLA, Pipe.FLB),
+    Op.FMOV: _t(1, 0.5, Pipe.FLA, Pipe.FLB),
+    Op.FCMP: _t(4, 1, Pipe.FLA, Pipe.FLB),
+    Op.FSEL: _t(2, 1, Pipe.FLA, Pipe.FLB),
+    Op.FMINMAX: _t(4, 1, Pipe.FLA, Pipe.FLB),
+    Op.FCVT: _t(4, 1, Pipe.FLA, Pipe.FLB),
+    # Dedicated partially-pipelined divide unit: far from blocking.
+    Op.FDIV: _t(23, 16, Pipe.FLA),
+    Op.FSQRT: _t(31, 25, Pipe.FLA),
+    Op.FRECPE: _t(7, 2, Pipe.FLA),    # VRCP14PD
+    Op.FRSQRTE: _t(9, 2, Pipe.FLA),   # VRSQRT14PD
+    # no FEXPA on x86 — deliberately absent from the table
+    Op.FSCALE: _t(4, 1, Pipe.FLA, Pipe.FLB),  # VSCALEFPD (AVX-512 has one)
+    Op.IADD: _t(1, 0.5, Pipe.FLA, Pipe.FLB),
+    Op.IMUL: _t(5, 1, Pipe.FLA),
+    Op.ILOGIC: _t(1, 0.5, Pipe.FLA, Pipe.FLB),
+    Op.PERM: _t(3, 1, Pipe.FLB),      # port-5 shuffles
+    Op.PLOGIC: _t(1, 1, Pipe.PR),     # kmask ops
+    Op.PWHILE: _t(2, 1, Pipe.PR),
+    Op.PTEST: _t(2, 1, Pipe.PR),
+    Op.VLOAD: _t(7, 1, Pipe.LS1, Pipe.LS2),
+    Op.VSTORE: _t(1, 1, Pipe.LS1),
+    Op.GATHER_UOP: _t(7, 1, Pipe.LS1),
+    Op.SCATTER_UOP: _t(1, 1, Pipe.LS1),
+    Op.SLOAD: _t(5, 0.5, Pipe.LS1, Pipe.LS2),
+    Op.SSTORE: _t(1, 1, Pipe.LS1),
+    Op.SALU: _t(1, 0.25, Pipe.EXA, Pipe.EXB),
+    Op.SFP: _t(4, 0.5, Pipe.FLA, Pipe.FLB),
+    Op.SFDIV: _t(14, 4, Pipe.FLA),
+    Op.SFSQRT: _t(18, 6, Pipe.FLA),
+    Op.BRANCH: _t(1, 0.5, Pipe.BR),
+    Op.CALL: _t(1, 1, Pipe.BR),
+}
+
+
+def _skylake(name: str, boost: float, allcore: float) -> Microarch:
+    return Microarch(
+        name=name,
+        vector_bits=512,
+        clock_ghz=boost,
+        allcore_clock_ghz=allcore,
+        issue_width=4,
+        window=224,
+        timings=_SKX_TIMINGS,
+        has_fexpa=False,
+        gather_pair_coalescing=False,
+        fp_pipes=2,
+        smt=2,
+    )
+
+
+SKYLAKE_6140 = _skylake("Skylake 6140", boost=3.7, allcore=2.1)
+SKYLAKE_6130 = _skylake("Skylake 6130", boost=3.7, allcore=1.9)
+SKYLAKE_8160 = _skylake("Skylake 8160 (SKX)", boost=3.7, allcore=1.4)
+
+
+# ---------------------------------------------------------------------------
+# Knights Landing: 512-bit AVX-512 but simple 2-wide cores with tiny OoO
+# resources; FP latency 6 and weak scalar units.
+# ---------------------------------------------------------------------------
+
+_KNL_TIMINGS: dict[Op, OpTiming] = dict(_SKX_TIMINGS)
+_KNL_TIMINGS.update(
+    {
+        Op.FADD: _t(6, 1, Pipe.FLA, Pipe.FLB),
+        Op.FMUL: _t(6, 1, Pipe.FLA, Pipe.FLB),
+        Op.FMA: _t(6, 1, Pipe.FLA, Pipe.FLB),
+        Op.FDIV: _t(32, 30, Pipe.FLA),
+        Op.FSQRT: _t(38, 35, Pipe.FLA),
+        Op.VLOAD: _t(9, 1, Pipe.LS1, Pipe.LS2),
+        Op.SALU: _t(1, 0.5, Pipe.EXA, Pipe.EXB),
+        Op.SFP: _t(6, 1, Pipe.FLA, Pipe.FLB),
+        Op.GATHER_UOP: _t(9, 2, Pipe.LS1),
+    }
+)
+
+KNL_7250 = Microarch(
+    name="KNL 7250",
+    vector_bits=512,
+    clock_ghz=1.4,
+    allcore_clock_ghz=1.4,
+    issue_width=2,
+    window=72,
+    timings=_KNL_TIMINGS,
+    has_fexpa=False,
+    gather_pair_coalescing=False,
+    fp_pipes=2,
+    smt=4,
+)
+
+
+# ---------------------------------------------------------------------------
+# AMD EPYC 7742 (Zen 2): 256-bit AVX2, 2 FMA pipes, strong scalar core.
+# ---------------------------------------------------------------------------
+
+_ZEN2_TIMINGS: dict[Op, OpTiming] = dict(_SKX_TIMINGS)
+_ZEN2_TIMINGS.update(
+    {
+        Op.FADD: _t(3, 1, Pipe.FLA, Pipe.FLB),
+        Op.FMUL: _t(3, 1, Pipe.FLA, Pipe.FLB),
+        Op.FMA: _t(5, 1, Pipe.FLA, Pipe.FLB),
+        Op.FDIV: _t(13, 5, Pipe.FLA),
+        Op.FSQRT: _t(20, 9, Pipe.FLA),
+        Op.VLOAD: _t(7, 1, Pipe.LS1, Pipe.LS2),
+        Op.GATHER_UOP: _t(7, 2, Pipe.LS1),  # AVX2 gathers are microcoded
+    }
+)
+
+EPYC_7742 = Microarch(
+    name="EPYC 7742 (Zen2)",
+    vector_bits=256,
+    clock_ghz=3.2,
+    allcore_clock_ghz=2.25,
+    issue_width=5,
+    window=224,
+    timings=_ZEN2_TIMINGS,
+    has_fexpa=False,
+    gather_pair_coalescing=False,
+    fp_pipes=2,
+    smt=2,
+)
+
+
+# ---------------------------------------------------------------------------
+# Marvell ThunderX2 (Ookami login nodes): ARMv8 + 128-bit NEON, high scalar
+# throughput.  Included for completeness of the system catalog.
+# ---------------------------------------------------------------------------
+
+_TX2_TIMINGS: dict[Op, OpTiming] = dict(_SKX_TIMINGS)
+_TX2_TIMINGS.update(
+    {
+        Op.FADD: _t(6, 1, Pipe.FLA, Pipe.FLB),
+        Op.FMUL: _t(6, 1, Pipe.FLA, Pipe.FLB),
+        Op.FMA: _t(6, 1, Pipe.FLA, Pipe.FLB),
+        Op.FDIV: _t(16, 8, Pipe.FLA),
+        Op.FSQRT: _t(23, 12, Pipe.FLA),
+    }
+)
+
+THUNDERX2 = Microarch(
+    name="ThunderX2",
+    vector_bits=128,
+    clock_ghz=2.3,
+    allcore_clock_ghz=2.3,
+    issue_width=4,
+    window=128,
+    timings=_TX2_TIMINGS,
+    has_fexpa=False,
+    gather_pair_coalescing=False,
+    fp_pipes=2,
+    smt=4,
+)

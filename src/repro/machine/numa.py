@@ -1,0 +1,124 @@
+"""CMG/NUMA topology and page-placement policy model.
+
+The A64FX groups its 48 cores into four Core Memory Groups (CMGs) of 12
+cores; each CMG owns 8 GB of on-package HBM at 256 GB/s and the CMGs are
+fully connected by an on-die ring/network.  Where OpenMP data lands
+therefore decides whether a 48-thread run sees 1 TB/s or 256 GB/s:
+
+    "The Fujitsu compiler has a default policy of allocating all the data
+     in CMG 0.  Once we changed the policy to first touch, the Fujitsu
+     compiler showed a much better performance in SP..."  (paper, Sec. V)
+
+:class:`CMGTopology` turns a placement policy plus a set of active cores
+into the aggregate memory bandwidth the threads can draw — the quantity
+the OpenMP engine needs to reproduce Figure 4's `fujitsu` vs
+`fujitsu-first-touch` bars.  x86 dual-socket nodes use the same class with
+``domains=2``.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro._util import require_positive
+
+__all__ = ["PagePlacement", "CMGTopology"]
+
+
+class PagePlacement(enum.Enum):
+    """Where the OS/runtime places a parallel job's data pages."""
+
+    FIRST_TOUCH = "first_touch"      #: each thread's pages land on its CMG
+    SINGLE_DOMAIN = "single_domain"  #: everything on domain 0 (Fujitsu default)
+    INTERLEAVE = "interleave"        #: round-robin across domains
+
+
+@dataclass(frozen=True)
+class CMGTopology:
+    """NUMA topology of one node.
+
+    Parameters
+    ----------
+    domains:
+        Number of NUMA domains (4 CMGs on A64FX, 2 sockets on x86).
+    cores_per_domain:
+        Cores per domain.
+    local_bw_gbs:
+        Memory bandwidth of one domain.
+    remote_bw_gbs:
+        Bandwidth available when a domain's memory is accessed from other
+        domains (the on-die ring for A64FX, UPI for Skylake) — this caps a
+        SINGLE_DOMAIN run even below the owning domain's local bandwidth.
+    remote_latency_factor:
+        Multiplier on memory latency for remote accesses.
+    """
+
+    domains: int
+    cores_per_domain: int
+    local_bw_gbs: float
+    remote_bw_gbs: float
+    remote_latency_factor: float = 1.6
+
+    def __post_init__(self) -> None:
+        require_positive(self.domains, "domains")
+        require_positive(self.cores_per_domain, "cores_per_domain")
+        require_positive(self.local_bw_gbs, "local_bw_gbs")
+        require_positive(self.remote_bw_gbs, "remote_bw_gbs")
+        require_positive(self.remote_latency_factor, "remote_latency_factor")
+
+    @property
+    def total_cores(self) -> int:
+        return self.domains * self.cores_per_domain
+
+    def active_domains(self, threads: int) -> int:
+        """Domains hosting at least one thread under a spread/close-packed
+        hybrid: threads fill domains in order (OMP_PROC_BIND=close), the
+        common default on both systems."""
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
+        if threads > self.total_cores:
+            raise ValueError(
+                f"{threads} threads exceed {self.total_cores} cores"
+            )
+        return min(self.domains, math.ceil(threads / self.cores_per_domain))
+
+    def aggregate_bandwidth_gbs(
+        self, threads: int, placement: PagePlacement
+    ) -> float:
+        """Total memory bandwidth the *threads* can draw together.
+
+        * FIRST_TOUCH: each active domain serves its own threads — the sum
+          of active domains' local bandwidth.
+        * SINGLE_DOMAIN: every access targets domain 0; threads on domain 0
+          get local bandwidth, the rest squeeze through the remote fabric,
+          and both contend for the single domain's memory controller.
+        * INTERLEAVE: accesses spread over all domains, but
+          ``(domains-1)/domains`` of them are remote, capped by the fabric.
+        """
+        act = self.active_domains(threads)
+        if placement is PagePlacement.FIRST_TOUCH:
+            return self.local_bw_gbs * act
+        if placement is PagePlacement.SINGLE_DOMAIN:
+            if act == 1:
+                return self.local_bw_gbs
+            # the owning controller is the hard cap; remote traffic is
+            # further throttled by the fabric
+            return min(self.local_bw_gbs, self.remote_bw_gbs + self.local_bw_gbs / act)
+        # INTERLEAVE
+        local_frac = 1.0 / self.domains
+        remote = min(self.remote_bw_gbs, self.local_bw_gbs * self.domains * (1 - local_frac))
+        return min(self.local_bw_gbs * self.domains,
+                   self.local_bw_gbs * act * local_frac + remote)
+
+    def latency_factor(self, placement: PagePlacement, threads: int) -> float:
+        """Average memory-latency multiplier under *placement*."""
+        act = self.active_domains(threads)
+        if placement is PagePlacement.FIRST_TOUCH or act == 1:
+            return 1.0
+        if placement is PagePlacement.SINGLE_DOMAIN:
+            remote_frac = 1.0 - 1.0 / act
+            return 1.0 + remote_frac * (self.remote_latency_factor - 1.0)
+        remote_frac = 1.0 - 1.0 / self.domains
+        return 1.0 + remote_frac * (self.remote_latency_factor - 1.0)

@@ -1,0 +1,49 @@
+"""Vector math kernels: the real numerics behind Section IV of the paper.
+
+Unlike the machine model (which predicts *cycles*), everything here
+computes *values*: these are genuine numpy implementations of the
+algorithms the paper discusses, validated in ULPs against the fully
+rounded references.
+
+* :mod:`repro.mathlib.ulp` — units-in-the-last-place error measurement.
+* :mod:`repro.mathlib.polynomial` — Horner and Estrin evaluation schemes.
+* :mod:`repro.mathlib.exp` — the exponential: the plain 13-term
+  range-reduction algorithm and the ``FEXPA``-accelerated 5-term variant
+  (Section IV), with bit-exact emulation of the FEXPA instruction.
+* :mod:`repro.mathlib.newton` — reciprocal and reciprocal-sqrt from
+  8-bit hardware-style estimates refined by Newton–Raphson (the
+  Fujitsu/Cray strategy vs the blocking FSQRT the GNU/ARM compilers pick).
+* :mod:`repro.mathlib.log`, :mod:`repro.mathlib.sincos`,
+  :mod:`repro.mathlib.power` — the remaining Section III math functions.
+* :mod:`repro.mathlib.vectormath` — the recipe registry binding each
+  toolchain's library algorithm to (a) an instruction-sequence builder for
+  the performance model and (b) the numpy implementation.
+* :mod:`repro.mathlib.rng` — a vectorizable counter-based RNG (the
+  "manual call to a vectorized random number generator" of Section III).
+"""
+
+from repro.mathlib.ulp import ulp_diff, max_ulp_error
+from repro.mathlib.polynomial import horner, estrin
+from repro.mathlib.exp import exp_fexpa, exp_plain, fexpa_emulate
+from repro.mathlib.newton import recip_newton, rsqrt_newton, sqrt_newton
+from repro.mathlib.log import log_poly
+from repro.mathlib.sincos import sin_poly
+from repro.mathlib.power import pow_explog
+from repro.mathlib.rng import VectorRng
+
+__all__ = [
+    "ulp_diff",
+    "max_ulp_error",
+    "horner",
+    "estrin",
+    "exp_fexpa",
+    "exp_plain",
+    "fexpa_emulate",
+    "recip_newton",
+    "rsqrt_newton",
+    "sqrt_newton",
+    "log_poly",
+    "sin_poly",
+    "pow_explog",
+    "VectorRng",
+]

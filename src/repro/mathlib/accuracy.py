@@ -1,0 +1,178 @@
+"""Math-library accuracy study — the paper's announced follow-up.
+
+"Finally, we note that a complete evaluation of math library performance
+must include accuracy, which will be the topic of another paper."
+(Sec. III.)  This module *is* that evaluation for the library models in
+this reproduction: it sweeps every (toolchain, function) implementation
+over stratified test domains and reports maximum/mean ULP error, domain
+edge behaviour, and the speed-accuracy frontier (cycles/element vs ULP).
+
+Everything here is measured, not modeled: the implementations are the
+real numpy kernels behind each library recipe, and the references are
+numpy's correctly-rounded-to-double libm bindings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro._util import require_positive
+from repro.mathlib.ulp import max_ulp_error, mean_ulp_error
+
+__all__ = [
+    "AccuracyResult",
+    "DOMAINS",
+    "accuracy_sweep",
+    "speed_accuracy_frontier",
+]
+
+#: per-function test domains: (label, sampler(rng, n))
+DOMAINS: Mapping[str, Sequence[tuple[str, Callable]]] = {
+    "exp": (
+        ("core [-1, 1]", lambda r, n: r.uniform(-1.0, 1.0, n)),
+        ("wide [-700, 700]", lambda r, n: r.uniform(-700.0, 700.0, n)),
+        ("near overflow", lambda r, n: r.uniform(700.0, 709.7, n)),
+        ("tiny args", lambda r, n: r.uniform(-1e-8, 1e-8, n)),
+    ),
+    "log": (
+        ("core [0.1, 10]", lambda r, n: r.uniform(0.1, 10.0, n)),
+        ("near one", lambda r, n: 1.0 + r.uniform(-1e-6, 1e-6, n)),
+        ("full range", lambda r, n: 10.0 ** r.uniform(-300, 300, n)),
+    ),
+    "sin": (
+        ("core [-pi, pi]", lambda r, n: r.uniform(-np.pi, np.pi, n)),
+        ("reduced [-1e4, 1e4]", lambda r, n: r.uniform(-1e4, 1e4, n)),
+    ),
+    "recip": (
+        ("core [0.1, 10]", lambda r, n: r.uniform(0.1, 10.0, n)),
+        ("full range", lambda r, n: 10.0 ** r.uniform(-300, 300, n)),
+    ),
+    "sqrt": (
+        ("core [0.1, 10]", lambda r, n: r.uniform(0.1, 10.0, n)),
+        ("full range", lambda r, n: 10.0 ** r.uniform(-300, 300, n)),
+    ),
+    "pow(x, 1.5)": (
+        ("core [0.1, 10]", lambda r, n: r.uniform(0.1, 10.0, n)),
+        ("wide [1e-50, 1e50]", lambda r, n: 10.0 ** r.uniform(-50, 50, n)),
+    ),
+}
+
+#: implementation catalog: function -> {impl label: (callable, reference)}
+def _implementations() -> Mapping[str, Mapping[str, tuple[Callable, Callable]]]:
+    from repro.mathlib.exp import exp_fexpa, exp_plain
+    from repro.mathlib.log import log_poly
+    from repro.mathlib.newton import recip_newton, sqrt_newton
+    from repro.mathlib.power import pow_explog
+    from repro.mathlib.sincos import sin_poly
+
+    return {
+        "exp": {
+            "fexpa-5term (fujitsu)": (lambda x: exp_fexpa(x), np.exp),
+            "fexpa-refined": (lambda x: exp_fexpa(x, refined=True), np.exp),
+            "plain-13term (cray/arm)": (lambda x: exp_plain(x), np.exp),
+            "plain-8term (fast-math)": (
+                lambda x: exp_plain(x, terms=8), np.exp),
+        },
+        "log": {
+            "atanh-series": (log_poly, np.log),
+        },
+        "sin": {
+            "quadrant-poly": (sin_poly, np.sin),
+        },
+        "recip": {
+            "newton-3step": (lambda x: recip_newton(x, steps=3),
+                             lambda x: 1.0 / x),
+            "newton-2step (fast-math)": (lambda x: recip_newton(x, steps=2),
+                                         lambda x: 1.0 / x),
+        },
+        "sqrt": {
+            "newton-3step": (lambda x: sqrt_newton(x, steps=3), np.sqrt),
+            "newton-2step (fast-math)": (lambda x: sqrt_newton(x, steps=2),
+                                         np.sqrt),
+        },
+        "pow(x, 1.5)": {
+            "double-double log": (
+                lambda x: pow_explog(x, 1.5, accurate=True),
+                lambda x: np.power(x, 1.5)),
+            "fast exp(y*log x)": (
+                lambda x: pow_explog(x, 1.5, accurate=False),
+                lambda x: np.power(x, 1.5)),
+        },
+    }
+
+
+@dataclass(frozen=True)
+class AccuracyResult:
+    """One (function, implementation, domain) accuracy measurement."""
+
+    function: str
+    implementation: str
+    domain: str
+    samples: int
+    max_ulp: float
+    mean_ulp: float
+
+    def as_row(self) -> dict:
+        return {
+            "function": self.function,
+            "implementation": self.implementation,
+            "domain": self.domain,
+            "max_ulp": self.max_ulp,
+            "mean_ulp": round(self.mean_ulp, 4),
+        }
+
+
+def accuracy_sweep(
+    samples: int = 200_000, seed: int = 2021,
+    functions: Sequence[str] | None = None,
+) -> list[AccuracyResult]:
+    """Measure every implementation over every domain.
+
+    Returns one :class:`AccuracyResult` per (function, impl, domain)
+    triple; this is the raw data of the paper's promised accuracy study.
+    """
+    require_positive(samples, "samples")
+    impls = _implementations()
+    names = list(impls) if functions is None else list(functions)
+    rng = np.random.default_rng(seed)
+    out: list[AccuracyResult] = []
+    for fn in names:
+        if fn not in impls:
+            raise KeyError(f"unknown function {fn!r}; have {sorted(impls)}")
+        for domain_label, sampler in DOMAINS[fn]:
+            x = sampler(rng, samples)
+            for impl_label, (impl, ref) in impls[fn].items():
+                got = impl(x)
+                exact = ref(x)
+                out.append(
+                    AccuracyResult(
+                        function=fn,
+                        implementation=impl_label,
+                        domain=domain_label,
+                        samples=samples,
+                        max_ulp=max_ulp_error(got, exact),
+                        mean_ulp=mean_ulp_error(got, exact),
+                    )
+                )
+    return out
+
+
+def speed_accuracy_frontier(samples: int = 100_000) -> list[dict]:
+    """The trade-off the paper gestures at: cycles/element (A64FX model)
+    against measured max ULP, for the exponential variants."""
+    from repro.bench.figures import sec4_exp_study
+
+    rows = sec4_exp_study(ulp_samples=samples)
+    frontier = [
+        {
+            "impl": r["impl"],
+            "cycles_per_elem": r["cycles_per_elem"],
+            "max_ulp": r["max_ulp"],
+        }
+        for r in rows
+        if np.isfinite(r["max_ulp"])
+    ]
+    return sorted(frontier, key=lambda r: r["cycles_per_elem"])

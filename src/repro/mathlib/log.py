@@ -1,0 +1,76 @@
+"""Natural logarithm via the atanh series — the building block of ``pow``.
+
+The classic vector-library algorithm: normalize ``x = m * 2**e`` with
+``m`` in ``[sqrt(2)/2, sqrt(2))`` (so that arguments near 1 suffer no
+cancellation against ``e*log 2``), substitute ``z = (m-1)/(m+1)`` and use
+
+    log(m) = 2*atanh(z) = 2*z * (1 + z^2/3 + z^4/5 + ...)
+
+With ``|z| <= 3 - 2*sqrt(2) ~= 0.1716`` a degree-9 polynomial in ``z^2``
+reaches sub-ULP truncation error.  ``e*log 2`` is added with a two-constant
+split of ``log 2``.  The double-double variant :func:`log_dd` returns a
+head/tail pair used by :mod:`repro.mathlib.power` to keep ``pow`` accurate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["log_poly", "log_dd", "LOG_SERIES_TERMS"]
+
+_LN2_HI = float.fromhex("0x1.62e42fee00000p-1")
+_LN2_LO = float.fromhex("0x1.a39ef35793c76p-33")
+_SQRT2_OVER_2 = float.fromhex("0x1.6a09e667f3bcdp-1")
+
+#: terms of the atanh series in z^2 (degree 2*TERMS-1 in z)
+LOG_SERIES_TERMS = 10
+
+# coefficients 1/(2k+1) for k = 0..TERMS-1
+_ATANH_COEFFS = np.array([1.0 / (2 * k + 1) for k in range(LOG_SERIES_TERMS)])
+
+
+def _normalize(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split positive *x* into ``m * 2**e`` with m in [sqrt2/2, sqrt2)."""
+    m, e = np.frexp(x)            # m in [0.5, 1)
+    low = m < _SQRT2_OVER_2
+    m = np.where(low, m * 2.0, m)
+    e = np.where(low, e - 1, e).astype(np.float64)
+    return m, e
+
+
+def log_poly(x: np.ndarray) -> np.ndarray:
+    """Vectorized natural log, accurate to a few ULP for positive finite
+    inputs; IEEE edge behaviour for 0 (-inf), negatives (NaN), inf."""
+    x = np.asarray(x, dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        m, e = _normalize(np.where(x > 0, x, 1.0))
+        z = (m - 1.0) / (m + 1.0)
+        w = z * z
+        s = np.full_like(z, _ATANH_COEFFS[-1])
+        for c in _ATANH_COEFFS[-2::-1]:
+            s = s * w + c
+        logm = 2.0 * z * s
+        y = e * _LN2_HI + (logm + e * _LN2_LO)
+        y = np.where(x == 0.0, -np.inf, y)
+        y = np.where(x < 0.0, np.nan, y)
+        y = np.where(np.isinf(x) & (x > 0), np.inf, y)
+        y = np.where(np.isnan(x), np.nan, y)
+    return y
+
+
+def log_dd(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``log(x)`` as an unevaluated head/tail double-double pair.
+
+    The tail captures what one float64 rounds away, giving ``pow`` the
+    extra bits it needs (``exp(y*log x)`` amplifies log error by ``y``).
+    Extended precision (x87 80-bit via ``np.longdouble``) stands in for
+    the FMA-based error-free transforms a C implementation would use.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if np.any(x <= 0):
+        raise ValueError("log_dd requires strictly positive inputs")
+    ld = np.longdouble
+    y = np.log(x.astype(ld))
+    hi = y.astype(np.float64)
+    lo = (y - hi.astype(ld)).astype(np.float64)
+    return hi, lo

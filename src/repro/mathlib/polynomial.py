@@ -1,0 +1,89 @@
+"""Polynomial evaluation schemes: Horner vs Estrin.
+
+Section IV of the paper: "Empirically, the Estrin form for the polynomial
+that reveals more parallelism at the expense of more multiplications is
+slightly faster than the Horner form."  Horner is a single serial chain of
+FMAs (degree-many, each 9 cycles on A64FX); Estrin halves the chain depth
+by pairing terms at the cost of extra squarings.
+
+Both evaluators here are real numpy implementations used by the exp/sin/
+log kernels; :func:`estrin_depth` and :func:`horner_depth` expose the
+dependence-chain lengths the performance model relies on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["horner", "estrin", "horner_depth", "estrin_depth"]
+
+
+def _check(coeffs: Sequence[float]) -> np.ndarray:
+    c = np.asarray(coeffs, dtype=np.float64)
+    if c.ndim != 1 or c.size == 0:
+        raise ValueError("coeffs must be a non-empty 1-D sequence")
+    return c
+
+
+def horner(coeffs: Sequence[float], x: np.ndarray) -> np.ndarray:
+    """Evaluate ``sum(coeffs[k] * x**k)`` by Horner's rule.
+
+    ``coeffs`` are in ascending-degree order.  One FMA per degree, each
+    depending on the previous — the maximally serial scheme.
+    """
+    c = _check(coeffs)
+    x = np.asarray(x, dtype=np.float64)
+    acc = np.full_like(x, c[-1])
+    for k in range(c.size - 2, -1, -1):
+        acc = acc * x + c[k]
+    return acc
+
+
+def estrin(coeffs: Sequence[float], x: np.ndarray) -> np.ndarray:
+    """Evaluate the polynomial by Estrin's scheme.
+
+    Adjacent coefficient pairs combine as ``c[2k] + c[2k+1]*x`` in
+    parallel; the pairs then combine with powers ``x^2, x^4, ...`` in a
+    logarithmic-depth tree.  More multiplies than Horner, ~half the
+    dependence depth.
+    """
+    c = _check(coeffs)
+    x = np.asarray(x, dtype=np.float64)
+    # level 0: pair up coefficients
+    terms = [
+        np.full_like(x, c[k]) if k + 1 >= c.size else c[k] + c[k + 1] * x
+        for k in range(0, c.size, 2)
+    ]
+    power = x * x
+    while len(terms) > 1:
+        nxt = []
+        for k in range(0, len(terms), 2):
+            if k + 1 < len(terms):
+                nxt.append(terms[k] + terms[k + 1] * power)
+            else:
+                nxt.append(terms[k])
+        terms = nxt
+        power = power * power
+    return terms[0]
+
+
+def horner_depth(degree: int) -> int:
+    """FMA dependence-chain length of Horner evaluation."""
+    if degree < 0:
+        raise ValueError("degree must be non-negative")
+    return degree
+
+
+def estrin_depth(degree: int) -> int:
+    """Dependence-chain length (in FMA-equivalents) of Estrin evaluation:
+    one pairing FMA plus one combine per tree level, plus the x^2 chain."""
+    if degree < 0:
+        raise ValueError("degree must be non-negative")
+    if degree == 0:
+        return 0
+    n_terms = degree + 1
+    levels = math.ceil(math.log2(math.ceil(n_terms / 2))) if n_terms > 2 else 0
+    return 1 + levels + 1  # pair FMA + combine tree + first squaring

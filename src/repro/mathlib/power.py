@@ -1,0 +1,65 @@
+"""``pow(x, y) = exp(y * log x)`` — the Section III ``pow`` loop.
+
+Vector libraries build ``pow`` from their ``log`` and ``exp`` kernels.
+The catch is error amplification: a 1-ULP error in ``log x`` becomes a
+``y*log(x)``-scaled *absolute* error in the exponent, i.e. roughly
+``y * log(x)`` ULPs in the result.  That is why accurate ``pow`` kernels
+carry ``log x`` in double-double (head + tail) — and why sleef-style
+accurate ``pow`` costs the ~10x the paper observes for the ARM library.
+
+Two variants:
+
+* :func:`pow_explog` (``accurate=True``) — double-double log, |error|
+  within a few ULP for the moderate domain the suite uses.
+* ``accurate=False`` — plain composition ``exp_fexpa(y*log_poly(x))``,
+  faster but with the documented amplified error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mathlib.exp import EXP_OVERFLOW, EXP_UNDERFLOW, exp_fexpa, exp_plain
+from repro.mathlib.log import log_dd, log_poly
+
+__all__ = ["pow_explog"]
+
+
+def pow_explog(
+    x: np.ndarray, y: np.ndarray | float, *, accurate: bool = True
+) -> np.ndarray:
+    """``x ** y`` for positive *x* via exp/log composition.
+
+    Negative bases are NaN (integer-exponent special cases are a scalar
+    fix-up path in real libraries, irrelevant to the vector-kernel study);
+    ``x == 0`` gives 0 for ``y > 0``, ``inf`` for ``y < 0``, 1 for
+    ``y == 0``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y_arr = np.broadcast_to(np.asarray(y, dtype=np.float64), x.shape)
+    pos = x > 0
+    xs = np.where(pos, x, 1.0)
+
+    if accurate:
+        hi, lo = log_dd(xs)
+        # t = y*log(x) in double-double, re-rounded through longdouble
+        ld = np.longdouble
+        t_ext = y_arr.astype(ld) * (hi.astype(ld) + lo.astype(ld))
+        t_hi = t_ext.astype(np.float64)
+        t_lo = (t_ext - t_hi.astype(ld)).astype(np.float64)
+        base = exp_plain(np.clip(t_hi, EXP_UNDERFLOW - 1, EXP_OVERFLOW + 1))
+        # first-order correction: exp(hi+lo) = exp(hi)*(1+lo)
+        out = base * (1.0 + t_lo)
+    else:
+        t = y_arr * log_poly(xs)
+        out = exp_fexpa(np.clip(t, EXP_UNDERFLOW - 1, EXP_OVERFLOW + 1))
+
+    with np.errstate(invalid="ignore"):
+        out = np.where(pos, out, np.nan)
+        zero = x == 0.0
+        out = np.where(zero & (y_arr > 0), 0.0, out)
+        out = np.where(zero & (y_arr < 0), np.inf, out)
+        out = np.where(y_arr == 0.0, 1.0, out)
+        out = np.where(np.isnan(x) | np.isnan(y_arr), np.nan, out)
+        out = np.where((x == 1.0), 1.0, out)
+    return out

@@ -1,0 +1,454 @@
+"""Vector math library recipes: one per (toolchain, function) algorithm.
+
+A *recipe* couples the two faces of a library kernel:
+
+* ``build(march, args, dest, prefix)`` — the abstract instruction sequence
+  the kernel compiles to, spliced into loops by
+  :mod:`repro.compilers.codegen` and costed by the pipeline scheduler.
+  The sequences follow the algorithms of Section IV: reductions are FMA
+  chains, polynomials are Horner chains or Estrin trees, FEXPA/table
+  lookups and exponent scalings appear where the algorithm uses them.
+* ``numpy_fn`` — a real numpy implementation of the same algorithm from
+  :mod:`repro.mathlib`, so tests can verify the *values* each library
+  model would produce (and their ULP class).
+
+The catalog covers the paper's library landscape:
+
+========================  ==========================================
+recipe                    algorithm
+========================  ==========================================
+``exp_fexpa_estrin``      Fujitsu: FEXPA + degree-5 Estrin (Sec. IV)
+``exp_table13_estrin``    Cray: plain reduction + degree-13 Estrin
+``exp_sleef_horner13``    ARM/sleef: plain reduction + degree-13 Horner
+                          with sleef's special-case select overhead
+``exp_svml``              Intel SVML: table lookup (permutes) + deg-7
+``sin_fast/std/sleef/svml``  quadrant reduction + odd/even kernels
+``pow_explog_fast``       Fujitsu: fast log + FEXPA exp
+``pow_explog``            Cray: standard log + exp
+``pow_sleef``             sleef-accurate: double-double log/exp — the
+                          ~10x pow cost the paper measures
+``pow_svml``              Intel SVML pow
+``log_fast/std/sleef/svml``  atanh-series logs of matching quality
+========================  ==========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.machine.isa import Instruction, Op
+from repro.machine.microarch import Microarch
+from repro.mathlib.exp import exp_fexpa, exp_plain
+from repro.mathlib.log import log_poly
+from repro.mathlib.power import pow_explog
+from repro.mathlib.sincos import sin_poly
+
+__all__ = ["Recipe", "RECIPES", "build_recipe", "numpy_impl"]
+
+
+class _Emit:
+    """Tiny instruction-sequence builder with automatic temp naming."""
+
+    def __init__(self, prefix: str) -> None:
+        self.prefix = prefix
+        self.instrs: list[Instruction] = []
+        self._n = 0
+
+    def op(self, op: Op, *srcs: str, dest: str | None = None, tag: str = "") -> str:
+        if dest is None:
+            self._n += 1
+            dest = f"{self.prefix}.t{self._n}"
+        self.instrs.append(Instruction(op=op, dest=dest, srcs=srcs, tag=tag))
+        return dest
+
+    # -- polynomial schemes ------------------------------------------------
+    def horner(self, r: str, degree: int, tag: str = "horner") -> str:
+        """Degree-many dependent FMAs — the serial scheme."""
+        acc = self.op(Op.FMOV, tag=f"{tag}: c[{degree}]")
+        for k in range(degree - 1, -1, -1):
+            acc = self.op(Op.FMA, acc, r, tag=f"{tag}: *r + c[{k}]")
+        return acc
+
+    def estrin(self, r: str, degree: int, tag: str = "estrin") -> str:
+        """Estrin tree: pair FMAs + power chain + combine FMAs."""
+        n_terms = degree + 1
+        pairs = []
+        for k in range(0, n_terms, 2):
+            if k + 1 < n_terms:
+                pairs.append(self.op(Op.FMA, r, tag=f"{tag}: c{k}+c{k + 1}*r"))
+            else:
+                pairs.append(self.op(Op.FMOV, tag=f"{tag}: c{k}"))
+        power = self.op(Op.FMUL, r, r, tag=f"{tag}: r^2")
+        terms = pairs
+        while len(terms) > 1:
+            nxt = []
+            for k in range(0, len(terms), 2):
+                if k + 1 < len(terms):
+                    nxt.append(
+                        self.op(Op.FMA, terms[k], terms[k + 1], power,
+                                tag=f"{tag}: combine")
+                    )
+                else:
+                    nxt.append(terms[k])
+            terms = nxt
+            if len(terms) > 1:
+                power = self.op(Op.FMUL, power, power, tag=f"{tag}: square")
+        return terms[0]
+
+    def reduce_cw(self, x: str, tag: str = "reduce") -> tuple[str, str]:
+        """Cody-Waite reduction: magic-number round + two FMA subtractions.
+        Returns (n, r)."""
+        n = self.op(Op.FMA, x, tag=f"{tag}: n=x*c+magic")
+        n = self.op(Op.FADD, n, tag=f"{tag}: n-=magic")
+        r = self.op(Op.FMA, x, n, tag=f"{tag}: r=x-n*hi")
+        r = self.op(Op.FMA, r, n, tag=f"{tag}: r-=n*lo")
+        return n, r
+
+    def scale_2n(self, p: str, n: str, tag: str = "scale") -> str:
+        """Multiply by 2**n via convert + exponent-field arithmetic."""
+        ni = self.op(Op.FCVT, n, tag=f"{tag}: to-int")
+        sh = self.op(Op.ILOGIC, ni, tag=f"{tag}: <<52")
+        return self.op(Op.FSCALE, p, sh, tag=f"{tag}: 2^n*p")
+
+
+BuildFn = Callable[[Microarch, Sequence[str], str, str], list[Instruction]]
+
+
+@dataclass(frozen=True)
+class Recipe:
+    """One vector math kernel: instruction builder + reference numerics."""
+
+    name: str
+    description: str
+    build: BuildFn
+    numpy_fn: Callable[..., np.ndarray]
+    requires_fexpa: bool = False
+
+
+# ---------------------------------------------------------------------------
+# exp
+# ---------------------------------------------------------------------------
+
+
+def _build_exp_fexpa(march: Microarch, args: Sequence[str], dest: str,
+                     prefix: str) -> list[Instruction]:
+    """Section IV kernel: ~15 FP instructions, FEXPA + degree-5 Estrin."""
+    (x,) = args
+    e = _Emit(prefix)
+    n, r = e.reduce_cw(x, tag="exp64")
+    bits = e.op(Op.ILOGIC, n, tag="fexpa input bits")
+    s = e.op(Op.FEXPA, bits, tag="FEXPA 2^(m+i/64)")
+    p = e.estrin(r, 5, tag="p5")
+    e.op(Op.FMUL, s, p, dest=dest, tag="y = s*p")
+    return e.instrs
+
+
+def _build_exp_table13_estrin(march: Microarch, args: Sequence[str], dest: str,
+                              prefix: str) -> list[Instruction]:
+    """Plain reduction + degree-13 Estrin + exponent scale (Cray-class)."""
+    (x,) = args
+    e = _Emit(prefix)
+    n, r = e.reduce_cw(x, tag="exp")
+    p = e.estrin(r, 13, tag="p13")
+    ni = e.op(Op.FCVT, n, tag="to-int")
+    sh = e.op(Op.ILOGIC, ni, tag="<<52")
+    e.op(Op.FSCALE, p, sh, dest=dest, tag="2^n*p")
+    return e.instrs
+
+
+def _build_exp_sleef_horner13(march: Microarch, args: Sequence[str], dest: str,
+                              prefix: str) -> list[Instruction]:
+    """Degree-13 Horner + sleef special-case selects (ARM-class)."""
+    (x,) = args
+    e = _Emit(prefix)
+    n, r = e.reduce_cw(x, tag="exp")
+    p = e.horner(r, 13, tag="p13")
+    y = e.scale_2n(p, n, tag="exp scale")
+    # sleef's overflow/underflow/NaN handling: compares + selects
+    m1 = e.op(Op.FCMP, x, tag="x > hi?")
+    m2 = e.op(Op.FCMP, x, tag="x < lo?")
+    y = e.op(Op.FSEL, y, m1, tag="sel inf")
+    e.op(Op.FSEL, y, m2, dest=dest, tag="sel 0")
+    return e.instrs
+
+
+def _build_exp_svml(march: Microarch, args: Sequence[str], dest: str,
+                    prefix: str) -> list[Instruction]:
+    """SVML-class: table lookup by permutes + degree-7 Estrin."""
+    (x,) = args
+    e = _Emit(prefix)
+    n, r = e.reduce_cw(x, tag="exp")
+    bits = e.op(Op.FCVT, n, tag="to-int")
+    idx = e.op(Op.ILOGIC, bits, tag="table index")
+    t_hi = e.op(Op.PERM, idx, tag="table hi")
+    t_lo = e.op(Op.PERM, idx, tag="table lo")
+    p = e.estrin(r, 7, tag="p7")
+    p = e.op(Op.FMA, p, t_lo, tag="p*tlo+...")
+    sc = e.op(Op.ILOGIC, bits, tag="exponent bits")
+    y = e.op(Op.FMUL, p, t_hi, tag="p*thi")
+    e.op(Op.FSCALE, y, sc, dest=dest, tag="2^m*y")
+    return e.instrs
+
+
+# ---------------------------------------------------------------------------
+# sin
+# ---------------------------------------------------------------------------
+
+
+def _build_sin(extra_ops: int, poly_deg: int, scheme: str = "estrin") -> BuildFn:
+    """sin kernel family: 3-part reduction, r^2, odd kernel, quadrant
+    selects; ``extra_ops`` models per-library special-case overhead and
+    ``scheme`` the polynomial evaluation order (sleef uses Horner)."""
+
+    def build(march: Microarch, args: Sequence[str], dest: str,
+              prefix: str) -> list[Instruction]:
+        (x,) = args
+        e = _Emit(prefix)
+        n = e.op(Op.FMA, x, tag="n=x*2/pi+magic")
+        n = e.op(Op.FADD, n, tag="n-=magic")
+        r = e.op(Op.FMA, x, n, tag="r=x-n*hi")
+        r = e.op(Op.FMA, r, n, tag="r-=n*mid")
+        r = e.op(Op.FMA, r, n, tag="r-=n*lo")
+        r2 = e.op(Op.FMUL, r, r, tag="r^2")
+        if scheme == "horner":
+            p = e.horner(r2, poly_deg, tag="odd kernel")
+        else:
+            p = e.estrin(r2, poly_deg, tag="odd kernel")
+        s = e.op(Op.FMUL, p, r, tag="r*P(r^2)")
+        q = e.op(Op.ILOGIC, n, tag="quadrant")
+        m = e.op(Op.FCMP, q, tag="sign mask")
+        y = e.op(Op.FSEL, s, m, tag="apply sign")
+        for k in range(extra_ops):
+            y = e.op(Op.FSEL if k % 2 else Op.FCMP, y, tag=f"special[{k}]")
+        e.op(Op.FMOV, y, dest=dest, tag="result")
+        return e.instrs
+
+    return build
+
+
+# ---------------------------------------------------------------------------
+# log
+# ---------------------------------------------------------------------------
+
+
+def _build_log(series_terms: int, extra_ops: int, fast_div: bool,
+               scheme: str = "estrin") -> BuildFn:
+    """log kernel family: frexp-style normalize, z=(m-1)/(m+1) (a divide —
+    Newton on good toolchains), atanh series, e*ln2 recombination."""
+
+    def build(march: Microarch, args: Sequence[str], dest: str,
+              prefix: str) -> list[Instruction]:
+        (x,) = args
+        e = _Emit(prefix)
+        mantissa = e.op(Op.ILOGIC, x, tag="mantissa bits")
+        expo = e.op(Op.ILOGIC, x, tag="exponent bits")
+        ef = e.op(Op.FCVT, expo, tag="e to float")
+        num = e.op(Op.FADD, mantissa, tag="m-1")
+        den = e.op(Op.FADD, mantissa, tag="m+1")
+        if fast_div:
+            rc = e.op(Op.FRECPE, den, tag="frecpe")
+            for step in range(2):
+                t = e.op(Op.FMA, den, rc, tag=f"nr{step}a")
+                rc = e.op(Op.FMA, rc, t, rc, tag=f"nr{step}b")
+            z = e.op(Op.FMUL, num, rc, tag="z=(m-1)*(1/(m+1))")
+        else:
+            z = e.op(Op.FDIV, num, den, tag="z=(m-1)/(m+1)")
+        w = e.op(Op.FMUL, z, z, tag="z^2")
+        if scheme == "horner":
+            s = e.horner(w, series_terms - 1, tag="atanh series")
+        else:
+            s = e.estrin(w, series_terms - 1, tag="atanh series")
+        s = e.op(Op.FMUL, s, z, tag="z*S(w)")
+        s = e.op(Op.FADD, s, s, tag="2*...")
+        y = e.op(Op.FMA, ef, s, tag="e*ln2_hi + logm")
+        y = e.op(Op.FMA, ef, y, tag="+ e*ln2_lo")
+        for k in range(extra_ops):
+            y = e.op(Op.FSEL if k % 2 else Op.FCMP, y, tag=f"special[{k}]")
+        e.op(Op.FMOV, y, dest=dest, tag="result")
+        return e.instrs
+
+    return build
+
+
+# ---------------------------------------------------------------------------
+# pow = exp(y * log x)
+# ---------------------------------------------------------------------------
+
+
+def _build_pow(log_build: BuildFn, exp_build: BuildFn,
+               dd_passes: int = 0) -> BuildFn:
+    """pow composition.  ``dd_passes`` > 0 models double-double arithmetic
+    (sleef-accurate): each pass adds an error-free-transform block of
+    ~8 dependent FMAs around the log and the multiply."""
+
+    def build(march: Microarch, args: Sequence[str], dest: str,
+              prefix: str) -> list[Instruction]:
+        x = args[0]
+        y = args[1] if len(args) > 1 else args[0]
+        e = _Emit(prefix)
+        lg = f"{prefix}.log"
+        e.instrs.extend(log_build(march, [x], lg, f"{prefix}.L"))
+        t = lg
+        for p in range(dd_passes):
+            # two-prod / two-sum blocks: dependent FMA ladders
+            for k in range(8):
+                t = e.op(Op.FMA, t, y, tag=f"dd[{p}].{k}")
+        t = e.op(Op.FMUL, t, y, tag="y*log(x)")
+        ex = f"{prefix}.exp"
+        e.instrs.extend(exp_build(march, [t], ex, f"{prefix}.E"))
+        e.op(Op.FMOV, ex, dest=dest, tag="result")
+        return e.instrs
+
+    return build
+
+
+# ---------------------------------------------------------------------------
+# The registry
+# ---------------------------------------------------------------------------
+
+_LOG_FAST = _build_log(series_terms=8, extra_ops=0, fast_div=True)
+_LOG_STD = _build_log(series_terms=10, extra_ops=2, fast_div=True)
+_LOG_SLEEF = _build_log(series_terms=10, extra_ops=4, fast_div=True, scheme="horner")
+_LOG_SVML = _build_log(series_terms=9, extra_ops=2, fast_div=True)
+
+RECIPES: dict[str, Recipe] = {
+    "exp_fexpa_estrin": Recipe(
+        name="exp_fexpa_estrin",
+        description="FEXPA-accelerated exp, 5-term Estrin (paper Sec. IV)",
+        build=_build_exp_fexpa,
+        numpy_fn=lambda x: exp_fexpa(x, scheme="estrin"),
+        requires_fexpa=True,
+    ),
+    "exp_fexpa_horner": Recipe(
+        name="exp_fexpa_horner",
+        description="FEXPA-accelerated exp, 5-term Horner (Sec. IV ablation)",
+        build=lambda m, a, d, p: _swap_poly(_build_exp_fexpa, m, a, d, p),
+        numpy_fn=lambda x: exp_fexpa(x, scheme="horner"),
+        requires_fexpa=True,
+    ),
+    "exp_table13_estrin": Recipe(
+        name="exp_table13_estrin",
+        description="plain-reduction exp, 13-term Estrin (Cray-class)",
+        build=_build_exp_table13_estrin,
+        numpy_fn=lambda x: exp_plain(x, scheme="estrin"),
+    ),
+    "exp_sleef_horner13": Recipe(
+        name="exp_sleef_horner13",
+        description="plain-reduction exp, 13-term Horner + selects (ARM-class)",
+        build=_build_exp_sleef_horner13,
+        numpy_fn=lambda x: exp_plain(x, scheme="horner"),
+    ),
+    "exp_svml": Recipe(
+        name="exp_svml",
+        description="table-lookup exp, degree-7 Estrin (Intel SVML-class)",
+        build=_build_exp_svml,
+        numpy_fn=lambda x: exp_plain(x, scheme="estrin"),
+    ),
+    "sin_fast": Recipe(
+        name="sin_fast",
+        description="quadrant-reduced sin, tight kernel (Fujitsu-class)",
+        build=_build_sin(extra_ops=0, poly_deg=7),
+        numpy_fn=sin_poly,
+    ),
+    "sin_std": Recipe(
+        name="sin_std",
+        description="quadrant-reduced sin (Cray-class)",
+        build=_build_sin(extra_ops=2, poly_deg=8),
+        numpy_fn=sin_poly,
+    ),
+    "sin_sleef": Recipe(
+        name="sin_sleef",
+        description="quadrant-reduced sin with full special cases (sleef)",
+        build=_build_sin(extra_ops=6, poly_deg=8, scheme="horner"),
+        numpy_fn=sin_poly,
+    ),
+    "sin_svml": Recipe(
+        name="sin_svml",
+        description="quadrant-reduced sin (Intel SVML-class)",
+        build=_build_sin(extra_ops=1, poly_deg=7),
+        numpy_fn=sin_poly,
+    ),
+    "log_fast": Recipe(
+        name="log_fast", description="atanh-series log (Fujitsu-class)",
+        build=_LOG_FAST, numpy_fn=log_poly,
+    ),
+    "log_std": Recipe(
+        name="log_std", description="atanh-series log (Cray-class)",
+        build=_LOG_STD, numpy_fn=log_poly,
+    ),
+    "log_sleef": Recipe(
+        name="log_sleef", description="atanh-series log (sleef-class)",
+        build=_LOG_SLEEF, numpy_fn=log_poly,
+    ),
+    "log_svml": Recipe(
+        name="log_svml", description="atanh-series log (SVML-class)",
+        build=_LOG_SVML, numpy_fn=log_poly,
+    ),
+    "pow_explog_fast": Recipe(
+        name="pow_explog_fast",
+        description="pow via fast log + FEXPA exp (Fujitsu-class)",
+        build=_build_pow(_LOG_FAST, _build_exp_fexpa),
+        numpy_fn=lambda x, y=1.5: pow_explog(x, y, accurate=False),
+        requires_fexpa=True,
+    ),
+    "pow_explog": Recipe(
+        name="pow_explog",
+        description="pow via standard log + exp (Cray-class)",
+        build=_build_pow(_LOG_STD, _build_exp_table13_estrin),
+        numpy_fn=lambda x, y=1.5: pow_explog(x, y, accurate=True),
+    ),
+    "pow_sleef": Recipe(
+        name="pow_sleef",
+        description="double-double accurate pow (sleef) — the 10x kernel",
+        build=_build_pow(_LOG_SLEEF, _build_exp_sleef_horner13, dd_passes=6),
+        numpy_fn=lambda x, y=1.5: pow_explog(x, y, accurate=True),
+    ),
+    "pow_svml": Recipe(
+        name="pow_svml",
+        description="pow via SVML log + exp (Intel-class)",
+        build=_build_pow(_LOG_SVML, _build_exp_svml),
+        numpy_fn=lambda x, y=1.5: pow_explog(x, y, accurate=True),
+    ),
+}
+
+
+def _swap_poly(base: BuildFn, march: Microarch, args: Sequence[str],
+               dest: str, prefix: str) -> list[Instruction]:
+    """Variant of the FEXPA kernel with the Estrin tree replaced by a
+    Horner chain (for the Section IV Horner-vs-Estrin comparison)."""
+    (x,) = args
+    e = _Emit(prefix)
+    n, r = e.reduce_cw(x, tag="exp64")
+    bits = e.op(Op.ILOGIC, n, tag="fexpa input bits")
+    s = e.op(Op.FEXPA, bits, tag="FEXPA")
+    p = e.horner(r, 5, tag="p5 horner")
+    e.instrs.append(Instruction(op=Op.FMUL, dest=dest, srcs=(s, p), tag="s*p"))
+    return e.instrs
+
+
+def build_recipe(name: str, march: Microarch, args: Sequence[str], dest: str,
+                 prefix: str) -> list[Instruction]:
+    """Build recipe *name* for *march*, producing *dest* from *args*."""
+    try:
+        recipe = RECIPES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown math recipe {name!r}; available: {sorted(RECIPES)}"
+        ) from None
+    if recipe.requires_fexpa and not march.has_fexpa:
+        raise ValueError(
+            f"recipe {name!r} needs the FEXPA instruction, absent on "
+            f"{march.name}"
+        )
+    return recipe.build(march, list(args), dest, prefix)
+
+
+def numpy_impl(name: str) -> Callable[..., np.ndarray]:
+    """The real numpy implementation backing recipe *name*."""
+    try:
+        return RECIPES[name].numpy_fn
+    except KeyError:
+        raise KeyError(f"unknown math recipe {name!r}") from None

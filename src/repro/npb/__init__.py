@@ -1,0 +1,49 @@
+"""NAS Parallel Benchmarks (NPB) — the Section V workload suite.
+
+Two layers, as everywhere in this reproduction:
+
+* **Real numerics at tractable scale** — EP is a complete, bit-exact
+  implementation of the NPB algorithm (official ``randlc`` LCG, Marsaglia
+  polar Gaussian pairs, annulus tallies); CG is a complete conjugate-
+  gradient/inverse-power-iteration benchmark on an NPB-structured sparse
+  matrix; BT, SP and LU are real ADI / Beam–Warming / SSOR solvers built
+  on genuine block-tridiagonal, pentadiagonal and relaxation kernels; UA
+  is a real adaptively-refined heat-transfer kernel with irregular
+  gather/scatter access.  All are verified by tests.
+* **Class-C workload signatures** (:mod:`repro.npb.workloads`) — flop,
+  traffic and math-call totals at the paper's problem sizes
+  (162^3 grids, 2^32 pairs, n=150000), driving the machine model to
+  regenerate Figures 3-6.
+"""
+
+from repro.npb.classes import CLASSES, ProblemClass
+from repro.npb.lcg import Randlc, randlc_batch
+from repro.npb.ep import EPResult, run_ep
+from repro.npb.cg import CGResult, run_cg
+from repro.npb.bt import BTMini
+from repro.npb.sp import SPMini
+from repro.npb.lu import LUMini
+from repro.npb.ua import UAMini
+from repro.npb.workloads import NPB_WORKLOADS, npb_workload
+from repro.npb.driver import BenchmarkReport, run_benchmark
+from repro.npb.characterize import signature_consistency
+
+__all__ = [
+    "CLASSES",
+    "ProblemClass",
+    "Randlc",
+    "randlc_batch",
+    "EPResult",
+    "run_ep",
+    "CGResult",
+    "run_cg",
+    "BTMini",
+    "SPMini",
+    "LUMini",
+    "UAMini",
+    "NPB_WORKLOADS",
+    "npb_workload",
+    "BenchmarkReport",
+    "run_benchmark",
+    "signature_consistency",
+]

@@ -1,0 +1,90 @@
+"""NPB problem-class parameter tables (S, W, A, B, C).
+
+Parameters follow the official NPB 3.x definitions; the paper runs
+class C ("We used dataset C for our experimentation"):
+
+* BT/SP/LU: 162^3 grids (LU 162^3), 200/400/250 iterations.
+* CG: n=150000, 15 nonzeros/row, 75 outer iterations, shift 110.
+* EP: 2^32 pairs.
+* UA: 33500 elements, 8 refinement levels, 200 iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ProblemClass", "CLASSES"]
+
+
+@dataclass(frozen=True)
+class ProblemClass:
+    """Per-class parameters for every benchmark in the suite."""
+
+    name: str
+    # EP
+    ep_log2_pairs: int
+    # CG
+    cg_n: int
+    cg_nonzer: int
+    cg_iters: int
+    cg_shift: float
+    # BT / SP / LU grids and iterations
+    bt_grid: int
+    bt_iters: int
+    sp_grid: int
+    sp_iters: int
+    lu_grid: int
+    lu_iters: int
+    # UA
+    ua_elements: int
+    ua_levels: int
+    ua_iters: int
+
+
+CLASSES: dict[str, ProblemClass] = {
+    "S": ProblemClass(
+        name="S",
+        ep_log2_pairs=24,
+        cg_n=1400, cg_nonzer=7, cg_iters=15, cg_shift=10.0,
+        bt_grid=12, bt_iters=60,
+        sp_grid=12, sp_iters=100,
+        lu_grid=12, lu_iters=50,
+        ua_elements=100, ua_levels=4, ua_iters=50,
+    ),
+    "W": ProblemClass(
+        name="W",
+        ep_log2_pairs=25,
+        cg_n=7000, cg_nonzer=8, cg_iters=15, cg_shift=12.0,
+        bt_grid=24, bt_iters=200,
+        sp_grid=36, sp_iters=400,
+        lu_grid=33, lu_iters=300,
+        ua_elements=500, ua_levels=5, ua_iters=100,
+    ),
+    "A": ProblemClass(
+        name="A",
+        ep_log2_pairs=28,
+        cg_n=14000, cg_nonzer=11, cg_iters=15, cg_shift=20.0,
+        bt_grid=64, bt_iters=200,
+        sp_grid=64, sp_iters=400,
+        lu_grid=64, lu_iters=250,
+        ua_elements=2500, ua_levels=6, ua_iters=200,
+    ),
+    "B": ProblemClass(
+        name="B",
+        ep_log2_pairs=30,
+        cg_n=75000, cg_nonzer=13, cg_iters=75, cg_shift=60.0,
+        bt_grid=102, bt_iters=200,
+        sp_grid=102, sp_iters=400,
+        lu_grid=102, lu_iters=250,
+        ua_elements=9500, ua_levels=7, ua_iters=200,
+    ),
+    "C": ProblemClass(
+        name="C",
+        ep_log2_pairs=32,
+        cg_n=150000, cg_nonzer=15, cg_iters=75, cg_shift=110.0,
+        bt_grid=162, bt_iters=200,
+        sp_grid=162, sp_iters=400,
+        lu_grid=162, lu_iters=250,
+        ua_elements=33500, ua_levels=8, ua_iters=200,
+    ),
+}

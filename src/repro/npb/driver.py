@@ -1,0 +1,145 @@
+"""Unified NPB runner: one interface over the six benchmarks.
+
+``run_benchmark("ep", "S")`` runs the real numerics (full EP/CG, the
+BT/SP/LU/UA mini solvers at the class's reduced scale) and returns a
+uniform :class:`BenchmarkReport` with the verification outcome — the
+NPB-style SUCCESSFUL/FAILED banner, programmatically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import require_in
+from repro.npb.classes import CLASSES
+
+__all__ = ["BenchmarkReport", "run_benchmark", "BENCHMARKS"]
+
+BENCHMARKS = ("ep", "cg", "bt", "sp", "lu", "ua")
+
+#: reduced iteration/grid settings per class for the mini solvers
+_MINI_SCALE = {
+    "S": {"grid": 8, "iters": 30},
+    "W": {"grid": 10, "iters": 40},
+    "A": {"grid": 12, "iters": 50},
+    "B": {"grid": 14, "iters": 60},
+    "C": {"grid": 16, "iters": 60},
+}
+
+
+@dataclass(frozen=True)
+class BenchmarkReport:
+    """Uniform result record for any NPB benchmark run."""
+
+    benchmark: str
+    klass: str
+    seconds: float
+    verified: bool
+    metric_name: str
+    metric_value: float
+    detail: str = ""
+
+    @property
+    def banner(self) -> str:
+        status = "SUCCESSFUL" if self.verified else "UNSUCCESSFUL"
+        return (
+            f" {self.benchmark.upper()} Benchmark Completed (class "
+            f"{self.klass}): VERIFICATION {status}\n"
+            f"   {self.metric_name} = {self.metric_value:.6e}   "
+            f"time = {self.seconds:.2f} s"
+        )
+
+
+def run_benchmark(name: str, klass: str = "S") -> BenchmarkReport:
+    """Run benchmark *name* at class *klass* and verify it.
+
+    EP and CG run the complete official algorithms (official verification
+    constants for the classes that have them); BT/SP/LU/UA run the real
+    mini solvers with their analytic acceptance tests (residual
+    reduction, convergence, conservation).
+    """
+    require_in(name.lower(), BENCHMARKS, "benchmark")
+    if klass not in CLASSES:
+        raise KeyError(f"unknown NPB class {klass!r}")
+    name = name.lower()
+    t0 = time.perf_counter()
+
+    if name == "ep":
+        from repro.npb.ep import run_ep
+
+        r = run_ep(klass)
+        return BenchmarkReport(
+            benchmark="ep", klass=klass, seconds=time.perf_counter() - t0,
+            verified=r.verified, metric_name="sx", metric_value=r.sx,
+            detail=f"sy={r.sy:.6e}, accepted={r.accepted}",
+        )
+
+    if name == "cg":
+        from repro.npb.cg import run_cg
+
+        r = run_cg(klass)
+        return BenchmarkReport(
+            benchmark="cg", klass=klass, seconds=time.perf_counter() - t0,
+            verified=r.verified, metric_name="zeta", metric_value=r.zeta,
+            detail=f"rnorm={r.rnorm:.2e}",
+        )
+
+    scale = _MINI_SCALE[klass]
+    if name == "bt":
+        from repro.npb.bt import BTMini
+
+        m = BTMini(n=scale["grid"], dt=0.05)
+        hist = m.run(scale["iters"])
+        ok = hist[-1] < hist[0] / 20 and m.error() < 0.05
+        return BenchmarkReport(
+            benchmark="bt", klass=klass, seconds=time.perf_counter() - t0,
+            verified=ok, metric_name="residual", metric_value=hist[-1],
+            detail=f"error vs manufactured solution = {m.error():.2e}",
+        )
+
+    if name == "sp":
+        from repro.npb.sp import SPMini
+
+        m = SPMini(n=max(scale["grid"], 6), dt=0.05)
+        hist = m.run(scale["iters"])
+        ok = hist[-1] < hist[0] / 50 and m.error() < 0.05
+        return BenchmarkReport(
+            benchmark="sp", klass=klass, seconds=time.perf_counter() - t0,
+            verified=ok, metric_name="residual", metric_value=hist[-1],
+            detail=f"error = {m.error():.2e}",
+        )
+
+    if name == "lu":
+        from repro.npb.lu import LUMini
+
+        m = LUMini(n=scale["grid"])
+        hist = m.iterate(max(scale["iters"] // 2, 10))
+        ref = m.solve_direct()
+        err = float(np.abs(m.u - ref).max())
+        ok = err < 1e-5
+        return BenchmarkReport(
+            benchmark="lu", klass=klass, seconds=time.perf_counter() - t0,
+            verified=ok, metric_name="residual", metric_value=hist[-1],
+            detail=f"max err vs direct solve = {err:.2e}",
+        )
+
+    # ua
+    from repro.npb.ua import UAMini
+
+    m = UAMini(base_level=2, max_level=min(2 + scale["grid"] // 6, 5))
+    stats = m.run(scale["iters"])
+    ok = (
+        stats["min"] >= 0.0
+        and np.isfinite(stats["max"])
+        and stats["total_heat"] > 0.0
+        and m.ncells >= 64
+    )
+    return BenchmarkReport(
+        benchmark="ua", klass=klass, seconds=time.perf_counter() - t0,
+        verified=ok, metric_name="total_heat",
+        metric_value=stats["total_heat"],
+        detail=f"cells={m.ncells}, max depth={m.max_depth}",
+    )

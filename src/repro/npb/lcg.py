@@ -1,0 +1,115 @@
+"""The official NPB linear congruential generator, vectorized.
+
+NPB's ``randlc`` is the 46-bit LCG
+
+    x_{k+1} = a * x_k  mod 2**46,      a = 5**13,  x_0 = 271828183
+
+The Fortran original simulates the 46-bit integer arithmetic with pairs
+of doubles (the ``r23``/``r46`` trick); here we do the same arithmetic
+*exactly* with 64-bit integers, splitting each 46-bit operand into
+23-bit halves so no product overflows 64 bits.
+
+The recurrence is serial, but because the generator is a pure modular
+power — ``x_k = a**k * x_0 mod 2**46`` — batches vectorize by building
+the table ``a**k`` with log-doubling (the same skip-ahead trick the
+MPI/OpenMP NPB versions use to give each rank a disjoint stream, and the
+paper's "manual call to a vectorized random number generator").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import require_positive
+
+__all__ = ["A_NPB", "SEED_NPB", "mulmod46", "powmod46", "randlc_batch", "Randlc"]
+
+#: NPB multiplier: 5**13
+A_NPB = 5**13
+#: default NPB EP seed
+SEED_NPB = 271828183
+
+_MASK23 = np.int64((1 << 23) - 1)
+_MOD46 = 1 << 46
+_R46 = 0.5**46
+
+
+def mulmod46(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Exact ``x * y mod 2**46`` for int64 arrays of 46-bit values.
+
+    Splits both operands into 23-bit halves; every partial product fits
+    comfortably in 64 bits (46 + 1 bits max before masking).
+    """
+    x = np.asarray(x, dtype=np.int64)
+    y = np.asarray(y, dtype=np.int64)
+    x1, x0 = x >> 23, x & _MASK23
+    y1, y0 = y >> 23, y & _MASK23
+    # t = (x1*y0 + x0*y1) mod 2**23 gives the middle bits; x1*y1 overflows
+    # past bit 46 entirely and drops out of the modulus.
+    t = (x1 * y0 + x0 * y1) & _MASK23
+    return ((t << 23) + x0 * y0) & np.int64(_MOD46 - 1)
+
+
+def powmod46(a: int, n: int) -> int:
+    """``a**n mod 2**46`` by binary exponentiation (exact Python ints)."""
+    if n < 0:
+        raise ValueError("exponent must be non-negative")
+    return pow(a, n, _MOD46)
+
+
+def randlc_batch(seed: int, n: int, a: int = A_NPB) -> np.ndarray:
+    """The first *n* uniforms of the stream, as float64 in (0, 1).
+
+    Returns ``x_1/2**46 .. x_n/2**46`` (matching NPB convention: the call
+    ``randlc(&x, a)`` advances first, then returns), computed exactly via
+    the power table ``a**k`` built by log-doubling.
+    """
+    require_positive(n, "n")
+    # powers[k] = a**(k+1) mod 2**46 for k = 0..n-1
+    powers = np.empty(n, dtype=np.int64)
+    powers[0] = a % _MOD46
+    filled = 1
+    while filled < n:
+        take = min(filled, n - filled)
+        # powers[filled:filled+take] = powers[:take] * a**filled
+        stride = np.int64(powmod46(a, filled))
+        powers[filled : filled + take] = mulmod46(powers[:take], stride)
+        filled += take
+    xs = mulmod46(powers, np.int64(seed % _MOD46))
+    return xs.astype(np.float64) * _R46
+
+
+class Randlc:
+    """Stateful batch interface to the NPB stream (skip-ahead capable)."""
+
+    def __init__(self, seed: int = SEED_NPB, a: int = A_NPB) -> None:
+        if seed <= 0:
+            raise ValueError("NPB seeds are positive odd integers")
+        self.a = a
+        self._seed0 = seed % _MOD46
+        self._k = 0  # values consumed so far
+
+    @property
+    def position(self) -> int:
+        return self._k
+
+    def skip(self, n: int) -> None:
+        """Advance the stream by *n* values without generating them."""
+        if n < 0:
+            raise ValueError("cannot skip backwards")
+        self._k += n
+
+    def next_batch(self, n: int) -> np.ndarray:
+        """The next *n* uniforms as float64 in (0, 1)."""
+        require_positive(n, "n")
+        # current state = a**k * seed0
+        state = mulmod46(
+            np.int64(powmod46(self.a, self._k)), np.int64(self._seed0)
+        )
+        out = randlc_batch(int(state), n, self.a)
+        self._k += n
+        return out
+
+    def next_scalar(self) -> float:
+        """One value (matches the serial ``randlc`` call exactly)."""
+        return float(self.next_batch(1)[0])

@@ -1,0 +1,194 @@
+"""SP mini-app: Beam-Warming ADI with scalar pentadiagonal solves.
+
+"SP ... based on a Beam-Warming approximate factorization ... The
+resulting system has Scalar Pentadiagonal bands of linear equations that
+are solved sequentially along each dimension.  It shows good load
+balancing behavior but poor cache behavior."  (paper, Sec. V)
+
+The pentadiagonal bands come from SP's fourth-order artificial
+dissipation: the implicit directional operator is
+
+    I + dt * (A d/dx + eps4 * h^-4 * (fourth difference))
+
+whose stencil ``(1, -4, 6, -4, 1)`` spans five points.
+:func:`penta_thomas` is the real scalar pentadiagonal Gaussian
+elimination, vectorized across lines; :class:`SPMini` drives the x/y/z
+factored sweeps on a 5-component system (the components decouple into
+independent scalar solves — exactly why SP's systems are scalar where
+BT's are block).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import require_positive
+
+__all__ = ["penta_thomas", "SPMini", "NCOMP"]
+
+NCOMP = 5
+
+
+def penta_thomas(bands: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve many scalar pentadiagonal systems without pivoting.
+
+    Parameters
+    ----------
+    bands:
+        Shape ``(nlines, n, 5)`` holding, per row, the coefficients of
+        offsets ``(-2, -1, 0, +1, +2)``.  Out-of-range band entries
+        (first/last two rows) are ignored.
+    rhs:
+        Shape ``(nlines, n)``.
+
+    The elimination is sequential along the line (SP's data dependence)
+    and vectorized across lines.  Diagonal dominance is assumed, as in
+    the benchmark (dissipation-dominated operators).
+    """
+    if bands.ndim != 3 or bands.shape[2] != 5:
+        raise ValueError("bands must have shape (nlines, n, 5)")
+    nlines, n, _ = bands.shape
+    if rhs.shape != (nlines, n):
+        raise ValueError(f"rhs shape {rhs.shape} != {(nlines, n)}")
+    if n < 3:
+        raise ValueError("need at least 3 rows")
+
+    a = bands[:, :, 0].copy()  # offset -2
+    b = bands[:, :, 1].copy()  # offset -1
+    c = bands[:, :, 2].copy()  # offset  0
+    d = bands[:, :, 3].copy()  # offset +1
+    e = bands[:, :, 4].copy()  # offset +2
+    f = rhs.copy()
+
+    # forward elimination of sub-diagonals b (k-1) and a (k-2)
+    for k in range(1, n):
+        m1 = b[:, k] / c[:, k - 1]
+        c[:, k] -= m1 * d[:, k - 1]
+        if k + 1 < n:
+            d[:, k] -= m1 * e[:, k - 1]
+        f[:, k] -= m1 * f[:, k - 1]
+        if k + 1 < n:
+            m2 = a[:, k + 1] / c[:, k - 1]
+            b[:, k + 1] -= m2 * d[:, k - 1]
+            c[:, k + 1] -= m2 * e[:, k - 1]
+            f[:, k + 1] -= m2 * f[:, k - 1]
+
+    # back substitution
+    x = np.empty_like(f)
+    x[:, -1] = f[:, -1] / c[:, -1]
+    x[:, -2] = (f[:, -2] - d[:, -2] * x[:, -1]) / c[:, -2]
+    for k in range(n - 3, -1, -1):
+        x[:, k] = (f[:, k] - d[:, k] * x[:, k + 1] - e[:, k] * x[:, k + 2]) / c[:, k]
+    return x
+
+
+@dataclass
+class SPMini:
+    """Reduced-scale SP: factored x/y/z pentadiagonal sweeps.
+
+    Solves ``u_t + sum_d a_d u_x_d = nu Lap(u) - eps4 sum_d h^3 D4_d u + f``
+    towards a manufactured steady state, with each implicit directional
+    operator pentadiagonal through the fourth-difference dissipation.
+    """
+
+    n: int = 16
+    dt: float = 0.02
+    nu: float = 0.05
+    eps4: float = 0.02
+    u: np.ndarray = field(init=False)
+    forcing: np.ndarray = field(init=False)
+    target: np.ndarray = field(init=False)
+    _adv: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        require_positive(self.n, "n")
+        require_positive(self.dt, "dt")
+        if self.n < 6:
+            raise ValueError("grid too small for five-point bands")
+        self._adv = 0.5 + 0.1 * np.arange(NCOMP)  # per-component wave speeds
+        self.u = np.zeros((self.n, self.n, self.n, NCOMP))
+        h = 1.0 / (self.n + 1)
+        x = np.sin(np.pi * h * np.arange(1, self.n + 1))
+        prof = x[:, None, None] * x[None, :, None] * x[None, None, :]
+        self.target = prof[..., None] * (1.0 + 0.1 * np.arange(NCOMP))
+        self.forcing = self._apply_spatial_operator(self.target)
+
+    def _shift(self, u: np.ndarray, off: int, axis: int) -> np.ndarray:
+        """Shift with zero (Dirichlet) boundaries."""
+        out = np.roll(u, -off, axis=axis)
+        sl = [slice(None)] * u.ndim
+        if off > 0:
+            sl[axis] = slice(-off, None)
+        else:
+            sl[axis] = slice(None, -off)
+        out[tuple(sl)] = 0.0
+        return out
+
+    def _apply_spatial_operator(self, u: np.ndarray) -> np.ndarray:
+        h = 1.0 / (self.n + 1)
+        out = np.zeros_like(u)
+        for axis in range(3):
+            up1 = self._shift(u, +1, axis)
+            dn1 = self._shift(u, -1, axis)
+            up2 = self._shift(u, +2, axis)
+            dn2 = self._shift(u, -2, axis)
+            conv = (up1 - dn1) / (2 * h) * self._adv
+            diff = (up1 - 2 * u + dn1) / (h * h)
+            fourth = (up2 - 4 * up1 + 6 * u - 4 * dn1 + dn2) / h
+            out += conv - self.nu * diff + self.eps4 * fourth
+        return out
+
+    def _direction_bands(self, axis: int) -> np.ndarray:
+        """Pentadiagonal bands of ``I + dt * D_axis`` (per component)."""
+        h = 1.0 / (self.n + 1)
+        n = self.n
+        bands = np.zeros((NCOMP, n, 5))
+        for comp in range(NCOMP):
+            adv = self._adv[comp]
+            bands[comp, :, 0] = self.dt * self.eps4 / h
+            bands[comp, :, 1] = self.dt * (
+                -adv / (2 * h) - self.nu / (h * h) - 4 * self.eps4 / h
+            )
+            bands[comp, :, 2] = 1.0 + self.dt * (
+                2 * self.nu / (h * h) + 6 * self.eps4 / h
+            )
+            bands[comp, :, 3] = self.dt * (
+                adv / (2 * h) - self.nu / (h * h) - 4 * self.eps4 / h
+            )
+            bands[comp, :, 4] = self.dt * self.eps4 / h
+        return bands
+
+    def _sweep(self, rhs: np.ndarray, axis: int) -> np.ndarray:
+        moved = np.moveaxis(rhs, axis, 2)  # (a, b, line, comp)
+        shape = moved.shape
+        bands_c = self._direction_bands(axis)
+        out = np.empty_like(moved)
+        nlines = shape[0] * shape[1]
+        for comp in range(NCOMP):
+            lines = moved[..., comp].reshape(nlines, shape[2])
+            bands = np.broadcast_to(
+                bands_c[comp], (nlines, self.n, 5)
+            )
+            out[..., comp] = penta_thomas(bands, lines).reshape(shape[:3])
+        return np.moveaxis(out, 2, axis)
+
+    def residual(self) -> float:
+        r = self.forcing - self._apply_spatial_operator(self.u)
+        return float(np.sqrt(np.mean(r * r)))
+
+    def error(self) -> float:
+        d = self.u - self.target
+        return float(np.sqrt(np.mean(d * d)))
+
+    def step(self) -> float:
+        rhs = self.dt * (self.forcing - self._apply_spatial_operator(self.u))
+        for axis in range(3):
+            rhs = self._sweep(rhs, axis)
+        self.u += rhs
+        return self.residual()
+
+    def run(self, iters: int) -> list[float]:
+        require_positive(iters, "iters")
+        return [self.step() for _ in range(iters)]

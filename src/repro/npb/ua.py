@@ -1,0 +1,230 @@
+"""UA mini-app: heat transfer on an adaptively refined unstructured mesh.
+
+"UA: Provides the solution of a stylized heat transfer problem in a cubic
+domain, discretized on an adaptively refined, and unstructured mesh.  The
+benchmark features irregular, dynamic memory accesses."  (paper, Sec. V)
+
+This reduced-scale version keeps exactly those characteristics:
+
+* an **octree mesh** over the unit cube whose leaves refine around a
+  moving Gaussian heat source and coarsen behind it (the mesh changes
+  every ``adapt_every`` steps — the *dynamic* part);
+* an explicit diffusion step whose neighbour lookups go through hash/
+  index tables rather than strides (the *irregular gather* part —
+  neighbour values are sampled from whatever leaf covers the face
+  neighbour's center, across refinement levels);
+* per-leaf heat content bookkeeping so tests can check the maximum
+  principle and approximate conservation.
+
+The mesh machinery (keys, refinement, neighbour resolution) is real and
+tested; it is deliberately small (pure dict + numpy arrays), not a
+production AMR framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import require_positive
+
+__all__ = ["UAMini"]
+
+Key = tuple[int, int, int, int]  # (level, i, j, k)
+
+
+@dataclass
+class UAMini:
+    """Adaptive octree heat solver.
+
+    Parameters
+    ----------
+    base_level: level of the uniform starting mesh (cells = 8**level).
+    max_level: finest refinement level allowed.
+    refine_radius: cells within this distance of the source refine.
+    kappa: diffusivity.
+    """
+
+    base_level: int = 2
+    max_level: int = 4
+    refine_radius: float = 0.26
+    kappa: float = 0.02
+    adapt_every: int = 5
+    source_amp: float = 1.0
+    keys: list[Key] = field(init=False)
+    values: np.ndarray = field(init=False)
+    time: float = field(init=False, default=0.0)
+    _step_count: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        require_positive(self.base_level, "base_level")
+        if self.max_level < self.base_level:
+            raise ValueError("max_level must be >= base_level")
+        n = 1 << self.base_level
+        self.keys = [
+            (self.base_level, i, j, k)
+            for i in range(n)
+            for j in range(n)
+            for k in range(n)
+        ]
+        self.values = np.zeros(len(self.keys))
+        self._adapt()
+
+    # -- geometry helpers ----------------------------------------------------
+    @staticmethod
+    def cell_center(key: Key) -> tuple[float, float, float]:
+        lvl, i, j, k = key
+        h = 1.0 / (1 << lvl)
+        return ((i + 0.5) * h, (j + 0.5) * h, (k + 0.5) * h)
+
+    @staticmethod
+    def cell_size(key: Key) -> float:
+        return 1.0 / (1 << key[0])
+
+    def source_center(self) -> tuple[float, float, float]:
+        """The heat source orbits the domain center — the moving load
+        that makes UA's access pattern *dynamic*."""
+        t = self.time
+        return (
+            0.5 + 0.25 * np.cos(2 * np.pi * t),
+            0.5 + 0.25 * np.sin(2 * np.pi * t),
+            0.5,
+        )
+
+    def _wants_refine(self, key: Key) -> bool:
+        cx, cy, cz = self.cell_center(key)
+        sx, sy, sz = self.source_center()
+        d = ((cx - sx) ** 2 + (cy - sy) ** 2 + (cz - sz) ** 2) ** 0.5
+        return d < self.refine_radius and key[0] < self.max_level
+
+    # -- adaptation ------------------------------------------------------------
+    def _adapt(self) -> None:
+        """Refine leaves near the source, coarsen far siblings.
+
+        Refinement splits a leaf into its 8 children (value copied —
+        preserving total heat since children sum to the parent volume);
+        coarsening merges sibling octets into the volume-weighted mean.
+        """
+        # refinement pass
+        new_keys: list[Key] = []
+        new_vals: list[float] = []
+        for key, val in zip(self.keys, self.values):
+            if self._wants_refine(key):
+                lvl, i, j, k = key
+                for di in range(2):
+                    for dj in range(2):
+                        for dk in range(2):
+                            new_keys.append(
+                                (lvl + 1, 2 * i + di, 2 * j + dj, 2 * k + dk)
+                            )
+                            new_vals.append(float(val))
+            else:
+                new_keys.append(key)
+                new_vals.append(float(val))
+
+        # coarsening pass: merge complete octets that no longer refine
+        by_parent: dict[Key, list[int]] = {}
+        for idx, key in enumerate(new_keys):
+            lvl, i, j, k = key
+            if lvl > self.base_level:
+                parent = (lvl - 1, i // 2, j // 2, k // 2)
+                by_parent.setdefault(parent, []).append(idx)
+        drop: set[int] = set()
+        merged: list[tuple[Key, float]] = []
+        for parent, children in by_parent.items():
+            if len(children) == 8 and not self._wants_refine(parent):
+                if all(not self._wants_refine(new_keys[c]) for c in children):
+                    val = float(np.mean([new_vals[c] for c in children]))
+                    merged.append((parent, val))
+                    drop.update(children)
+        keys = [k for idx, k in enumerate(new_keys) if idx not in drop]
+        vals = [v for idx, v in enumerate(new_vals) if idx not in drop]
+        for key, val in merged:
+            keys.append(key)
+            vals.append(val)
+        self.keys = keys
+        self.values = np.asarray(vals)
+        self._index = {key: idx for idx, key in enumerate(self.keys)}
+
+    # -- neighbour resolution -----------------------------------------------------
+    def _leaf_at(self, x: float, y: float, z: float) -> int | None:
+        """Index of the leaf containing point (x, y, z), or None outside."""
+        if not (0 <= x < 1 and 0 <= y < 1 and 0 <= z < 1):
+            return None
+        for lvl in range(self.max_level, self.base_level - 1, -1):
+            n = 1 << lvl
+            key = (lvl, int(x * n), int(y * n), int(z * n))
+            idx = self._index.get(key)
+            if idx is not None:
+                return idx
+        return None
+
+    def build_neighbor_table(self) -> tuple[np.ndarray, np.ndarray]:
+        """(ncells, 6) neighbour indices and a validity mask.
+
+        This is the irregular index structure the diffusion gather uses —
+        rebuilding it after each adaptation is UA's "dynamic memory
+        access" behaviour.
+        """
+        ncells = len(self.keys)
+        nbr = np.zeros((ncells, 6), dtype=np.int64)
+        valid = np.zeros((ncells, 6), dtype=bool)
+        for idx, key in enumerate(self.keys):
+            cx, cy, cz = self.cell_center(key)
+            h = self.cell_size(key)
+            for face, (dx, dy, dz) in enumerate(
+                ((h, 0, 0), (-h, 0, 0), (0, h, 0), (0, -h, 0), (0, 0, h), (0, 0, -h))
+            ):
+                j = self._leaf_at(cx + dx, cy + dy, cz + dz)
+                if j is not None:
+                    nbr[idx, face] = j
+                    valid[idx, face] = True
+        return nbr, valid
+
+    # -- physics ----------------------------------------------------------------
+    def _source_field(self) -> np.ndarray:
+        sx, sy, sz = self.source_center()
+        centers = np.asarray([self.cell_center(k) for k in self.keys])
+        d2 = ((centers - np.asarray([sx, sy, sz])) ** 2).sum(axis=1)
+        return self.source_amp * np.exp(-d2 / (2 * 0.05**2))
+
+    def total_heat(self) -> float:
+        vols = np.asarray([self.cell_size(k) ** 3 for k in self.keys])
+        return float(np.sum(vols * self.values))
+
+    def step(self, dt: float | None = None) -> None:
+        """One explicit diffusion + source step (insulated boundaries)."""
+        sizes = np.asarray([self.cell_size(k) for k in self.keys])
+        if dt is None:
+            hmin = float(sizes.min())
+            dt = 0.1 * hmin * hmin / self.kappa
+        nbr, valid = self.build_neighbor_table()
+        u = self.values
+        nbr_vals = np.where(valid, u[nbr], u[:, None])  # insulated: mirror
+        lap = (nbr_vals - u[:, None]).sum(axis=1) / (sizes * sizes)
+        self.values = u + dt * (self.kappa * lap + self._source_field())
+        self.time += dt
+        self._step_count += 1
+        if self._step_count % self.adapt_every == 0:
+            self._adapt()
+
+    def run(self, steps: int) -> dict[str, float]:
+        """Run *steps* steps; returns summary statistics for tests."""
+        require_positive(steps, "steps")
+        for _ in range(steps):
+            self.step()
+        return {
+            "cells": float(len(self.keys)),
+            "total_heat": self.total_heat(),
+            "max": float(self.values.max()),
+            "min": float(self.values.min()),
+        }
+
+    @property
+    def ncells(self) -> int:
+        return len(self.keys)
+
+    @property
+    def max_depth(self) -> int:
+        return max(k[0] for k in self.keys)

@@ -1,0 +1,110 @@
+"""Tests for the LULESH hex-element kernels (Base vs Vect parity)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.lulesh.hexkernels import (
+    characteristic_length,
+    hex_volumes_base,
+    hex_volumes_vect,
+    make_box_mesh,
+    shape_function_derivatives,
+)
+
+
+class TestMesh:
+    def test_box_counts(self):
+        coords, conn = make_box_mesh(4)
+        assert coords.shape == ((5) ** 3, 3)
+        assert conn.shape == (64, 8)
+
+    def test_connectivity_in_range(self):
+        coords, conn = make_box_mesh(3, jitter=0.2)
+        assert conn.min() >= 0
+        assert conn.max() < coords.shape[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_box_mesh(0)
+
+
+class TestVolumes:
+    def test_unit_cube_elements(self):
+        coords, conn = make_box_mesh(4)
+        v = hex_volumes_vect(coords, conn)
+        assert np.allclose(v, (1.0 / 4.0) ** 3)
+
+    def test_total_volume_invariant_under_jitter(self):
+        """Interior jitter redistributes volume but conserves the total —
+        the box is still the box."""
+        coords, conn = make_box_mesh(5, jitter=0.4, seed=2)
+        v = hex_volumes_vect(coords, conn)
+        assert np.sum(v) == pytest.approx(1.0, rel=1e-12)
+        assert np.all(v > 0)
+
+    def test_base_equals_vect_bitwise(self):
+        """Table II's Base and Vect compute the same thing — only the
+        loop structure differs."""
+        coords, conn = make_box_mesh(4, jitter=0.3, seed=1)
+        assert np.array_equal(hex_volumes_base(coords, conn),
+                              hex_volumes_vect(coords, conn))
+
+    def test_sheared_parallelepiped(self):
+        # shear preserves volume (det of shear = 1)
+        coords, conn = make_box_mesh(2)
+        sheared = coords.copy()
+        sheared[:, 0] += 0.3 * coords[:, 1]
+        v = hex_volumes_vect(sheared, conn)
+        assert np.allclose(v, 0.125)
+
+    @given(st.floats(min_value=0.1, max_value=3.0),
+           st.floats(min_value=0.1, max_value=3.0),
+           st.floats(min_value=0.1, max_value=3.0))
+    @settings(max_examples=30, deadline=None)
+    def test_scaling_property(self, sx, sy, sz):
+        coords, conn = make_box_mesh(2)
+        scaled = coords * np.array([sx, sy, sz])
+        v = hex_volumes_vect(scaled, conn)
+        assert np.allclose(v, 0.125 * sx * sy * sz, rtol=1e-10)
+
+
+class TestShapeFunctions:
+    def test_det_matches_volume_for_uniform_hexes(self):
+        coords, conn = make_box_mesh(3)
+        _, det = shape_function_derivatives(coords, conn)
+        v = hex_volumes_vect(coords, conn)
+        assert np.allclose(det, v, rtol=1e-12)
+
+    def test_b_matrix_rows_sum_to_zero(self):
+        """Constant fields have zero gradient: sum of the B-matrix over
+        the 8 nodes vanishes per direction."""
+        coords, conn = make_box_mesh(3, jitter=0.3, seed=4)
+        b, _ = shape_function_derivatives(coords, conn)
+        assert np.allclose(b.sum(axis=2), 0.0, atol=1e-14)
+
+    def test_b_matrix_linear_consistency(self):
+        """For u = x, sum_n B[0, n] * x_n must equal the volume-weighted
+        gradient (= det * 8 scaling of the centroid Jacobian)."""
+        coords, conn = make_box_mesh(3)
+        b, det = shape_function_derivatives(coords, conn)
+        x_nodes = coords[conn][:, :, 0]  # (nelem, 8)
+        grad = np.einsum("en,en->e", b[:, 0, :], x_nodes)
+        assert np.allclose(grad, det, rtol=1e-12)
+
+
+class TestCharacteristicLength:
+    def test_uniform_cubes(self):
+        coords, conn = make_box_mesh(4)
+        cl = characteristic_length(coords, conn)
+        h = 0.25
+        # LULESH's areaFace term for a cube face evaluates to (2h^2)^2,
+        # giving charLen = 4*h^3 / sqrt(16 h^4) = h — the edge length
+        assert np.allclose(cl, h, rtol=1e-12)
+
+    def test_positive_on_jittered_mesh(self):
+        coords, conn = make_box_mesh(5, jitter=0.4, seed=9)
+        cl = characteristic_length(coords, conn)
+        assert np.all(cl > 0)
+        assert np.all(cl < 1.0)

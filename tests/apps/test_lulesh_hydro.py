@@ -1,0 +1,96 @@
+"""Tests for the Sedov-blast Lagrangian hydro solver — the 'analytic
+answers' LULESH is defined by (paper Sec. VI)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.lulesh.hydro import GAMMA, SedovSpherical
+
+
+@pytest.fixture(scope="module")
+def evolved():
+    s = SedovSpherical(nzones=150)
+    ts, rs = [], []
+    for t_end in (0.02, 0.04, 0.08, 0.16, 0.32):
+        s.run(t_end)
+        ts.append(s.t)
+        rs.append(s.shock_radius())
+    return s, np.array(ts), np.array(rs)
+
+
+class TestConservation:
+    def test_mass_exactly_conserved(self, evolved):
+        s, _, _ = evolved
+        expected = s.rho0 * (4.0 / 3.0) * np.pi * s.rmax**3
+        assert s.total_mass() == pytest.approx(expected, rel=1e-12)
+
+    def test_energy_conserved_to_scheme_accuracy(self, evolved):
+        s, _, _ = evolved
+        assert s.total_energy() == pytest.approx(s.e_blast, rel=0.02)
+
+    def test_density_positive(self, evolved):
+        s, _, _ = evolved
+        assert np.all(s.rho > 0)
+
+    def test_mesh_stays_ordered(self, evolved):
+        s, _, _ = evolved
+        assert np.all(np.diff(s.r) > 0)
+
+
+class TestSedovSimilarity:
+    def test_shock_exponent(self, evolved):
+        """r_s ~ t^(2/5): the Sedov-Taylor point-blast similarity law."""
+        _, ts, rs = evolved
+        slope = np.polyfit(np.log(ts), np.log(rs), 1)[0]
+        assert slope == pytest.approx(SedovSpherical.sedov_exponent(),
+                                      abs=0.04)
+
+    def test_shock_moves_outward(self, evolved):
+        _, _, rs = evolved
+        assert np.all(np.diff(rs) > 0)
+
+    def test_density_jump_near_strong_shock_limit(self, evolved):
+        """Rankine-Hugoniot: peak compression approaches
+        (gamma+1)/(gamma-1) = 6 for gamma = 1.4 (artificial viscosity
+        smears it somewhat)."""
+        s, _, _ = evolved
+        limit = (GAMMA + 1) / (GAMMA - 1)
+        assert 0.5 * limit < np.max(s.rho) <= 1.1 * limit
+
+    def test_resolution_convergence(self):
+        """Shock position converges with mesh refinement."""
+        radii = []
+        for nz in (50, 100, 200):
+            s = SedovSpherical(nzones=nz)
+            s.run(0.1)
+            radii.append(s.shock_radius())
+        assert abs(radii[2] - radii[1]) < abs(radii[1] - radii[0]) + 0.01
+
+
+class TestMechanics:
+    def test_dt_positive_and_bounded(self):
+        s = SedovSpherical(nzones=60)
+        dt = s.step()
+        assert 0 < dt < 0.01
+
+    def test_origin_pinned(self):
+        s = SedovSpherical(nzones=60)
+        s.run(0.05)
+        assert s.r[0] == 0.0
+        assert s.u[0] == 0.0
+
+    def test_run_reports_cycles(self):
+        s = SedovSpherical(nzones=60)
+        n = s.run(0.02)
+        assert n == s.cycles > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SedovSpherical(nzones=5)
+        with pytest.raises(ValueError):
+            SedovSpherical(nzones=60).run(-1.0)
+
+    def test_max_cycles_guard(self):
+        s = SedovSpherical(nzones=60)
+        with pytest.raises(RuntimeError):
+            s.run(10.0, max_cycles=3)

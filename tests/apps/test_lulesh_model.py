@@ -1,0 +1,85 @@
+"""Tests for the Table II / Figure 7 LULESH timing model."""
+
+import pytest
+
+from repro.apps.lulesh.model import (
+    TABLE2_PAPER,
+    lulesh_time,
+    table2_rows,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return {r["compiler"]: r for r in table2_rows()}
+
+
+class TestBaseSingleThread:
+    def test_a64fx_compilers_agree(self, rows):
+        """Table II Base(st): 2.030-2.055 s on every A64FX toolchain —
+        the reference code is scalar everywhere, so the machine's scalar
+        rate dominates and the compilers converge."""
+        vals = [rows[c]["base_st"] for c in ("arm", "cray", "fujitsu", "gnu")]
+        assert max(vals) / min(vals) < 1.25
+
+    @pytest.mark.parametrize("compiler", ["arm", "cray", "fujitsu", "gnu"])
+    def test_a64fx_base_st_matches_paper(self, rows, compiler):
+        got = rows[compiler]["base_st"]
+        paper = TABLE2_PAPER[(compiler, "base")]["st"]
+        assert got == pytest.approx(paper, rel=0.20)
+
+    def test_intel_base_st(self, rows):
+        # the 5x scalar gap: 0.395 s vs ~2.05 s
+        assert rows["intel"]["base_st"] == pytest.approx(0.395, rel=0.20)
+
+    def test_scalar_gap_is_about_5x(self, rows):
+        gap = rows["gnu"]["base_st"] / rows["intel"]["base_st"]
+        assert 3.5 <= gap <= 6.5
+
+
+class TestVectVariant:
+    @pytest.mark.parametrize("compiler", ["arm", "cray", "fujitsu", "gnu",
+                                          "intel"])
+    def test_vect_faster_than_base(self, rows, compiler):
+        """'promising vectorization for LULESH based on code tuned for
+        Intel architectures'"""
+        assert rows[compiler]["vect_st"] < rows[compiler]["base_st"]
+
+    @pytest.mark.parametrize("compiler", ["arm", "cray", "fujitsu", "gnu"])
+    def test_vect_st_magnitude(self, rows, compiler):
+        got = rows[compiler]["vect_st"]
+        paper = TABLE2_PAPER[(compiler, "vect")]["st"]
+        assert got == pytest.approx(paper, rel=0.30)
+
+
+class TestMultiThread:
+    @pytest.mark.parametrize("compiler", ["arm", "cray", "fujitsu", "gnu",
+                                          "intel"])
+    def test_mt_much_faster(self, rows, compiler):
+        assert rows[compiler]["base_mt"] < rows[compiler]["base_st"] / 10
+
+    @pytest.mark.parametrize("compiler", ["arm", "cray", "fujitsu", "gnu"])
+    def test_a64fx_base_mt_magnitude(self, rows, compiler):
+        got = rows[compiler]["base_mt"]
+        paper = TABLE2_PAPER[(compiler, "base")]["mt"]
+        assert got == pytest.approx(paper, rel=0.45)
+
+    def test_a64fx_catches_up_at_full_node(self, rows):
+        """Fig. 7's point: the 5x single-thread gap shrinks to ~2x at
+        full node (48 slow cores vs 32 derated fast ones)."""
+        st_gap = rows["gnu"]["base_st"] / rows["intel"]["base_st"]
+        mt_gap = rows["gnu"]["base_mt"] / rows["intel"]["base_mt"]
+        assert mt_gap < st_gap / 2
+
+
+class TestInterface:
+    def test_lulesh_time_variants(self):
+        assert lulesh_time("gnu", "base") > lulesh_time("gnu", "vect")
+        with pytest.raises(ValueError):
+            lulesh_time("gnu", "turbo")
+
+    def test_rows_carry_paper_values(self, rows):
+        for r in rows.values():
+            for variant in ("base", "vect"):
+                for mode in ("st", "mt"):
+                    assert f"paper_{variant}_{mode}" in r

@@ -1,0 +1,56 @@
+"""Tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_help(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "Commands" in out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out and "table3" in out
+
+    def test_run_single(self, capsys):
+        assert main(["run", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Ookami" in out
+        assert "57.6" in out
+
+    def test_run_unknown(self, capsys):
+        assert main(["run", "fig99"]) == 1
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_asm(self, capsys):
+        assert main(["asm", "sqrt", "gnu"]) == 0
+        out = capsys.readouterr().out
+        assert "fsqrt" in out
+        assert "cycles/element" in out
+
+    def test_asm_intel_targets_skylake(self, capsys):
+        assert main(["asm", "simple", "intel"]) == 0
+        out = capsys.readouterr().out
+        assert "zmm" in out
+
+    def test_asm_usage(self, capsys):
+        assert main(["asm", "sqrt"]) == 1
+        assert "usage" in capsys.readouterr().out
+
+    def test_pipeline(self, capsys):
+        assert main(["pipeline", "simple", "fujitsu"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle" in out and "legend" in out
+
+    def test_unknown_command(self, capsys):
+        assert main(["frobnicate"]) == 1
+
+    @pytest.mark.slow
+    def test_verify(self, capsys):
+        assert main(["verify"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("OK") == 5

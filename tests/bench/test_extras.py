@@ -1,0 +1,56 @@
+"""Tests for the EXTRAS registry (beyond-the-paper studies)."""
+
+import pytest
+
+from repro.bench.harness import EXPERIMENTS, EXTRAS, run_all, run_experiment
+from repro.bench.report import render_experiment
+
+
+class TestExtrasRegistry:
+    def test_expected_set(self):
+        assert set(EXTRAS) == {
+            "accuracy", "ladder", "stream", "gups", "ptrans",
+            "ablations", "roofline",
+        }
+
+    def test_disjoint_from_paper_artifacts(self):
+        assert not set(EXTRAS) & set(EXPERIMENTS)
+
+    @pytest.mark.parametrize("exp_id", ["ladder", "stream", "gups",
+                                        "ptrans", "roofline"])
+    def test_cheap_extras_run(self, exp_id):
+        rows = run_experiment(exp_id)
+        assert rows and all(isinstance(r, dict) for r in rows)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("exp_id", ["accuracy", "ablations"])
+    def test_heavy_extras_run(self, exp_id):
+        assert run_experiment(exp_id)
+
+    def test_render_extra(self):
+        text = render_experiment("gups")
+        assert "ookami" in text
+
+    def test_run_all_excludes_extras_by_default(self):
+        # run_all() without extras must be the paper's artifact set
+        assert set(run_all()) == set(EXPERIMENTS)
+
+    def test_unknown_mentions_extras(self):
+        with pytest.raises(KeyError, match="extras"):
+            run_experiment("fig99")
+
+
+class TestExtrasContent:
+    def test_stream_node_ratio(self):
+        rows = run_experiment("stream")
+        by = {(r["system"], r["threads"]): r["triad_gbs"] for r in rows}
+        assert by[("ookami", 48)] / by[("skylake", 36)] > 4.0
+
+    def test_ladder_reaches_three_orders(self):
+        rows = run_experiment("ladder")
+        assert rows[-1]["speedup"] > 300
+
+    def test_ptrans_multi_node_comm_bound(self):
+        rows = run_experiment("ptrans")
+        ook = {r["nodes"]: r["gbs"] for r in rows if r["system"] == "ookami"}
+        assert ook[8] < ook[1]

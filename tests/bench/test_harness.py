@@ -1,0 +1,63 @@
+"""Tests for the experiment registry and report rendering."""
+
+import pytest
+
+from repro._util import format_table, geomean
+from repro.bench.harness import EXPERIMENTS, run_all, run_experiment
+from repro.bench.report import render_experiment, render_rows
+
+
+class TestRegistry:
+    def test_covers_every_paper_artifact(self):
+        """Every table and figure of the evaluation must be registered."""
+        expected = {
+            "table1", "fig1", "fig2", "sec4", "fig3", "fig4", "fig5",
+            "fig6", "table2", "fig7", "table3", "fig8", "fig9ab", "fig9cd",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_run_experiment(self):
+        rows = run_experiment("table3")
+        assert len(rows) == 5
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="available"):
+            run_experiment("fig99")
+
+    @pytest.mark.slow
+    def test_run_all_returns_rows_everywhere(self):
+        results = run_all()
+        for exp_id, rows in results.items():
+            assert rows, exp_id
+            assert all(isinstance(r, dict) for r in rows)
+
+
+class TestRendering:
+    def test_render_rows(self):
+        text = render_rows("Title", [{"a": 1, "b": 2.5}])
+        assert "Title" in text and "a" in text and "2.5" in text
+
+    def test_render_experiment(self):
+        text = render_experiment("table1")
+        assert "fujitsu" in text
+        assert "-Kfast" in text
+
+    def test_render_unknown(self):
+        with pytest.raises(KeyError):
+            render_experiment("fig99")
+
+
+class TestUtil:
+    def test_format_table_empty(self):
+        assert "empty" in format_table([])
+
+    def test_format_table_column_order(self):
+        text = format_table([{"x": 1, "y": 2}], columns=["y", "x"])
+        assert text.index("y") < text.index("x")
+
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, -1.0])

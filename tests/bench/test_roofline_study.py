@@ -1,0 +1,53 @@
+"""Tests: the roofline analysis must explain the Fig. 4 winners."""
+
+import pytest
+
+from repro.bench.roofline_study import (
+    crossover_intensity,
+    roofline_positions,
+    workload_intensity,
+)
+
+
+@pytest.fixture(scope="module")
+def positions():
+    return {r["workload"]: r for r in roofline_positions()}
+
+
+class TestIntensities:
+    def test_ep_is_compute_only(self):
+        assert workload_intensity("EP") == float("inf")
+
+    def test_sp_is_the_most_bandwidth_hungry(self):
+        grids = {b: workload_intensity(b) for b in ("BT", "SP", "LU")}
+        assert min(grids, key=grids.get) == "SP"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            workload_intensity("FT")
+
+
+class TestPositions:
+    def test_memory_bound_apps_favour_a64fx(self, positions):
+        """The roofline explanation of the Fig. 4 pattern."""
+        for bench in ("SP", "CG"):
+            assert positions[bench]["roofline_favours"] == "A64FX"
+            assert positions[bench]["regime"] == "memory-bound"
+
+    def test_ep_regime(self, positions):
+        assert positions["EP"]["regime"] == "compute-bound"
+
+    def test_attainable_below_peaks(self, positions):
+        from repro.machine.systems import get_system
+
+        a_peak = get_system("ookami").peak_gflops_node
+        s_peak = get_system("skylake").peak_gflops_node
+        for r in positions.values():
+            assert r["a64fx_attainable_gflops"] <= a_peak + 1
+            assert r["skylake_attainable_gflops"] <= s_peak + 1
+
+    def test_crossover_in_plausible_band(self):
+        """The Skylake node is closest to the A64FX somewhere between
+        the two machines' ridge points."""
+        x = crossover_intensity()
+        assert 1.0 < x < 50.0

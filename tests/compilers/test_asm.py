@@ -1,0 +1,75 @@
+"""Tests for the pseudo-assembly renderer."""
+
+import pytest
+
+from repro.compilers.asm import render_asm, render_compiled_loop
+from repro.compilers.codegen import compile_loop
+from repro.compilers.toolchains import FUJITSU, GNU, INTEL
+from repro.kernels.loops import build_loop
+from repro.machine.isa import Instruction, InstructionStream, Op
+from repro.machine.microarch import A64FX, SKYLAKE_6140
+
+
+class TestRenderAsm:
+    def test_sve_flavour_on_a64fx(self):
+        c = compile_loop(build_loop("exp"), FUJITSU, A64FX)
+        asm = render_asm(c.stream, A64FX)
+        assert "fexpa" in asm
+        assert "whilelt" in asm
+        assert "z0" in asm  # SVE register names
+
+    def test_avx_flavour_on_skylake(self):
+        c = compile_loop(build_loop("simple"), INTEL, SKYLAKE_6140)
+        asm = render_asm(c.stream, SKYLAKE_6140)
+        assert "vfmadd231pd" in asm
+        assert "zmm" in asm
+        assert "fexpa" not in asm
+
+    def test_gnu_sqrt_shows_blocking_instruction(self):
+        """The Sec. III diagnosis is visible in the listing."""
+        gnu = render_asm(compile_loop(build_loop("sqrt"), GNU, A64FX).stream,
+                         A64FX)
+        fj = render_asm(
+            compile_loop(build_loop("sqrt"), FUJITSU, A64FX).stream, A64FX
+        )
+        assert "fsqrt" in gnu
+        assert "frsqrte" in fj and "fsqrt " not in fj
+
+    def test_gnu_scalar_exp_shows_libm_call(self):
+        asm = render_asm(compile_loop(build_loop("exp"), GNU, A64FX).stream,
+                         A64FX)
+        assert "bl" in asm  # the scalar libm call
+
+    def test_constants_render_as_immediates(self):
+        asm = render_asm(
+            compile_loop(build_loop("simple"), FUJITSU, A64FX).stream, A64FX
+        )
+        assert "#2.0" in asm or "#3.0" in asm
+
+    def test_fexpa_has_no_x86_encoding(self):
+        stream = InstructionStream(
+            body=[Instruction(Op.FEXPA, "y", ("x",))], elements_per_iter=8
+        )
+        with pytest.raises(ValueError, match="no encoding"):
+            render_asm(stream, SKYLAKE_6140)
+
+    def test_register_reuse_cycles(self):
+        # more temps than registers must still render (cyclic rename)
+        body = [Instruction(Op.FMA, f"t{i}") for i in range(80)]
+        asm = render_asm(InstructionStream(body=body, elements_per_iter=8),
+                         A64FX)
+        assert asm.count("fmla") == 80
+
+
+class TestRenderCompiledLoop:
+    def test_contains_schedule_summary(self):
+        c = compile_loop(build_loop("recip"), FUJITSU, A64FX)
+        text = render_compiled_loop(c)
+        assert "cycles/element" in text
+        assert "vectorized: True" in text
+        assert "fujitsu" in text
+
+    def test_scalar_fallback_noted(self):
+        c = compile_loop(build_loop("exp"), GNU, A64FX)
+        text = render_compiled_loop(c)
+        assert "vectorized: False" in text

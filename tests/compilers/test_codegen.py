@@ -1,0 +1,144 @@
+"""Tests for IR -> instruction-stream lowering."""
+
+import pytest
+
+from repro.compilers.codegen import compile_loop
+from repro.compilers.toolchains import ARM, CRAY, FUJITSU, GNU, INTEL
+from repro.kernels.loops import build_loop
+from repro.machine.isa import Op
+from repro.machine.microarch import A64FX, SKYLAKE_6140
+
+
+def _ops(compiled):
+    return compiled.stream.counts()
+
+
+class TestStructuralLowering:
+    def test_simple_contains_fma_contraction(self):
+        c = compile_loop(build_loop("simple"), FUJITSU, A64FX)
+        ops = _ops(c)
+        assert ops.get(Op.FMA, 0) >= 1       # 2*x + (3*x*x) fuses
+        assert ops.get(Op.VLOAD, 0) >= 1
+        assert ops.get(Op.VSTORE, 0) >= 1
+
+    def test_cse_loads_x_once_per_copy(self):
+        c = compile_loop(build_loop("simple"), FUJITSU, A64FX)
+        # unrolled 4x: one load per copy despite three uses of x[i]
+        assert _ops(c)[Op.VLOAD] == c.toolchain.small_loop_unroll
+
+    def test_predicate_has_masked_store(self):
+        c = compile_loop(build_loop("predicate"), FUJITSU, A64FX)
+        assert _ops(c).get(Op.FCMP, 0) >= 1
+        stores = [i for i in c.stream.body if i.op is Op.VSTORE]
+        assert all(len(s.srcs) == 2 for s in stores)  # value + mask
+
+    def test_sve_loop_tail_uses_whilelt(self):
+        c = compile_loop(build_loop("simple"), FUJITSU, A64FX)
+        assert _ops(c).get(Op.PWHILE, 0) == 1
+        assert _ops(c).get(Op.BRANCH, 0) == 1
+
+    def test_x86_loop_tail_uses_compare(self):
+        c = compile_loop(build_loop("simple"), INTEL, SKYLAKE_6140)
+        assert Op.PWHILE not in _ops(c)
+
+    def test_elements_per_iter(self):
+        c = compile_loop(build_loop("simple"), FUJITSU, A64FX)
+        assert c.elements_per_iter == 8 * FUJITSU.small_loop_unroll
+        assert c.n_iters == -(-c.loop.length // c.elements_per_iter)
+
+
+class TestGatherScatterSplitting:
+    def test_full_gather_one_uop_per_lane(self):
+        c = compile_loop(build_loop("gather"), FUJITSU, A64FX)
+        per_copy = _ops(c)[Op.GATHER_UOP] / FUJITSU.small_loop_unroll
+        assert per_copy == A64FX.lanes_f64
+
+    def test_short_gather_coalesces_pairs_on_a64fx(self):
+        """'if loads of pairs of elements of a gather operation fit
+        within an aligned 128-byte window ... they are not split'"""
+        c = compile_loop(build_loop("short_gather"), FUJITSU, A64FX)
+        per_copy = _ops(c)[Op.GATHER_UOP] / FUJITSU.small_loop_unroll
+        assert per_copy == A64FX.lanes_f64 / 2
+
+    def test_short_gather_not_coalesced_on_skylake(self):
+        c = compile_loop(build_loop("short_gather"), INTEL, SKYLAKE_6140)
+        per_copy = _ops(c)[Op.GATHER_UOP] / INTEL.small_loop_unroll
+        assert per_copy == SKYLAKE_6140.lanes_f64
+
+    def test_scatter_never_coalesces(self):
+        """'No such acceleration is indicated for scatter operations'"""
+        c = compile_loop(build_loop("short_scatter"), FUJITSU, A64FX)
+        per_copy = _ops(c)[Op.SCATTER_UOP] / FUJITSU.small_loop_unroll
+        assert per_copy == A64FX.lanes_f64
+
+
+class TestInstructionSelection:
+    def test_gnu_emits_blocking_fdiv(self):
+        c = compile_loop(build_loop("recip"), GNU, A64FX)
+        assert Op.FDIV in _ops(c)
+        assert Op.FRECPE not in _ops(c)
+
+    def test_fujitsu_emits_newton_recip(self):
+        c = compile_loop(build_loop("recip"), FUJITSU, A64FX)
+        assert Op.FRECPE in _ops(c)
+        assert Op.FDIV not in _ops(c)
+
+    def test_arm_sqrt_still_hardware(self):
+        c = compile_loop(build_loop("sqrt"), ARM, A64FX)
+        assert Op.FSQRT in _ops(c)
+
+    def test_cray_sqrt_newton(self):
+        c = compile_loop(build_loop("sqrt"), CRAY, A64FX)
+        assert Op.FRSQRTE in _ops(c)
+        assert Op.FSQRT not in _ops(c)
+
+    def test_fujitsu_exp_uses_fexpa_instruction(self):
+        c = compile_loop(build_loop("exp"), FUJITSU, A64FX)
+        assert Op.FEXPA in _ops(c)
+
+    def test_cray_exp_has_no_fexpa(self):
+        c = compile_loop(build_loop("exp"), CRAY, A64FX)
+        assert Op.FEXPA not in _ops(c)
+
+
+class TestScalarFallback:
+    def test_gnu_exp_loop_is_scalar(self):
+        c = compile_loop(build_loop("exp"), GNU, A64FX)
+        assert not c.report.vectorized
+        ops = _ops(c)
+        assert Op.CALL in ops
+        assert Op.VLOAD not in ops
+        assert c.elements_per_iter == GNU.unroll  # scalar lanes
+
+    def test_gnu_exp_costs_about_32_cycles(self):
+        c = compile_loop(build_loop("exp"), GNU, A64FX)
+        assert c.cycles_per_element == pytest.approx(32.0, rel=0.15)
+
+
+class TestMemoryStreams:
+    def test_streams_cover_arrays(self):
+        c = compile_loop(build_loop("gather"), FUJITSU, A64FX)
+        names = {s.name for s in c.mem_streams}
+        assert names == {"x", "y", "index"}
+
+    def test_store_flag(self):
+        c = compile_loop(build_loop("simple"), FUJITSU, A64FX)
+        stores = {s.name: s.is_store for s in c.mem_streams}
+        assert stores == {"x": False, "y": True}
+
+    def test_pattern_propagates(self):
+        c = compile_loop(build_loop("short_gather"), FUJITSU, A64FX)
+        x = next(s for s in c.mem_streams if s.name == "x")
+        assert x.pattern == "window128"
+
+
+class TestDataflowValidity:
+    @pytest.mark.parametrize("name", ("simple", "predicate", "gather",
+                                      "scatter", "recip", "sqrt", "exp",
+                                      "sin", "pow"))
+    @pytest.mark.parametrize("tc", [FUJITSU, CRAY, ARM, GNU],
+                             ids=lambda t: t.name)
+    def test_all_streams_validate(self, name, tc):
+        c = compile_loop(build_loop(name), tc, A64FX)
+        c.stream.validate()  # raises on broken dataflow
+        assert c.schedule.cycles_per_iter > 0

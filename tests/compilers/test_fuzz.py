@@ -1,0 +1,121 @@
+"""Property-based fuzzing of the full compile-and-schedule pipeline.
+
+Hypothesis generates random (but well-formed) loop IR; every toolchain
+must vectorize-or-refuse it deterministically, lower it to a valid
+instruction stream, and schedule it to a positive, finite steady state —
+with cross-cutting invariants (unrolling never makes code slower per
+element, scalar code never beats vector code on vector-friendly bodies).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compilers.codegen import compile_loop
+from repro.compilers.ir import (
+    ArrayInfo,
+    BinOp,
+    Call,
+    Cmp,
+    Const,
+    Load,
+    Loop,
+    Store,
+)
+from repro.compilers.toolchains import TOOLCHAINS
+from repro.machine.microarch import A64FX, SKYLAKE_6140
+
+# --- IR generators ----------------------------------------------------------
+
+_binop = st.sampled_from(["+", "-", "*", "/"])
+_mathfn = st.sampled_from(["recip", "sqrt", "exp", "sin", "log"])
+
+
+def _expr(depth: int):
+    if depth == 0:
+        return st.one_of(
+            st.just(Load("x")),
+            st.builds(Const, st.floats(min_value=-8, max_value=8,
+                                       allow_nan=False)),
+        )
+    sub = _expr(depth - 1)
+    return st.one_of(
+        st.just(Load("x")),
+        st.builds(Const, st.floats(min_value=-8, max_value=8,
+                                   allow_nan=False)),
+        st.builds(BinOp, _binop, sub, sub),
+        st.builds(lambda f, a: Call(f, (a,)), _mathfn, sub),
+    )
+
+
+@st.composite
+def loops(draw):
+    n_stmts = draw(st.integers(min_value=1, max_value=3))
+    masked = draw(st.booleans())
+    body = []
+    for k in range(n_stmts):
+        value = draw(_expr(2))
+        mask = Cmp(">", Load("x"), Const(0.0)) if masked and k == 0 else None
+        body.append(Store("y", value, mask=mask))
+    arrays = {
+        "x": ArrayInfo("x", footprint=8.0 * 2048),
+        "y": ArrayInfo("y", footprint=8.0 * 2048),
+    }
+    return Loop("fuzz", 2048, tuple(body), arrays)
+
+
+# --- properties ----------------------------------------------------------------
+
+
+class TestPipelineFuzz:
+    @given(loops())
+    @settings(max_examples=60, deadline=None)
+    def test_every_toolchain_compiles_and_schedules(self, loop):
+        for name, tc in TOOLCHAINS.items():
+            march = SKYLAKE_6140 if tc.target == "x86" else A64FX
+            compiled = compile_loop(loop, tc, march)
+            compiled.stream.validate()
+            cpe = compiled.cycles_per_element
+            assert 0.0 < cpe < 1e5, (name, cpe)
+            assert compiled.n_iters >= 1
+
+    @given(loops())
+    @settings(max_examples=40, deadline=None)
+    def test_vectorization_decision_is_structural(self, loop):
+        """GNU refuses exactly the loops containing exp/sin/pow/log."""
+        gnu = TOOLCHAINS["gnu"]
+        compiled = compile_loop(loop, gnu, A64FX)
+        needs_libm = bool(
+            set(loop.math_calls()) & {"exp", "sin", "pow", "log"}
+        )
+        assert compiled.report.vectorized == (not needs_libm)
+
+    @given(loops())
+    @settings(max_examples=40, deadline=None)
+    def test_fujitsu_never_slower_than_gnu_scalar_fallback(self, loop):
+        """When GNU scalarizes, the vectorizing toolchain must win big."""
+        fj = compile_loop(loop, TOOLCHAINS["fujitsu"], A64FX)
+        gnu = compile_loop(loop, TOOLCHAINS["gnu"], A64FX)
+        if fj.report.vectorized and not gnu.report.vectorized:
+            assert fj.cycles_per_element < gnu.cycles_per_element
+
+    @given(loops())
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic(self, loop):
+        a = compile_loop(loop, TOOLCHAINS["cray"], A64FX)
+        b = compile_loop(loop, TOOLCHAINS["cray"], A64FX)
+        assert a.cycles_per_element == b.cycles_per_element
+        assert [i.op for i in a.stream.body] == [i.op for i in b.stream.body]
+
+    @given(loops(), st.integers(min_value=1, max_value=96))
+    @settings(max_examples=30, deadline=None)
+    def test_smaller_window_never_faster(self, loop, small_window):
+        """Shrinking the OoO window can only hurt (or tie)."""
+        from repro.engine.scheduler import PipelineScheduler
+
+        compiled = compile_loop(loop, TOOLCHAINS["fujitsu"], A64FX)
+        full = PipelineScheduler(A64FX).steady_state(compiled.stream)
+        small = PipelineScheduler(A64FX, window=small_window).steady_state(
+            compiled.stream
+        )
+        assert small.cycles_per_iter >= full.cycles_per_iter * 0.999

@@ -1,0 +1,106 @@
+"""Tests for the loop IR (repro.compilers.ir)."""
+
+import pytest
+
+from repro.compilers.ir import (
+    ArrayInfo,
+    BinOp,
+    Call,
+    Cmp,
+    Const,
+    Load,
+    Loop,
+    LoopIdx,
+    Reduce,
+    Store,
+    Var,
+)
+from repro.kernels.loops import build_loop
+
+
+class TestNodes:
+    def test_binop_validation(self):
+        with pytest.raises(ValueError):
+            BinOp("%", Const(1.0), Const(2.0))  # type: ignore[arg-type]
+
+    def test_call_validation(self):
+        with pytest.raises(ValueError):
+            Call("tan", (Const(1.0),))
+        with pytest.raises(ValueError):
+            Call("exp", ())
+
+    def test_cmp_validation(self):
+        with pytest.raises(ValueError):
+            Cmp("!=", Const(1.0), Const(2.0))  # type: ignore[arg-type]
+
+    def test_gather_detection(self):
+        assert Load("x", index=Load("idx")).is_gather
+        assert not Load("x").is_gather
+
+    def test_scatter_detection(self):
+        assert Store("y", Const(1.0), index=Load("idx")).is_scatter
+        assert not Store("y", Const(1.0)).is_scatter
+
+    def test_arrayinfo_validation(self):
+        with pytest.raises(ValueError):
+            ArrayInfo("x", footprint=0)
+        with pytest.raises(ValueError):
+            ArrayInfo("x", footprint=8, pattern="zigzag")
+
+    def test_reduce_validation(self):
+        with pytest.raises(ValueError):
+            Reduce("s", "*", Const(1.0))  # type: ignore[arg-type]
+
+
+class TestLoopAnalysis:
+    def test_referenced_arrays(self):
+        loop = build_loop("gather")
+        assert loop.referenced_arrays() == {"x", "y", "index"}
+
+    def test_missing_arrayinfo_rejected(self):
+        with pytest.raises(ValueError, match="ArrayInfo"):
+            Loop("bad", 16, (Store("y", Load("x")),),
+                 arrays={"y": ArrayInfo("y", 128)})
+
+    def test_math_calls(self):
+        assert build_loop("exp").math_calls() == ["exp"]
+        assert build_loop("simple").math_calls() == []
+
+    def test_predicate_detection(self):
+        assert build_loop("predicate").has_predicated_store()
+        assert not build_loop("simple").has_predicated_store()
+
+    def test_gather_scatter_detection(self):
+        assert build_loop("gather").has_gather()
+        assert not build_loop("gather").has_scatter()
+        assert build_loop("scatter").has_scatter()
+        assert not build_loop("scatter").has_gather()
+
+    def test_reduction_detection(self):
+        loop = Loop(
+            "sum", 16,
+            (Reduce("s", "+", Load("x")),),
+            arrays={"x": ArrayInfo("x", 128)},
+        )
+        assert loop.has_reduction()
+
+    def test_flops_per_iter_simple(self):
+        # y = 2*x + 3*x*x: three multiplies + one add = 4 BinOps
+        assert build_loop("simple").flops_per_iter() == 4
+
+    def test_flops_per_iter_counts_calls_once(self):
+        assert build_loop("exp").flops_per_iter() == 1
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            Loop("bad", 0, (Store("y", Const(1.0)),),
+                 arrays={"y": ArrayInfo("y", 8)})
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError):
+            Loop("bad", 8, (), arrays={})
+
+    def test_expressions_walk_includes_nested(self):
+        loop = build_loop("pow")
+        kinds = {type(e).__name__ for e in loop.expressions()}
+        assert {"Call", "Load", "Var"} <= kinds

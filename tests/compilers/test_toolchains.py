@@ -1,0 +1,120 @@
+"""Tests for the toolchain catalog — the paper's documented behaviours."""
+
+import pytest
+
+from repro.compilers.toolchains import (
+    ARM,
+    CRAY,
+    FUJITSU,
+    GNU,
+    INTEL,
+    MathImpl,
+    TOOLCHAINS,
+    Toolchain,
+    get_toolchain,
+)
+from repro.machine.numa import PagePlacement
+
+
+class TestCatalog:
+    def test_all_five_present(self):
+        assert set(TOOLCHAINS) == {"fujitsu", "cray", "arm", "gnu", "intel"}
+
+    def test_lookup(self):
+        assert get_toolchain("FUJITSU") is FUJITSU
+        with pytest.raises(KeyError):
+            get_toolchain("pgi")
+
+    def test_table1_versions(self):
+        # Table I versions verbatim
+        assert FUJITSU.version == "1.0.20"
+        assert ARM.version == "21"
+        assert CRAY.version == "10.0.2"
+        assert GNU.version == "11.1.0"
+        assert INTEL.version == "19.1.2.254"
+
+    def test_table1_flags_non_empty(self):
+        for tc in TOOLCHAINS.values():
+            assert tc.flags
+        assert "-Kfast" in FUJITSU.flags
+        assert "-Ofast" in GNU.flags
+        assert "-xHOST" in INTEL.flags
+
+
+class TestVectorizationCapabilities:
+    def test_gnu_cannot_vectorize_math(self):
+        """'the GNU compiler did not vectorize exp, sin, and pow'"""
+        for fn in ("exp", "sin", "pow"):
+            assert not GNU.vectorizes_call(fn)
+
+    def test_gnu_vectorizes_recip_sqrt(self):
+        # open-coded from arithmetic, even though the selection is bad
+        assert GNU.vectorizes_call("recip")
+        assert GNU.vectorizes_call("sqrt")
+
+    def test_commercial_toolchains_vectorize_everything(self):
+        for tc in (FUJITSU, CRAY, ARM, INTEL):
+            for fn in ("exp", "sin", "pow", "recip", "sqrt"):
+                assert tc.vectorizes_call(fn), (tc.name, fn)
+
+    def test_instruction_selection(self):
+        """GNU emits FDIV/FSQRT; ARM v21 fixed recip but not sqrt;
+        Fujitsu/Cray use Newton for both (Sec. III)."""
+        assert GNU.div_strategy == "hardware"
+        assert GNU.sqrt_strategy == "hardware"
+        assert ARM.div_strategy == "newton"
+        assert ARM.sqrt_strategy == "hardware"
+        for tc in (FUJITSU, CRAY, INTEL):
+            assert tc.div_strategy == "newton"
+            assert tc.sqrt_strategy == "newton"
+
+    def test_fujitsu_exp_uses_fexpa(self):
+        assert FUJITSU.math_impl("exp").recipe == "exp_fexpa_estrin"
+
+    def test_gnu_scalar_exp_costs_32_cycles(self):
+        """'The serial GNU implementation of the exponential function on
+        A64FX takes nearly 32 cycles per evaluation.'"""
+        impl = GNU.math_impl("exp")
+        assert impl.kind == "scalar_call"
+        assert impl.scalar_cycles == pytest.approx(32.0)
+
+    def test_math_impl_unknown_fn(self):
+        with pytest.raises(KeyError):
+            FUJITSU.math_impl("erf")
+
+
+class TestOpenMPTraits:
+    def test_fujitsu_defaults_to_cmg0(self):
+        """'The Fujitsu compiler has a default policy of allocating all
+        the data in CMG 0.'"""
+        assert FUJITSU.openmp.default_placement is PagePlacement.SINGLE_DOMAIN
+
+    def test_others_default_first_touch(self):
+        for tc in (CRAY, ARM, GNU, INTEL):
+            assert tc.openmp.default_placement is PagePlacement.FIRST_TOUCH
+
+    def test_arm_runtime_has_highest_overheads(self):
+        others = [t.openmp.fork_join_us for t in (FUJITSU, CRAY, GNU, INTEL)]
+        assert ARM.openmp.fork_join_us > max(others)
+
+
+class TestScalarLibm:
+    def test_gnu_slowest_scalar_libm(self):
+        for fn in ("exp", "sin", "pow", "log"):
+            for tc in (FUJITSU, CRAY, ARM, INTEL):
+                assert GNU.scalar_libm[fn] > tc.scalar_libm[fn], (fn, tc.name)
+
+
+class TestValidation:
+    def test_mathimpl_validation(self):
+        with pytest.raises(ValueError):
+            MathImpl(fn="exp", kind="vector", recipe="")
+        with pytest.raises(ValueError):
+            MathImpl(fn="exp", kind="scalar_call", scalar_cycles=0)
+
+    def test_quality_factors_are_slowdowns(self):
+        with pytest.raises(ValueError):
+            Toolchain(
+                name="x", version="1", flags="-O2", target="sve",
+                math_impls={}, code_quality=0.5,
+            )

@@ -1,0 +1,52 @@
+"""Tests for the vectorization legality pass."""
+
+import pytest
+
+from repro.compilers.toolchains import ARM, CRAY, FUJITSU, GNU, INTEL
+from repro.compilers.vectorizer import vectorize
+from repro.kernels.loops import LOOP_NAMES, MATH_LOOP_NAMES, build_loop
+
+
+class TestSectionIIIFindings:
+    """'The Intel, Fujitsu, Cray and ARM compilers vectorized all loops,
+    whereas the GNU compiler did not vectorize exp, sin, and pow.'"""
+
+    @pytest.mark.parametrize("tc", [FUJITSU, CRAY, ARM, INTEL],
+                             ids=lambda t: t.name)
+    @pytest.mark.parametrize("name", LOOP_NAMES + MATH_LOOP_NAMES)
+    def test_commercial_vectorize_all(self, tc, name):
+        assert vectorize(build_loop(name), tc).vectorized
+
+    @pytest.mark.parametrize("name", ("exp", "sin", "pow"))
+    def test_gnu_refuses_math_loops(self, name):
+        rep = vectorize(build_loop(name), GNU)
+        assert not rep.vectorized
+        assert name in rep.blocking_calls
+
+    @pytest.mark.parametrize("name", LOOP_NAMES + ("recip", "sqrt"))
+    def test_gnu_vectorizes_the_rest(self, name):
+        assert vectorize(build_loop(name), GNU).vectorized
+
+
+class TestRemarks:
+    def test_predicate_remark(self):
+        rep = vectorize(build_loop("predicate"), FUJITSU)
+        assert any("predication" in r for r in rep.remarks)
+
+    def test_gather_remark(self):
+        rep = vectorize(build_loop("gather"), FUJITSU)
+        assert any("gather" in r for r in rep.remarks)
+
+    def test_scatter_remark(self):
+        rep = vectorize(build_loop("scatter"), FUJITSU)
+        assert any("scatter" in r for r in rep.remarks)
+
+    def test_blocking_remark_mentions_library(self):
+        rep = vectorize(build_loop("exp"), GNU)
+        assert any("no vector math library" in r for r in rep.remarks)
+
+    def test_str_rendering(self):
+        rep = vectorize(build_loop("exp"), GNU)
+        assert "NOT vectorized" in str(rep)
+        rep2 = vectorize(build_loop("exp"), FUJITSU)
+        assert "VECTORIZED" in str(rep2)

@@ -1,0 +1,84 @@
+"""Tests for the kernel executor (compute + memory composition)."""
+
+import pytest
+
+from repro._util import KIB
+from repro.compilers.codegen import compile_loop
+from repro.compilers.toolchains import FUJITSU
+from repro.engine.executor import KernelExecutor
+from repro.kernels.loops import build_loop
+from repro.machine.memory import MemoryStream
+from repro.machine.microarch import A64FX
+from repro.machine.numa import PagePlacement
+from repro.machine.systems import get_system
+
+
+@pytest.fixture()
+def executor() -> KernelExecutor:
+    return KernelExecutor(get_system("ookami"))
+
+
+@pytest.fixture()
+def simple_schedule():
+    return compile_loop(build_loop("simple"), FUJITSU, A64FX).schedule
+
+
+class TestCompose:
+    def test_l1_resident_is_compute_bound(self, executor, simple_schedule):
+        streams = [
+            MemoryStream("x", 64, 16 * KIB),
+            MemoryStream("y", 64, 16 * KIB, is_store=True),
+        ]
+        run = executor.run(simple_schedule, streams, n_iters=1000)
+        assert run.bound == "compute"
+        assert run.memory_seconds == 0.0
+
+    def test_dram_stream_adds_memory_time(self, executor, simple_schedule):
+        streams = [MemoryStream("x", 256, 1e9)]
+        run = executor.run(simple_schedule, streams, n_iters=1e6)
+        assert run.memory_seconds > 0
+
+    def test_max_composition(self, executor, simple_schedule):
+        streams = [MemoryStream("x", 4096, 1e9)]  # huge per-iter traffic
+        run = executor.run(simple_schedule, streams, n_iters=1e6)
+        assert run.seconds == pytest.approx(
+            max(run.compute_seconds, run.memory_seconds)
+        )
+        assert run.bound == "memory"
+
+    def test_compute_time_matches_schedule(self, executor, simple_schedule):
+        run = executor.run(simple_schedule, n_iters=1e6)
+        expected = simple_schedule.cycles_per_iter * 1e6 / 1.8e9
+        assert run.compute_seconds == pytest.approx(expected)
+        assert run.seconds == pytest.approx(expected)
+
+    def test_overhead_cycles(self, executor, simple_schedule):
+        base = executor.run(simple_schedule, n_iters=100)
+        plus = executor.run(simple_schedule, n_iters=100,
+                            overhead_cycles=1.8e9)
+        assert plus.seconds == pytest.approx(base.seconds + 1.0, rel=1e-6)
+
+    def test_single_domain_placement_slows_memory(self, executor,
+                                                  simple_schedule):
+        streams = [MemoryStream("x", 4096, 1e9)]
+        ft = executor.run(simple_schedule, streams, n_iters=1e6,
+                          active_cores_per_domain=12)
+        sd = executor.run(simple_schedule, streams, n_iters=1e6,
+                          active_cores_per_domain=12,
+                          placement=PagePlacement.SINGLE_DOMAIN)
+        assert sd.memory_seconds > ft.memory_seconds
+
+    def test_effective_cpi(self, executor, simple_schedule):
+        run = executor.run(simple_schedule, n_iters=1000)
+        assert run.effective_cpi == pytest.approx(
+            simple_schedule.cycles_per_iter, rel=1e-6
+        )
+
+    def test_gflops_helper(self, executor, simple_schedule):
+        run = executor.run(simple_schedule, n_iters=1000)
+        assert run.gflops(1e9) == pytest.approx(1.0 / run.seconds / 1e9 * 1e9,
+                                                rel=1e-6)
+
+    def test_rejects_bad_iters(self, executor, simple_schedule):
+        with pytest.raises(ValueError):
+            executor.run(simple_schedule, n_iters=0)

@@ -1,0 +1,121 @@
+"""Tests for the OpenMP fork/join threading model."""
+
+import pytest
+
+from repro.engine.openmp import OpenMPModel, RuntimeTraits, WorkDecomposition
+from repro.machine.numa import PagePlacement
+from repro.machine.systems import get_system
+
+
+@pytest.fixture()
+def ookami_model() -> OpenMPModel:
+    return OpenMPModel(get_system("ookami"), RuntimeTraits("test"))
+
+
+@pytest.fixture()
+def skylake_model() -> OpenMPModel:
+    return OpenMPModel(get_system("skylake"), RuntimeTraits("test"))
+
+
+def _compute_work(seconds=100.0, **kw):
+    return WorkDecomposition(compute_serial_s=seconds, **kw)
+
+
+class TestRuntimeTraits:
+    def test_region_overhead_grows_with_threads(self):
+        tr = RuntimeTraits("t", fork_join_us=2.0, barrier_us_log2=1.0)
+        assert tr.region_overhead_s(1) == 0.0
+        assert tr.region_overhead_s(16) > tr.region_overhead_s(2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RuntimeTraits("t", fork_join_us=-1.0)
+        with pytest.raises(ValueError):
+            RuntimeTraits("t").region_overhead_s(0)
+
+
+class TestAmdahl:
+    def test_perfect_scaling_limit(self, ookami_model):
+        work = _compute_work(parallel_fraction=1.0)
+        run = ookami_model.run(work, 48)
+        assert run.efficiency == pytest.approx(1.0, abs=0.02)
+
+    def test_serial_fraction_caps_speedup(self, ookami_model):
+        work = _compute_work(parallel_fraction=0.9)
+        run = ookami_model.run(work, 48)
+        # Amdahl: speedup <= 1 / (0.1 + 0.9/48) ~ 8.4
+        assert run.speedup < 8.5
+
+    def test_imbalance_slows(self, ookami_model):
+        fast = ookami_model.run(_compute_work(imbalance=0.0), 48)
+        slow = ookami_model.run(_compute_work(imbalance=0.3), 48)
+        assert slow.seconds > fast.seconds
+
+    def test_thread_bounds(self, ookami_model):
+        with pytest.raises(ValueError):
+            ookami_model.run(_compute_work(), 0)
+        with pytest.raises(ValueError):
+            ookami_model.run(_compute_work(), 49)
+
+
+class TestClockDerating:
+    def test_a64fx_clock_fixed(self, ookami_model):
+        """The A64FX runs 1.8 GHz regardless of load — no derate."""
+        one = ookami_model.run(_compute_work(parallel_fraction=1.0), 1)
+        full = ookami_model.run(_compute_work(parallel_fraction=1.0), 48)
+        assert full.seconds * 48 == pytest.approx(one.seconds, rel=0.03)
+
+    def test_skylake_full_load_derates(self, skylake_model):
+        """AVX-512 license clock: all-core runs lose the boost — the
+        mechanism capping the paper's Fig. 6 efficiencies."""
+        run = skylake_model.run(_compute_work(parallel_fraction=1.0), 36)
+        assert run.efficiency < 0.75
+
+
+class TestBandwidthSaturation:
+    def test_memory_bound_saturates(self, ookami_model):
+        work = _compute_work(seconds=10.0, contig_bytes=5e12)
+        run48 = ookami_model.run(work, 48)
+        assert run48.bound == "memory"
+        # 5 TB over ~920 GB/s
+        assert run48.memory_seconds == pytest.approx(5e12 / 920e9, rel=0.1)
+
+    def test_placement_matters_for_memory_bound(self, ookami_model):
+        work = _compute_work(seconds=10.0, contig_bytes=5e12)
+        ft = ookami_model.run(work, 48, PagePlacement.FIRST_TOUCH)
+        sd = ookami_model.run(work, 48, PagePlacement.SINGLE_DOMAIN)
+        assert sd.seconds > 2 * ft.seconds
+
+    def test_placement_irrelevant_for_compute_bound(self, ookami_model):
+        work = _compute_work(seconds=100.0)
+        ft = ookami_model.run(work, 48, PagePlacement.FIRST_TOUCH)
+        sd = ookami_model.run(work, 48, PagePlacement.SINGLE_DOMAIN)
+        assert sd.seconds == pytest.approx(ft.seconds)
+
+    def test_random_bandwidth_derated_by_line_utilization(self, ookami_model):
+        contig = ookami_model.aggregate_bw_gbs(48, PagePlacement.FIRST_TOUCH,
+                                               "contig")
+        random = ookami_model.aggregate_bw_gbs(48, PagePlacement.FIRST_TOUCH,
+                                               "random")
+        assert random < contig / 10  # 8 useful bytes per 256-byte line
+
+
+class TestDefaultPlacement:
+    def test_runtime_default_used_when_none(self):
+        traits = RuntimeTraits(
+            "fujitsu-like", default_placement=PagePlacement.SINGLE_DOMAIN
+        )
+        model = OpenMPModel(get_system("ookami"), traits)
+        work = _compute_work(seconds=10.0, contig_bytes=5e12)
+        default = model.run(work, 48)           # picks SINGLE_DOMAIN
+        ft = model.run(work, 48, PagePlacement.FIRST_TOUCH)
+        assert default.seconds > ft.seconds
+
+
+class TestEfficiencyCurve:
+    def test_monotone_nonincreasing(self, ookami_model):
+        work = _compute_work(parallel_fraction=0.99, imbalance=0.1)
+        eff = ookami_model.efficiency_curve(work, [1, 2, 4, 8, 16, 48])
+        vals = [eff[p] for p in (1, 2, 4, 8, 16, 48)]
+        assert all(a >= b - 1e-9 for a, b in zip(vals, vals[1:]))
+        assert eff[1] == pytest.approx(1.0, abs=0.05)

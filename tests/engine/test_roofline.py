@@ -1,0 +1,62 @@
+"""Tests for the roofline helpers."""
+
+import pytest
+
+from repro.engine.roofline import Roofline
+from repro.machine.systems import get_system
+
+
+class TestRoofline:
+    def test_ridge(self):
+        r = Roofline(peak_gflops=100.0, bw_gbs=10.0)
+        assert r.ridge_intensity == pytest.approx(10.0)
+
+    def test_attainable_below_ridge_is_bandwidth_bound(self):
+        r = Roofline(peak_gflops=100.0, bw_gbs=10.0)
+        assert r.attainable_gflops(1.0) == pytest.approx(10.0)
+
+    def test_attainable_above_ridge_is_peak(self):
+        r = Roofline(peak_gflops=100.0, bw_gbs=10.0)
+        assert r.attainable_gflops(100.0) == pytest.approx(100.0)
+
+    def test_time_is_max_of_components(self):
+        r = Roofline(peak_gflops=100.0, bw_gbs=10.0)
+        t = r.time_seconds(flops=100e9, nbytes=5e9)
+        assert t == pytest.approx(1.0)  # compute 1 s > memory 0.5 s
+        t = r.time_seconds(flops=1e9, nbytes=100e9)
+        assert t == pytest.approx(10.0)
+
+    def test_fraction_of_peak(self):
+        r = Roofline(peak_gflops=100.0, bw_gbs=10.0)
+        assert r.fraction_of_peak(71.0) == pytest.approx(0.71)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Roofline(peak_gflops=0, bw_gbs=10)
+        r = Roofline(100, 10)
+        with pytest.raises(ValueError):
+            r.attainable_gflops(0)
+        with pytest.raises(ValueError):
+            r.time_seconds(-1, 0)
+
+
+class TestSystemRooflines:
+    def test_node_roofline_ookami(self):
+        r = Roofline.for_node(get_system("ookami"))
+        assert r.peak_gflops == pytest.approx(2764.8, rel=1e-3)
+        assert r.bw_gbs == pytest.approx(1024.0)
+
+    def test_core_roofline_uses_stream_cap(self):
+        s = get_system("ookami")
+        r = Roofline.for_core(s)
+        assert r.bw_gbs == pytest.approx(s.hierarchy.stream_bw_core_gbs)
+        assert r.peak_gflops == pytest.approx(57.6)
+
+    def test_a64fx_node_ridge_near_2p7(self):
+        # 2765 GF / 1024 GB/s ~ 2.7 flop/byte: the HBM design point
+        r = Roofline.for_node(get_system("ookami"))
+        assert 2.0 < r.ridge_intensity < 3.5
+
+    def test_skylake_node_ridge_much_higher(self):
+        r = Roofline.for_node(get_system("skylake"))
+        assert r.ridge_intensity > 5.0

@@ -1,0 +1,143 @@
+"""Tests for the pipeline scheduler — analytic cross-checks.
+
+Each test builds a small instruction stream whose steady-state cost can
+be derived by hand (port bound, issue bound, dependence bound, blocking
+units, ROB window limit) and checks the simulator agrees.
+"""
+
+import pytest
+
+from repro.engine.scheduler import PipelineScheduler, schedule_on
+from repro.machine.isa import Instruction, InstructionStream, Op
+from repro.machine.microarch import A64FX, SKYLAKE_6140
+
+
+def _stream(instrs, epi=8, label="t"):
+    return InstructionStream(body=list(instrs), elements_per_iter=epi,
+                             label=label)
+
+
+class TestPortBound:
+    def test_independent_fmas_fill_both_pipes(self):
+        # 8 independent FMAs per iteration: 2 FP pipes -> 4 cycles/iter
+        body = [Instruction(Op.FMA, f"t{i}") for i in range(8)]
+        res = schedule_on(A64FX, _stream(body))
+        assert res.cycles_per_iter == pytest.approx(4.0, rel=0.15)
+
+    def test_single_pipe_op_serializes(self):
+        # PERM runs only on FLB: 4 perms -> >= 4 cycles/iter
+        body = [Instruction(Op.PERM, f"p{i}") for i in range(4)]
+        res = schedule_on(A64FX, _stream(body))
+        assert res.cycles_per_iter >= 4.0 - 1e-9
+
+    def test_issue_width_floor(self):
+        # 8 scalar ALU ops at issue width 4 need >= 2 cycles even though
+        # the ALU pipes could absorb them faster
+        body = [Instruction(Op.SALU, f"i{i}") for i in range(8)]
+        res = schedule_on(A64FX, _stream(body, epi=1))
+        assert res.cycles_per_iter >= 2.0 - 1e-9
+
+
+class TestBlockingUnits:
+    def test_fsqrt_costs_its_full_latency(self):
+        # one blocking FSQRT per iteration: 134 cycles each, back-to-back
+        body = [Instruction(Op.FSQRT, "s", ("x",))]
+        res = schedule_on(A64FX, _stream(body))
+        assert res.cycles_per_iter == pytest.approx(134.0, rel=0.05)
+        assert res.cycles_per_element == pytest.approx(134.0 / 8, rel=0.05)
+
+    def test_skylake_sqrt_is_cheaper(self):
+        body = [Instruction(Op.FSQRT, "s", ("x",))]
+        a64 = schedule_on(A64FX, _stream(body))
+        skl = schedule_on(SKYLAKE_6140, _stream(body))
+        # pipelined divider vs blocking unit: big gap per cycle
+        assert a64.cycles_per_iter > 4 * skl.cycles_per_iter
+
+
+class TestDependenceChains:
+    def test_loop_carried_chain_serializes(self):
+        # sum += x: one 9-cycle FMA per iteration, fully serial
+        body = [Instruction(Op.FMA, "sum", ("sum", "x"), carried=True)]
+        res = schedule_on(A64FX, _stream(body))
+        assert res.cycles_per_iter == pytest.approx(9.0, rel=0.1)
+
+    def test_unrolled_accumulators_overlap(self):
+        # two independent accumulators halve the recurrence cost
+        body = [
+            Instruction(Op.FMA, "s0", ("s0", "x"), carried=True),
+            Instruction(Op.FMA, "s1", ("s1", "y"), carried=True),
+        ]
+        res = schedule_on(A64FX, _stream(body, epi=16))
+        assert res.cycles_per_iter == pytest.approx(9.0, rel=0.1)
+        assert res.cycles_per_element == pytest.approx(9.0 / 16, rel=0.1)
+
+    def test_intra_iteration_chain_pipelines_across_iterations(self):
+        # a 3-FMA chain (27 cycles deep) but independent iterations:
+        # steady state is port/issue bound, far below 27
+        body = [
+            Instruction(Op.FMA, "a", ("x",)),
+            Instruction(Op.FMA, "b", ("a",)),
+            Instruction(Op.FMA, "c", ("b",)),
+        ]
+        res = schedule_on(A64FX, _stream(body))
+        assert res.cycles_per_iter < 9.0
+
+    def test_window_limits_overlap(self):
+        """A deep chain with a small ROB window costs chain*body/window —
+        the mechanism behind the Section IV exp cycle counts."""
+        chain_len = 8
+        body = [Instruction(Op.FMA, "t0", ("x",))]
+        body += [
+            Instruction(Op.FMA, f"t{i}", (f"t{i - 1}",))
+            for i in range(1, chain_len)
+        ]
+        wide = PipelineScheduler(A64FX, window=256).steady_state(_stream(body))
+        narrow = PipelineScheduler(A64FX, window=16).steady_state(_stream(body))
+        assert narrow.cycles_per_iter > 1.5 * wide.cycles_per_iter
+
+    def test_unissued_producer_blocks_consumer(self):
+        # regression for the ready-at-zero bug: the store must wait for
+        # the full chain, so CPI >> 1 at a tiny window
+        body = [
+            Instruction(Op.VLOAD, "x"),
+            Instruction(Op.FMA, "y", ("x",)),
+            Instruction(Op.VSTORE, "", ("y",)),
+        ]
+        res = PipelineScheduler(A64FX, window=3).steady_state(_stream(body))
+        # window 3 = one iteration in flight: the next load can only
+        # enter once the previous one retires -> CPI = load latency (11),
+        # far above the ~1.5-cycle port bound a ready-at-zero bug yields
+        assert res.cycles_per_iter == pytest.approx(11.0, rel=0.1)
+
+
+class TestOverridesAndMisc:
+    def test_call_override(self):
+        body = [Instruction(Op.CALL, "y", ("x",), latency_override=32.0,
+                            rtput_override=32.0)]
+        res = schedule_on(A64FX, _stream(body, epi=1))
+        assert res.cycles_per_iter == pytest.approx(32.0, rel=0.05)
+
+    def test_fractional_rtput_amortizes(self):
+        # rtput 1.2 stores should cost ~1.2 cycles each, not 2
+        body = [
+            Instruction(Op.VSTORE, "", ("x",), rtput_override=1.2)
+            for _ in range(4)
+        ]
+        res = schedule_on(A64FX, _stream(body))
+        assert res.cycles_per_iter == pytest.approx(4.8, rel=0.15)
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_on(A64FX, _stream([]))
+
+    def test_result_fields(self):
+        body = [Instruction(Op.FMA, "t", ("x",))]
+        res = schedule_on(A64FX, _stream(body))
+        assert res.instructions_per_iter == 1
+        assert res.ipc > 0
+        assert res.bound in ("latency", "issue") or res.bound.startswith("pipe:")
+        assert 0.0 <= max(res.pipe_occupancy.values()) <= 1.05
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            PipelineScheduler(A64FX, window=0)

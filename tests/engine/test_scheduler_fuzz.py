@@ -1,0 +1,101 @@
+"""Property-based fuzzing of the pipeline scheduler with random streams."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.scheduler import PipelineScheduler, schedule_on
+from repro.machine.isa import Instruction, InstructionStream, Op
+from repro.machine.microarch import A64FX, SKYLAKE_6140
+
+_OPS = st.sampled_from([
+    Op.FADD, Op.FMUL, Op.FMA, Op.FMOV, Op.IADD, Op.ILOGIC, Op.PERM,
+    Op.VLOAD, Op.VSTORE, Op.SALU, Op.FCVT, Op.FSEL,
+])
+
+
+@st.composite
+def streams(draw):
+    n = draw(st.integers(min_value=1, max_value=20))
+    body = []
+    names = []
+    for i in range(n):
+        op = draw(_OPS)
+        # sources: subset of previously produced names (forward dataflow)
+        n_srcs = draw(st.integers(min_value=0, max_value=min(2, len(names))))
+        srcs = tuple(
+            draw(st.sampled_from(names)) for _ in range(n_srcs)
+        ) if names else ()
+        dest = f"v{i}" if op not in (Op.VSTORE,) else ""
+        carried = draw(st.booleans()) and dest and srcs == (dest,)
+        body.append(Instruction(op, dest, srcs, carried=bool(carried)))
+        if dest:
+            names.append(dest)
+    return InstructionStream(body=body, elements_per_iter=8)
+
+
+class TestSchedulerFuzz:
+    @given(streams())
+    @settings(max_examples=80, deadline=None)
+    def test_always_converges_positive(self, stream):
+        res = schedule_on(A64FX, stream)
+        assert 0 < res.cycles_per_iter < 1e5
+        assert res.instructions_per_iter == len(stream)
+
+    @given(streams())
+    @settings(max_examples=40, deadline=None)
+    def test_issue_width_lower_bound(self, stream):
+        res = schedule_on(A64FX, stream)
+        assert res.cycles_per_iter >= len(stream) / A64FX.issue_width - 1e-9
+
+    @given(streams())
+    @settings(max_examples=40, deadline=None)
+    def test_occupancy_bounded(self, stream):
+        res = schedule_on(A64FX, stream)
+        for occ in res.pipe_occupancy.values():
+            assert -1e-9 <= occ <= 1.0 + 1e-9
+
+    @given(streams())
+    @settings(max_examples=40, deadline=None)
+    def test_machines_both_schedule(self, stream):
+        a = schedule_on(A64FX, stream)
+        s = schedule_on(SKYLAKE_6140, stream)
+        assert a.cycles_per_iter > 0 and s.cycles_per_iter > 0
+
+    @given(streams(), st.integers(min_value=1, max_value=64))
+    @settings(max_examples=40, deadline=None)
+    def test_window_monotonicity(self, stream, w):
+        """A larger window helps, up to greedy-order noise.
+
+        Greedy issue is not strictly monotone in the window: a wider
+        window can let a younger instruction steal a pipe slot from an
+        older critical one, costing a few percent.  The protected
+        property is that widening the window never causes a blow-up."""
+        small = PipelineScheduler(A64FX, window=w).steady_state(stream)
+        big = PipelineScheduler(A64FX, window=w + 64).steady_state(stream)
+        assert big.cycles_per_iter <= small.cycles_per_iter * 1.10
+
+    @given(streams())
+    @settings(max_examples=30, deadline=None)
+    def test_duplicating_body_at_most_doubles(self, stream):
+        """Unrolling (renamed copy) roughly preserves per-element cost.
+
+        Greedy list scheduling is not exactly monotone (issue-order
+        effects of a few percent are possible), so the bound is loose;
+        the property being protected is that unrolling never *blows up*
+        the per-element cost."""
+        renamed = [
+            Instruction(
+                i.op,
+                i.dest + "_b" if i.dest else "",
+                tuple(s + "_b" for s in i.srcs),
+                carried=i.carried,
+            )
+            for i in stream.body
+        ]
+        doubled = InstructionStream(
+            body=list(stream.body) + renamed,
+            elements_per_iter=stream.elements_per_iter * 2,
+        )
+        one = schedule_on(A64FX, stream)
+        two = schedule_on(A64FX, doubled)
+        assert two.cycles_per_element <= one.cycles_per_element * 1.3

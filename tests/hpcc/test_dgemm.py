@@ -1,0 +1,106 @@
+"""Tests for DGEMM: blocked-multiply numerics + the Figure 8 model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.expected import FIG8_PERCENT_OF_PEAK, HPCC_RATIOS
+from repro.hpcc.dgemm import (
+    dgemm_blocked,
+    dgemm_flops,
+    dgemm_naive,
+    dgemm_rate_gflops,
+    hpcc_dgemm_matrix_size,
+)
+
+
+class TestNumerics:
+    def test_blocked_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((150, 130))
+        b = rng.standard_normal((130, 170))
+        got = dgemm_blocked(a, b, block=48)
+        assert np.allclose(got, a @ b, atol=1e-11)
+
+    def test_blocked_handles_ragged_tiles(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((65, 33))
+        b = rng.standard_normal((33, 17))
+        assert np.allclose(dgemm_blocked(a, b, block=16), a @ b, atol=1e-12)
+
+    def test_naive_matches_numpy(self):
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((9, 7))
+        b = rng.standard_normal((7, 5))
+        assert np.allclose(dgemm_naive(a, b), a @ b, atol=1e-13)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            dgemm_blocked(np.zeros((3, 4)), np.zeros((5, 3)))
+        with pytest.raises(ValueError):
+            dgemm_naive(np.zeros((3, 4)), np.zeros((5, 3)))
+
+    @given(st.integers(min_value=1, max_value=40),
+           st.integers(min_value=1, max_value=40),
+           st.integers(min_value=1, max_value=40),
+           st.integers(min_value=1, max_value=32))
+    @settings(max_examples=25, deadline=None)
+    def test_blocked_shape_property(self, n, k, m, block):
+        rng = np.random.default_rng(n * 1000 + k * 10 + m)
+        a = rng.standard_normal((n, k))
+        b = rng.standard_normal((k, m))
+        got = dgemm_blocked(a, b, block=block)
+        assert got.shape == (n, m)
+        assert np.allclose(got, a @ b, atol=1e-10)
+
+    def test_flop_count(self):
+        assert dgemm_flops(10) == 2000
+        assert dgemm_flops(2, 3, 4) == 48
+
+    def test_hpcc_matrix_size(self):
+        # single node, 48 cores: 20000*sqrt(1/48)
+        assert hpcc_dgemm_matrix_size(1, 48) == pytest.approx(2887, abs=1)
+        assert hpcc_dgemm_matrix_size(4, 1) == 40000
+
+
+class TestFig8Model:
+    @pytest.mark.parametrize(
+        ("system", "library"), sorted(FIG8_PERCENT_OF_PEAK)
+    )
+    def test_percent_of_peak_matches_paper(self, system, library):
+        """Fig. 8's printed percentages: 71% (Fujitsu/A64FX), 97% (SKX),
+        11% (KNL)."""
+        point = dgemm_rate_gflops(system, library)
+        expected = FIG8_PERCENT_OF_PEAK[(system, library)]
+        assert point.percent_of_peak == pytest.approx(expected, abs=1.0)
+
+    def test_fujitsu_14x_openblas(self):
+        """'almost 14 times faster than non-optimized OpenBLAS'"""
+        fj = dgemm_rate_gflops("ookami", "fujitsu-blas").gflops_per_core
+        ob = dgemm_rate_gflops("ookami", "openblas").gflops_per_core
+        assert fj / ob == pytest.approx(
+            HPCC_RATIOS["dgemm_fujitsu_vs_openblas"], rel=0.15
+        )
+
+    def test_a64fx_core_1p6x_zen2(self):
+        """'close to Intel SKX and 1.6 times faster than AMD Zen 2 cores'"""
+        a64 = dgemm_rate_gflops("ookami", "fujitsu-blas").gflops_per_core
+        zen = dgemm_rate_gflops("bridges2", "blis-zen2").gflops_per_core
+        skx = dgemm_rate_gflops("skx", "mkl-skx").gflops_per_core
+        assert a64 / zen == pytest.approx(1.6, rel=0.1)
+        assert a64 == pytest.approx(skx, rel=0.15)
+
+    def test_a64fx_between_knl_and_skx_percentwise(self):
+        """'71% which is between that for Intel KNL (11%) and SKX (97%)'"""
+        a64 = dgemm_rate_gflops("ookami", "fujitsu-blas").percent_of_peak
+        knl = dgemm_rate_gflops("knl", "mkl-knl").percent_of_peak
+        skx = dgemm_rate_gflops("skx", "mkl-skx").percent_of_peak
+        assert knl < a64 < skx
+
+    def test_armpl_libsci_beat_openblas(self):
+        """'ARM Performance Library and Cray LibSci also show significant
+        speed-up over the non-optimized OpenBLAS'"""
+        ob = dgemm_rate_gflops("ookami", "openblas").gflops_per_core
+        for lib in ("armpl", "cray-libsci"):
+            assert dgemm_rate_gflops("ookami", lib).gflops_per_core > 5 * ob

@@ -1,0 +1,112 @@
+"""Tests for the FFT: radix-2 numerics + the Figure 9C/9D model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.expected import HPCC_RATIOS
+from repro.hpcc.fft import (
+    bit_reverse_permutation,
+    fft_benchmark,
+    fft_flops,
+    fft_iterative,
+    fft_rate_gflops,
+    ifft_iterative,
+)
+
+
+class TestNumerics:
+    @pytest.mark.parametrize("log2n", [0, 1, 2, 5, 10, 14])
+    def test_matches_numpy(self, log2n):
+        rng = np.random.default_rng(log2n)
+        n = 1 << log2n
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        got = fft_iterative(x)
+        ref = np.fft.fft(x)
+        scale = np.max(np.abs(ref)) or 1.0
+        assert np.max(np.abs(got - ref)) / scale < 1e-12
+
+    def test_roundtrip(self):
+        rng = np.random.default_rng(9)
+        x = rng.standard_normal(2048) + 1j * rng.standard_normal(2048)
+        assert np.allclose(ifft_iterative(fft_iterative(x)), x, atol=1e-12)
+
+    def test_impulse(self):
+        x = np.zeros(64, dtype=complex)
+        x[0] = 1.0
+        assert np.allclose(fft_iterative(x), 1.0)
+
+    def test_parseval(self):
+        rng = np.random.default_rng(10)
+        x = rng.standard_normal(1024) + 1j * rng.standard_normal(1024)
+        y = fft_iterative(x)
+        assert np.sum(np.abs(y) ** 2) == pytest.approx(
+            1024 * np.sum(np.abs(x) ** 2), rel=1e-12
+        )
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            fft_iterative(np.zeros(100, dtype=complex))
+
+    def test_bit_reverse_is_involution(self):
+        for n in (2, 8, 64, 1024):
+            p = bit_reverse_permutation(n)
+            assert np.array_equal(p[p], np.arange(n))
+
+    @given(st.integers(min_value=1, max_value=10))
+    @settings(max_examples=15, deadline=None)
+    def test_linearity(self, log2n):
+        rng = np.random.default_rng(log2n + 100)
+        n = 1 << log2n
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        y = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        lhs = fft_iterative(2.0 * x + 3.0 * y)
+        rhs = 2.0 * fft_iterative(x) + 3.0 * fft_iterative(y)
+        assert np.allclose(lhs, rhs, atol=1e-9)
+
+    def test_benchmark_validates(self):
+        r = fft_benchmark(log2n=12)
+        assert r.max_error < 1e-12
+        assert r.gflops > 0
+        assert fft_flops(1024) == 5 * 1024 * 10
+
+
+class TestFig9Model:
+    def test_fujitsu_fftw_4p2x_stock(self):
+        """'The Fujitsu version of FFTW ... 4.2 times faster than the
+        non-optimized FFTW'"""
+        fj = fft_rate_gflops("ookami", "fujitsu-fftw")
+        stock = fft_rate_gflops("ookami", "fftw")
+        assert fj / stock == pytest.approx(
+            HPCC_RATIOS["fft_fujitsu_vs_stock"], rel=0.1
+        )
+
+    def test_armpl_fft_unoptimized(self):
+        """'The ARMPL implementation seems to be unoptimized'"""
+        arm = fft_rate_gflops("ookami", "armpl")
+        stock = fft_rate_gflops("ookami", "fftw")
+        assert arm < stock
+
+    def test_a64fx_percent_of_peak_lowest(self):
+        """'the performance percentage of the theoretical peak is also
+        below the well-established systems'"""
+        from repro.machine.systems import get_system
+
+        frac = {}
+        for sys_key, lib in (("ookami", "fujitsu-fftw"), ("skx", "mkl-skx"),
+                             ("knl", "mkl-knl"), ("bridges2", "blis-zen2")):
+            rate = fft_rate_gflops(sys_key, lib)
+            frac[sys_key] = rate / get_system(sys_key).peak_gflops_node
+        assert frac["ookami"] == min(frac.values())
+
+    def test_multi_node_flat(self):
+        """'the multi-node parallel performance ... is relatively flat
+        across all tested nodes count'"""
+        rates = [fft_rate_gflops("ookami", "fujitsu-fftw", nodes=n)
+                 for n in (1, 2, 4, 8)]
+        assert max(rates) / min(rates) < 2.5
+
+    def test_library_without_fft_rejected(self):
+        with pytest.raises(ValueError, match="no FFT"):
+            fft_rate_gflops("ookami", "fujitsu-blas")

@@ -1,0 +1,121 @@
+"""Tests for HPL: blocked LU numerics + the Figure 9A/9B model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.expected import HPCC_RATIOS
+from repro.hpcc.hpl import (
+    hpl_benchmark,
+    hpl_efficiency,
+    hpl_rate_gflops,
+    lu_factor_blocked,
+    lu_solve,
+)
+
+
+class TestFactorization:
+    def test_reconstruction(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((60, 60))
+        lu, piv = lu_factor_blocked(a, block=16)
+        l = np.tril(lu, -1) + np.eye(60)
+        u = np.triu(lu)
+        assert np.allclose(l @ u, a[piv], atol=1e-10)
+
+    def test_matches_scipy(self):
+        import scipy.linalg as sla
+
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((40, 40))
+        b = rng.standard_normal(40)
+        lu, piv = lu_factor_blocked(a, block=8)
+        x = lu_solve(lu, piv, b)
+        assert np.allclose(x, sla.solve(a, b), atol=1e-10)
+
+    @given(st.integers(min_value=2, max_value=60),
+           st.integers(min_value=1, max_value=32))
+    @settings(max_examples=25, deadline=None)
+    def test_solve_property(self, n, block):
+        rng = np.random.default_rng(n * 37 + block)
+        a = rng.standard_normal((n, n)) + np.eye(n) * 0.1
+        b = rng.standard_normal(n)
+        lu, piv = lu_factor_blocked(a, block=block)
+        x = lu_solve(lu, piv, b)
+        assert np.allclose(a @ x, b, atol=1e-8)
+
+    def test_singular_detected(self):
+        with pytest.raises(np.linalg.LinAlgError):
+            lu_factor_blocked(np.zeros((8, 8)))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            lu_factor_blocked(np.zeros((4, 5)))
+
+    def test_pivoting_handles_zero_leading_entry(self):
+        a = np.array([[0.0, 1.0], [1.0, 0.0]])
+        lu, piv = lu_factor_blocked(a)
+        x = lu_solve(lu, piv, np.array([2.0, 3.0]))
+        assert np.allclose(a @ x, [2.0, 3.0])
+
+
+class TestBenchmark:
+    def test_residual_passes_official_threshold(self):
+        r = hpl_benchmark(n=192, block=32)
+        assert r.passed
+        assert r.scaled_residual < 1.0
+        assert r.gflops > 0
+
+
+class TestFig9Model:
+    def test_fujitsu_10x_openblas(self):
+        """'nearly ten times faster than non-optimized OpenBLAS'"""
+        fj = hpl_rate_gflops("ookami", "fujitsu-blas")
+        ob = hpl_rate_gflops("ookami", "openblas")
+        assert fj / ob == pytest.approx(
+            HPCC_RATIOS["hpl_fujitsu_vs_openblas"], rel=0.2
+        )
+
+    def test_hpl_below_dgemm_efficiency(self):
+        """Panel overhead: HPL cannot beat its own DGEMM."""
+        from repro.hpcc.libraries import dgemm_efficiency, get_library
+        from repro.machine.systems import get_system
+
+        lib = get_library("fujitsu-blas")
+        sys_ = get_system("ookami")
+        assert hpl_efficiency(lib, sys_) < dgemm_efficiency(lib, sys_)
+
+    def test_node_parity_with_skx(self):
+        """'Per-node performance is comparable to that of the Intel SKX
+        system'"""
+        a64 = hpl_rate_gflops("ookami", "fujitsu-blas")
+        skx = hpl_rate_gflops("skx", "mkl-skx")
+        assert a64 == pytest.approx(skx, rel=0.15)
+
+    def test_zen2_node_1p6x(self):
+        """'nearly 1.6 smaller than that of the AMD Zen-2 system'"""
+        a64 = hpl_rate_gflops("ookami", "fujitsu-blas")
+        zen = hpl_rate_gflops("bridges2", "blis-zen2")
+        assert zen / a64 == pytest.approx(1.6, rel=0.15)
+
+    def test_fujitsu_mpi_scales_poorly(self):
+        """'HPL does not scale well in the case of Fujitsu BLAS and MPI
+        ... ARMPL on the other hand shows better scalability and
+        performance on two or more nodes'"""
+        fj8 = hpl_rate_gflops("ookami", "fujitsu-blas", nodes=8)
+        fj1 = hpl_rate_gflops("ookami", "fujitsu-blas", nodes=1)
+        arm8 = hpl_rate_gflops("ookami", "armpl", nodes=8)
+        arm1 = hpl_rate_gflops("ookami", "armpl", nodes=1)
+        assert fj8 / fj1 < 0.55 * 8          # poor scaling
+        assert arm8 / arm1 > 0.65 * 8        # good scaling
+        assert arm8 > fj8                    # ARMPL overtakes at scale
+
+    def test_armpl_overtakes_at_two_nodes(self):
+        fj2 = hpl_rate_gflops("ookami", "fujitsu-blas", nodes=2)
+        arm2 = hpl_rate_gflops("ookami", "armpl", nodes=2)
+        assert arm2 > fj2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hpl_rate_gflops("ookami", "fujitsu-blas", nodes=0)

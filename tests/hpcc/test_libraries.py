@@ -1,0 +1,89 @@
+"""Tests for the library catalog and interconnect models."""
+
+import pytest
+
+from repro.hpcc.interconnect import MPI_STACKS, MpiStack, get_mpi_stack
+from repro.hpcc.libraries import LIBRARIES, dgemm_efficiency, get_library
+from repro.machine.systems import get_system
+
+
+class TestLibraryCatalog:
+    def test_lookup(self):
+        assert get_library("FUJITSU-BLAS").name == "Fujitsu BLAS"
+        with pytest.raises(KeyError):
+            get_library("essl")
+
+    def test_sve_optimized_libraries_use_full_width(self):
+        for key in ("fujitsu-blas", "armpl", "cray-libsci", "fujitsu-fftw"):
+            assert LIBRARIES[key].simd_bits_used == 512
+
+    def test_unoptimized_libraries_use_narrow_kernels(self):
+        """'OpenBLAS and FFTW currently do not have SVE optimizations'"""
+        assert LIBRARIES["openblas"].simd_bits_used < 512
+        assert LIBRARIES["fftw"].simd_bits_used < 512
+
+    def test_width_derating_mechanism(self):
+        """The 14x gap derives from scalar-vs-512-bit kernels."""
+        ook = get_system("ookami")
+        eff_fj = dgemm_efficiency(get_library("fujitsu-blas"), ook)
+        eff_ob = dgemm_efficiency(get_library("openblas"), ook)
+        assert eff_ob < eff_fj / 8  # at least the 8-lane width factor
+
+    def test_validation(self):
+        from repro.hpcc.libraries import Library
+
+        with pytest.raises(ValueError):
+            Library(name="bad", arch="sve", simd_bits_used=512,
+                    kernel_efficiency=1.5)
+        with pytest.raises(ValueError):
+            Library(name="bad", arch="sve", simd_bits_used=0,
+                    kernel_efficiency=0.5)
+
+
+class TestMpiStacks:
+    def test_lookup(self):
+        assert get_mpi_stack("fujitsu-mpi").name == "Fujitsu MPI"
+        with pytest.raises(KeyError):
+            get_mpi_stack("mvapich9")
+
+    def test_fujitsu_mpi_worst_on_infiniband(self):
+        """'We speculate the Fujitsu MPI may not be optimized for our
+        interconnect.'"""
+        fj = MPI_STACKS["fujitsu-mpi"]
+        for key, stack in MPI_STACKS.items():
+            if key != "fujitsu-mpi":
+                assert fj.bw_efficiency < stack.bw_efficiency
+
+    def test_ptp_time_monotone_in_bytes(self):
+        net = get_system("ookami").interconnect
+        stack = get_mpi_stack("openmpi")
+        assert stack.ptp_time_s(net, 1e6) < stack.ptp_time_s(net, 1e8)
+
+    def test_broadcast_log_scaling(self):
+        net = get_system("ookami").interconnect
+        stack = get_mpi_stack("openmpi")
+        t2 = stack.broadcast_time_s(net, 1e6, 2)
+        t8 = stack.broadcast_time_s(net, 1e6, 8)
+        assert t8 == pytest.approx(3 * t2, rel=1e-6)
+        assert stack.broadcast_time_s(net, 1e6, 1) == 0.0
+
+    def test_alltoall_degradation(self):
+        net = get_system("ookami").interconnect
+        fj = get_mpi_stack("fujitsu-mpi")
+        omp = get_mpi_stack("openmpi")
+        # the same exchange takes disproportionately longer at 8 nodes
+        # under the degrading stack
+        fj_ratio = fj.alltoall_time_s(net, 1e9, 8) / fj.alltoall_time_s(net, 1e9, 2)
+        omp_ratio = omp.alltoall_time_s(net, 1e9, 8) / omp.alltoall_time_s(net, 1e9, 2)
+        assert fj_ratio > omp_ratio
+
+    def test_overlap_reduces_comm(self):
+        stack = get_mpi_stack("openmpi")
+        assert stack.effective_comm_s(10.0) == pytest.approx(7.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MpiStack("bad", bw_efficiency=0.0, latency_factor=1.0)
+        with pytest.raises(ValueError):
+            MpiStack("bad", bw_efficiency=0.5, latency_factor=1.0,
+                     overlap=1.0)

@@ -1,0 +1,65 @@
+"""Tests for the Monte Carlo optimization ladder."""
+
+import pytest
+
+from repro.kernels.ladder import optimization_ladder
+from repro.machine.microarch import A64FX
+
+
+@pytest.fixture(scope="module")
+def ladder():
+    return optimization_ladder()
+
+
+class TestLadder:
+    def test_five_rungs(self, ladder):
+        assert len(ladder) == 5
+        assert [r.stage for r in ladder] == [0, 1, 2, 3, 4]
+
+    def test_monotone_improvement(self, ladder):
+        """The sequence never regresses (the chains rung is speed-neutral
+        on a scalar core — see module docs — but enables the rest)."""
+        speedups = [r.speedup_vs_naive for r in ladder]
+        assert speedups[0] == 1.0
+        assert all(b >= a * 0.999 for a, b in zip(speedups, speedups[1:]))
+        assert speedups[-1] > speedups[0]
+
+    def test_naive_is_latency_wall(self, ladder):
+        """The naive chain 'exposes nearly the full latency of most of
+        the operations in the loop'."""
+        assert ladder[0].cycles_per_sample > 50
+
+    def test_independent_chains_are_call_throughput_bound(self, ladder):
+        """On a scalar core the libm call's throughput gates every chain:
+        restructuring alone buys nothing until vectorization (the honest
+        version of the paper's sequence)."""
+        assert ladder[2].cycles_per_sample == pytest.approx(
+            ladder[1].cycles_per_sample, rel=0.05
+        )
+        assert ladder[2].bound == "pipe:br"
+
+    def test_vectorization_is_the_big_step(self, ladder):
+        gains = [
+            ladder[i + 1].speedup_vs_naive / ladder[i].speedup_vs_naive
+            for i in range(3)
+        ]
+        assert max(gains) == gains[2]  # scalar->vector dominates
+
+    def test_threaded_total_in_500x_class(self, ladder):
+        """The full ladder lands in the class of the paper's 500-fold
+        GPU-vs-naive-CPU anecdote."""
+        assert ladder[-1].speedup_vs_naive > 300
+
+    def test_rows_render(self, ladder):
+        row = ladder[0].as_row()
+        assert {"stage", "name", "transformation", "cycles_per_sample",
+                "speedup", "bound"} == set(row)
+
+    def test_chain_count_parameter(self):
+        two = optimization_ladder(chains=2)
+        eight = optimization_ladder(chains=8)
+        assert eight[2].cycles_per_sample <= two[2].cycles_per_sample
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimization_ladder(threads=0)

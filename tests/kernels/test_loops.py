@@ -1,0 +1,134 @@
+"""Tests for the Section III loop suite (IR builders + reference runs)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import KIB
+from repro.kernels.loops import (
+    LOOP_NAMES,
+    MATH_LOOP_NAMES,
+    WINDOW_DOUBLES,
+    build_loop,
+    l1_resident_length,
+    make_permutation,
+    reference_run,
+)
+
+
+class TestSizing:
+    def test_l1_resident_default(self):
+        # two float64 arrays filling the 64 KiB A64FX L1
+        n = l1_resident_length()
+        assert n * 2 * 8 <= 64 * KIB
+        assert n % WINDOW_DOUBLES == 0
+
+    def test_three_array_case(self):
+        n = l1_resident_length(n_arrays=3)
+        assert n * 3 * 8 <= 64 * KIB
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            l1_resident_length(l1_bytes=0)
+
+
+class TestPermutations:
+    def test_full_permutation_is_permutation(self):
+        idx = make_permutation(1024)
+        assert np.array_equal(np.sort(idx), np.arange(1024))
+
+    def test_short_permutation_is_permutation(self):
+        idx = make_permutation(1024, short=True)
+        assert np.array_equal(np.sort(idx), np.arange(1024))
+
+    def test_short_stays_in_windows(self):
+        """'randomly permuting within 128 byte windows (i.e., 16 doubles)'"""
+        idx = make_permutation(4096, short=True)
+        windows = idx // WINDOW_DOUBLES
+        expected = np.arange(4096) // WINDOW_DOUBLES
+        assert np.array_equal(windows, expected)
+
+    def test_full_leaves_windows(self):
+        idx = make_permutation(4096, short=False, seed=0)
+        windows = idx // WINDOW_DOUBLES
+        expected = np.arange(4096) // WINDOW_DOUBLES
+        assert not np.array_equal(windows, expected)
+
+    def test_short_requires_window_multiple(self):
+        with pytest.raises(ValueError):
+            make_permutation(100, short=True)
+
+    def test_deterministic(self):
+        assert np.array_equal(make_permutation(512, seed=5),
+                              make_permutation(512, seed=5))
+
+    @given(st.integers(min_value=1, max_value=64))
+    @settings(max_examples=20, deadline=None)
+    def test_short_window_property(self, nwin):
+        n = nwin * WINDOW_DOUBLES
+        idx = make_permutation(n, short=True, seed=1)
+        assert np.array_equal(np.sort(idx), np.arange(n))
+        assert np.all(idx // WINDOW_DOUBLES == np.arange(n) // WINDOW_DOUBLES)
+
+
+class TestBuilders:
+    @pytest.mark.parametrize("name", LOOP_NAMES + MATH_LOOP_NAMES)
+    def test_builds(self, name):
+        loop = build_loop(name)
+        assert loop.name == name
+        assert loop.length > 0
+
+    def test_unknown_loop(self):
+        with pytest.raises(ValueError):
+            build_loop("fancy")
+
+    def test_gather_has_window_pattern_when_short(self):
+        loop = build_loop("short_gather")
+        assert loop.arrays["x"].pattern == "window128"
+        loop = build_loop("gather")
+        assert loop.arrays["x"].pattern == "random"
+
+    def test_explicit_length(self):
+        assert build_loop("simple", n=128).length == 128
+
+
+class TestReferenceRuns:
+    def test_simple_values(self):
+        inputs, out = reference_run("simple", n=256)
+        x = inputs["x"]
+        assert np.allclose(out, 2 * x + 3 * x * x)
+
+    def test_predicate_values(self):
+        inputs, out = reference_run("predicate", n=256)
+        x, y0 = inputs["x"], inputs["y0"]
+        assert np.array_equal(out, np.where(x > 0, x, y0))
+
+    def test_gather_scatter_inverse(self):
+        gi, gout = reference_run("gather", n=256, seed=3)
+        si, sout = reference_run("scatter", n=256, seed=3)
+        # gather then scatter with the same permutation is the identity
+        assert np.array_equal(gi["index"], si["index"])
+        idx = gi["index"]
+        x = gi["x"]
+        y = np.empty_like(x)
+        y[idx] = x[idx]
+        assert np.array_equal(y, x)
+
+    def test_scatter_values(self):
+        inputs, out = reference_run("scatter", n=128)
+        x, idx = inputs["x"], inputs["index"]
+        assert np.array_equal(out[idx], x)
+
+    @pytest.mark.parametrize("name", MATH_LOOP_NAMES)
+    def test_math_loops_match_numpy(self, name):
+        inputs, out = reference_run(name, n=2048)
+        x = inputs["x"]
+        ref = {
+            "recip": lambda v: 1.0 / v,
+            "sqrt": np.sqrt,
+            "exp": np.exp,
+            "sin": np.sin,
+            "pow": lambda v: np.power(v, 1.5),
+        }[name](x)
+        assert np.allclose(out, ref, rtol=1e-12)

@@ -1,0 +1,121 @@
+"""Tests for the application performance model (Workload -> seconds)."""
+
+import pytest
+
+from repro.compilers.toolchains import FUJITSU, GNU, INTEL
+from repro.kernels.workload import (
+    Workload,
+    math_cycles_per_call,
+    parallel_run,
+    serial_seconds,
+)
+from repro.machine.numa import PagePlacement
+from repro.machine.systems import get_system
+
+
+OOKAMI = get_system("ookami")
+SKYLAKE = get_system("skylake")
+
+
+def _work(**kw):
+    defaults = dict(name="t", flops=1e12, vector_fraction=0.9)
+    defaults.update(kw)
+    return Workload(**defaults)
+
+
+class TestValidation:
+    def test_fraction_ranges(self):
+        with pytest.raises(ValueError):
+            _work(vector_fraction=1.5)
+        with pytest.raises(ValueError):
+            _work(vec_efficiency=-0.1)
+
+    def test_gather_needs_footprint(self):
+        with pytest.raises(ValueError):
+            _work(l2_gather_accesses=10.0)
+
+
+class TestSerialModel:
+    def test_scalar_code_slower_on_a64fx(self):
+        """The 9-vs-4-cycle scalar latency gap: A64FX pays ~2.25x more
+        cycles for unvectorized code (the LULESH Base(st) mechanism)."""
+        w = _work(vector_fraction=0.0)
+        a = serial_seconds(w, OOKAMI, GNU) * 1.8e9     # cycles
+        s = serial_seconds(w, SKYLAKE, INTEL) * 3.7e9  # cycles
+        assert a / s == pytest.approx(9.0 / 4.0, rel=0.05)
+
+    def test_vectorized_code_narrows_gap(self):
+        w_scalar = _work(vector_fraction=0.0)
+        w_vec = _work(vector_fraction=1.0)
+        gap_scalar = serial_seconds(w_scalar, OOKAMI, GNU) / serial_seconds(
+            w_scalar, SKYLAKE, INTEL
+        )
+        gap_vec = serial_seconds(w_vec, OOKAMI, GNU) / serial_seconds(
+            w_vec, SKYLAKE, INTEL
+        )
+        assert gap_vec < gap_scalar
+
+    def test_memory_bound_workload(self):
+        w = _work(flops=1e6, contig_bytes=1e12)
+        t = serial_seconds(w, OOKAMI, GNU)
+        assert t == pytest.approx(1e12 / (36.0 * 1e9), rel=0.05)
+
+    def test_scalar_math_uses_libm_table(self):
+        w = _work(flops=1.0, math_calls={"exp": 1e9},
+                  math_vectorized=False)
+        gnu_t = serial_seconds(w, OOKAMI, GNU)
+        fj_t = serial_seconds(w, OOKAMI, FUJITSU)
+        # 32-cycle glibc exp vs the ~10-cycle Fujitsu scalar exp
+        assert gnu_t / fj_t == pytest.approx(32.0 / (10.0 * 1.1), rel=0.1)
+
+    def test_vector_math_uses_pipeline_model(self):
+        gnu = math_cycles_per_call("exp", GNU, OOKAMI, vectorized=True)
+        fj = math_cycles_per_call("exp", FUJITSU, OOKAMI, vectorized=True)
+        assert gnu > 15 * fj  # scalarized loop vs FEXPA kernel
+
+    def test_toolchain_factor(self):
+        w0 = _work()
+        w3 = _work(toolchain_factor={"gnu": 3.0})
+        assert serial_seconds(w3, OOKAMI, GNU) == pytest.approx(
+            3.0 * serial_seconds(w0, OOKAMI, GNU)
+        )
+        assert serial_seconds(w3, OOKAMI, FUJITSU) == pytest.approx(
+            serial_seconds(w0, OOKAMI, FUJITSU)
+        )
+
+    def test_l2_gather_serving_level_differs(self):
+        """CG's x vector: in-L2 on A64FX (8 MB/CMG), spilled to L3 on
+        Skylake (1 MB L2) — the narrow-CG-gap mechanism."""
+        w = _work(flops=1.0, l2_gather_accesses=1e9,
+                  gather_footprint=1.2e6)
+        a_cyc = serial_seconds(w, OOKAMI, GNU) * 1.8e9
+        s_cyc = serial_seconds(w, SKYLAKE, INTEL) * 3.7e9
+        assert a_cyc == pytest.approx(1e9 * 37 / 4, rel=0.05)
+        assert s_cyc == pytest.approx(1e9 * 50 / 4, rel=0.05)
+
+
+class TestParallelModel:
+    def test_default_placement_comes_from_toolchain(self):
+        w = _work(contig_bytes=5e12, flops=1e10)
+        fj_default = parallel_run(w, OOKAMI, FUJITSU, 48)
+        fj_ft = parallel_run(w, OOKAMI, FUJITSU, 48,
+                             placement=PagePlacement.FIRST_TOUCH)
+        assert fj_default.seconds > 2 * fj_ft.seconds
+
+    def test_parallel_factor_scales(self):
+        w = _work()
+        base = parallel_run(w, OOKAMI, GNU, 48)
+        anom = parallel_run(w, OOKAMI, GNU, 48, parallel_factor=2.0)
+        assert anom.seconds == pytest.approx(2 * base.seconds)
+
+    def test_parallel_factor_skips_single_thread(self):
+        w = _work()
+        base = parallel_run(w, OOKAMI, GNU, 1)
+        anom = parallel_run(w, OOKAMI, GNU, 1, parallel_factor=2.0)
+        assert anom.seconds == pytest.approx(base.seconds)
+
+    def test_efficiency_decreases_with_threads(self):
+        w = _work(parallel_fraction=0.99, imbalance=0.1)
+        e8 = parallel_run(w, OOKAMI, GNU, 8).efficiency
+        e48 = parallel_run(w, OOKAMI, GNU, 48).efficiency
+        assert e8 > e48

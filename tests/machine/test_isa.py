@@ -1,0 +1,119 @@
+"""Tests for the abstract ISA layer (repro.machine.isa)."""
+
+import pytest
+
+from repro.machine.isa import Instruction, InstructionStream, Op, concat_streams
+
+
+class TestInstruction:
+    def test_basic_construction(self):
+        ins = Instruction(Op.FMA, "d", ("a", "b", "c"))
+        assert ins.op is Op.FMA
+        assert ins.dest == "d"
+        assert ins.srcs == ("a", "b", "c")
+        assert not ins.carried
+
+    def test_rejects_non_op(self):
+        with pytest.raises(TypeError):
+            Instruction("fma", "d")  # type: ignore[arg-type]
+
+    def test_carried_requires_dest(self):
+        with pytest.raises(ValueError):
+            Instruction(Op.FADD, "", ("x",), carried=True)
+
+    def test_overrides_are_optional(self):
+        ins = Instruction(Op.CALL, "y", ("x",), latency_override=32.0,
+                          rtput_override=32.0)
+        assert ins.latency_override == 32.0
+        assert ins.rtput_override == 32.0
+
+    def test_frozen(self):
+        ins = Instruction(Op.FADD, "d", ("a",))
+        with pytest.raises(AttributeError):
+            ins.dest = "e"  # type: ignore[misc]
+
+
+class TestInstructionStream:
+    def _simple(self):
+        return InstructionStream(
+            body=[
+                Instruction(Op.VLOAD, "x"),
+                Instruction(Op.FMUL, "t", ("x", "x")),
+                Instruction(Op.VSTORE, "", ("t",)),
+            ],
+            elements_per_iter=8,
+        )
+
+    def test_len_and_iter(self):
+        s = self._simple()
+        assert len(s) == 3
+        assert [i.op for i in s] == [Op.VLOAD, Op.FMUL, Op.VSTORE]
+
+    def test_counts(self):
+        s = self._simple()
+        assert s.counts() == {Op.VLOAD: 1, Op.FMUL: 1, Op.VSTORE: 1}
+
+    def test_fp_ops(self):
+        s = self._simple()
+        assert s.fp_ops() == 1
+
+    def test_elements_per_iter_validation(self):
+        with pytest.raises(ValueError):
+            InstructionStream(elements_per_iter=0)
+
+    def test_validate_accepts_loop_inputs(self):
+        s = self._simple()
+        s.validate()  # "x" srcs of FMUL come from the load; fine
+
+    def test_validate_accepts_cross_iteration_reference(self):
+        # "u" is produced later in the body: the consumer reads the
+        # previous iteration's value (software-pipelined chain) — legal
+        s = InstructionStream(
+            body=[
+                Instruction(Op.FMUL, "t", ("u",)),
+                Instruction(Op.FADD, "u", ("t",)),
+            ]
+        )
+        s.validate()
+
+    def test_validate_rejects_self_use_without_carried(self):
+        s = InstructionStream(
+            body=[Instruction(Op.FADD, "sum", ("sum", "x"))]
+        )
+        with pytest.raises(ValueError, match="loop-carried"):
+            s.validate()
+
+    def test_validate_accepts_carried_accumulator(self):
+        s = InstructionStream(
+            body=[Instruction(Op.FADD, "sum", ("sum", "x"), carried=True)]
+        )
+        s.validate()
+
+    def test_append_extend(self):
+        s = InstructionStream()
+        s.append(Instruction(Op.SALU, "i"))
+        s.extend([Instruction(Op.BRANCH, "", ("i",))])
+        assert len(s) == 2
+
+
+class TestConcatStreams:
+    def test_concatenates_bodies(self):
+        a = InstructionStream(body=[Instruction(Op.VLOAD, "x")],
+                              elements_per_iter=8)
+        b = InstructionStream(body=[Instruction(Op.VSTORE, "", ("x",))],
+                              elements_per_iter=8)
+        c = concat_streams([a, b], label="joined")
+        assert len(c) == 2
+        assert c.label == "joined"
+
+    def test_rejects_mismatched_widths(self):
+        a = InstructionStream(body=[Instruction(Op.VLOAD, "x")],
+                              elements_per_iter=8)
+        b = InstructionStream(body=[Instruction(Op.VLOAD, "y")],
+                              elements_per_iter=4)
+        with pytest.raises(ValueError):
+            concat_streams([a, b])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            concat_streams([])

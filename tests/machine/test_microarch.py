@@ -1,0 +1,132 @@
+"""Tests for the per-core timing models (repro.machine.microarch)."""
+
+import pytest
+
+from repro.machine.isa import Op, Pipe
+from repro.machine.microarch import (
+    A64FX,
+    EPYC_7742,
+    KNL_7250,
+    Microarch,
+    OpTiming,
+    SKYLAKE_6140,
+    SKYLAKE_8160,
+    THUNDERX2,
+)
+
+
+class TestOpTiming:
+    def test_valid(self):
+        t = OpTiming(9, 1, frozenset({Pipe.FLA}))
+        assert t.latency == 9
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            OpTiming(0, 1, frozenset({Pipe.FLA}))
+        with pytest.raises(ValueError):
+            OpTiming(1, 0, frozenset({Pipe.FLA}))
+
+    def test_rejects_empty_pipes(self):
+        with pytest.raises(ValueError):
+            OpTiming(1, 1, frozenset())
+
+
+class TestA64FXModel:
+    def test_peak_flops_matches_paper(self):
+        # "1.8 GHz x 2 FMA/cycle x 2 FLOPs/FMA x 8 64-bit words/vector
+        #  = 57.6 GFLOP/s/core"
+        assert A64FX.peak_gflops_core() == pytest.approx(57.6)
+
+    def test_lanes(self):
+        assert A64FX.lanes_f64 == 8
+
+    def test_fixed_clock(self):
+        assert A64FX.clock_ghz == A64FX.allcore_clock_ghz == 1.8
+
+    def test_fsqrt_is_blocking_134_cycles(self):
+        # the paper: "blocking with a 134 cycle latency for a 512-bit vector"
+        t = A64FX.timing(Op.FSQRT)
+        assert t.latency == 134
+        assert t.rtput == t.latency  # blocking: not pipelined
+
+    def test_fdiv_is_blocking(self):
+        t = A64FX.timing(Op.FDIV)
+        assert t.rtput == t.latency
+
+    def test_fma_latency_nine(self):
+        assert A64FX.timing(Op.FMA).latency == 9
+
+    def test_has_fexpa(self):
+        assert A64FX.has_fexpa
+        assert A64FX.supports(Op.FEXPA)
+
+    def test_gather_pair_coalescing(self):
+        assert A64FX.gather_pair_coalescing
+
+    def test_two_fp_pipes(self):
+        assert A64FX.timing(Op.FMA).pipes == frozenset({Pipe.FLA, Pipe.FLB})
+
+
+class TestSkylakeModel:
+    def test_no_fexpa(self):
+        assert not SKYLAKE_6140.has_fexpa
+        assert not SKYLAKE_6140.supports(Op.FEXPA)
+
+    def test_fexpa_lookup_raises(self):
+        with pytest.raises(KeyError, match="fexpa"):
+            SKYLAKE_6140.timing(Op.FEXPA)
+
+    def test_divide_is_pipelined(self):
+        t = SKYLAKE_6140.timing(Op.FDIV)
+        assert t.rtput < t.latency  # dedicated, partially pipelined unit
+
+    def test_boost_above_allcore(self):
+        assert SKYLAKE_6140.clock_ghz > SKYLAKE_6140.allcore_clock_ghz
+
+    def test_skx_allcore_matches_table3(self):
+        # Table III: 1.4 GHz AVX-512 all-core on the Platinum 8160
+        assert SKYLAKE_8160.allcore_clock_ghz == 1.4
+        assert SKYLAKE_8160.peak_gflops_core(allcore=True) == pytest.approx(44.8)
+
+    def test_no_gather_coalescing(self):
+        assert not SKYLAKE_6140.gather_pair_coalescing
+
+
+class TestOtherSystems:
+    def test_knl_peak(self):
+        assert KNL_7250.peak_gflops_core(allcore=True) == pytest.approx(44.8)
+
+    def test_epyc_peak(self):
+        # AVX2: 2.25 x 2 x 4 x 2 = 36 GFLOP/s (Table III)
+        assert EPYC_7742.peak_gflops_core(allcore=True) == pytest.approx(36.0)
+        assert EPYC_7742.lanes_f64 == 4
+
+    def test_thunderx2_neon_width(self):
+        assert THUNDERX2.vector_bits == 128
+
+
+class TestMicroarchValidation:
+    def test_rejects_bad_vector_bits(self):
+        with pytest.raises(ValueError):
+            Microarch(
+                name="bad", vector_bits=100, clock_ghz=1.0,
+                allcore_clock_ghz=1.0, issue_width=4, window=16,
+                timings={},
+            )
+
+    def test_rejects_bad_issue_width(self):
+        with pytest.raises(ValueError):
+            Microarch(
+                name="bad", vector_bits=128, clock_ghz=1.0,
+                allcore_clock_ghz=1.0, issue_width=0, window=16,
+                timings={},
+            )
+
+    def test_timing_error_names_machine(self):
+        bare = Microarch(
+            name="bare-test", vector_bits=128, clock_ghz=1.0,
+            allcore_clock_ghz=1.0, issue_width=2, window=16,
+            timings={Op.FADD: OpTiming(1, 1, frozenset({Pipe.FLA}))},
+        )
+        with pytest.raises(KeyError, match="bare-test"):
+            bare.timing(Op.FMUL)

@@ -1,0 +1,74 @@
+"""Tests for the CMG/NUMA topology model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.numa import CMGTopology, PagePlacement
+from repro.machine.systems import get_system
+
+
+@pytest.fixture()
+def a64fx() -> CMGTopology:
+    return get_system("ookami").topology
+
+
+class TestTopologyBasics:
+    def test_total_cores(self, a64fx):
+        assert a64fx.total_cores == 48
+
+    def test_active_domains_close_packing(self, a64fx):
+        assert a64fx.active_domains(1) == 1
+        assert a64fx.active_domains(12) == 1
+        assert a64fx.active_domains(13) == 2
+        assert a64fx.active_domains(48) == 4
+
+    def test_active_domains_validation(self, a64fx):
+        with pytest.raises(ValueError):
+            a64fx.active_domains(0)
+        with pytest.raises(ValueError):
+            a64fx.active_domains(49)
+
+
+class TestBandwidthUnderPlacement:
+    def test_first_touch_scales_with_domains(self, a64fx):
+        bw12 = a64fx.aggregate_bandwidth_gbs(12, PagePlacement.FIRST_TOUCH)
+        bw48 = a64fx.aggregate_bandwidth_gbs(48, PagePlacement.FIRST_TOUCH)
+        assert bw48 == pytest.approx(4 * bw12)
+
+    def test_single_domain_is_the_pathology(self, a64fx):
+        """The Fujitsu-default mechanism: 48 threads against one CMG's
+        controller get a fraction of the first-touch bandwidth."""
+        ft = a64fx.aggregate_bandwidth_gbs(48, PagePlacement.FIRST_TOUCH)
+        sd = a64fx.aggregate_bandwidth_gbs(48, PagePlacement.SINGLE_DOMAIN)
+        assert sd < ft / 3
+
+    def test_single_domain_equals_local_when_one_domain_active(self, a64fx):
+        sd = a64fx.aggregate_bandwidth_gbs(12, PagePlacement.SINGLE_DOMAIN)
+        assert sd == pytest.approx(a64fx.local_bw_gbs)
+
+    def test_interleave_between_extremes(self, a64fx):
+        ft = a64fx.aggregate_bandwidth_gbs(48, PagePlacement.FIRST_TOUCH)
+        sd = a64fx.aggregate_bandwidth_gbs(48, PagePlacement.SINGLE_DOMAIN)
+        il = a64fx.aggregate_bandwidth_gbs(48, PagePlacement.INTERLEAVE)
+        assert sd < il <= ft
+
+    def test_latency_factor(self, a64fx):
+        assert a64fx.latency_factor(PagePlacement.FIRST_TOUCH, 48) == 1.0
+        assert a64fx.latency_factor(PagePlacement.SINGLE_DOMAIN, 48) > 1.0
+        assert a64fx.latency_factor(PagePlacement.SINGLE_DOMAIN, 12) == 1.0
+
+    @given(st.integers(min_value=1, max_value=48))
+    @settings(max_examples=30, deadline=None)
+    def test_first_touch_dominates_everywhere(self, threads):
+        topo = get_system("ookami").topology
+        ft = topo.aggregate_bandwidth_gbs(threads, PagePlacement.FIRST_TOUCH)
+        sd = topo.aggregate_bandwidth_gbs(threads, PagePlacement.SINGLE_DOMAIN)
+        assert ft >= sd > 0
+
+
+class TestValidation:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            CMGTopology(domains=0, cores_per_domain=12,
+                        local_bw_gbs=230, remote_bw_gbs=60)

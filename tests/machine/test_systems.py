@@ -1,0 +1,83 @@
+"""Tests for the system catalog — including Table III reproduction."""
+
+import pytest
+
+from repro.bench.expected import TABLE3_EXPECTED
+from repro.machine.systems import SYSTEMS, Interconnect, get_system
+
+
+class TestCatalog:
+    def test_lookup_aliases(self):
+        assert get_system("ookami") is get_system("a64fx")
+        assert get_system("OOKAMI") is get_system("ookami")
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError, match="available"):
+            get_system("cray-1")
+
+    def test_ookami_shape(self):
+        s = get_system("ookami")
+        assert s.cores == 48
+        assert s.topology.domains == 4
+        assert s.topology.cores_per_domain == 12
+        # "32 GB high-bandwidth memory ... (256 Gbyte/s)" per CMG
+        assert s.hierarchy.dram_bw_gbs == 256.0
+        assert s.hierarchy.domains == 4
+
+    def test_node_bandwidth_is_1tb(self):
+        # "high-bandwidth memory (1 TB/s)"
+        assert get_system("ookami").node_stream_bw_gbs == pytest.approx(1024.0)
+
+    def test_skylake_36_cores(self):
+        assert get_system("skylake").cores == 36
+
+    def test_lulesh_skylake_32_cores(self):
+        assert get_system("skylake-6130").cores == 32
+
+
+class TestTable3:
+    """The Table III columns must derive from the machine models."""
+
+    @pytest.mark.parametrize("row", TABLE3_EXPECTED, ids=lambda r: r["system"])
+    def test_row(self, row):
+        key = {
+            "Ookami": "ookami",
+            "TACC Stampede 2 SKX": "stampede2-skx",
+            "TACC Stampede 2 KNL": "stampede2-knl",
+            "PSC Bridges 2": "bridges2",
+            "SDSC Expanse": "expanse",
+        }[row["system"]]
+        s = get_system(key)
+        assert s.cores == row["cores"]
+        assert s.simd_label == row["simd"]
+        assert s.table3_base_ghz == pytest.approx(row["base_ghz"])
+        assert s.peak_gflops_core == pytest.approx(row["peak_core"], rel=1e-3)
+        assert s.peak_gflops_node == pytest.approx(row["peak_node"], rel=2e-3)
+
+
+class TestInterconnect:
+    def test_transfer_time(self):
+        net = Interconnect("test", latency_us=1.0, bw_gbs=10.0)
+        assert net.transfer_time_s(0) == pytest.approx(1e-6)
+        assert net.transfer_time_s(10e9) == pytest.approx(1.0 + 1e-6)
+
+    def test_rejects_negative_bytes(self):
+        net = get_system("ookami").interconnect
+        with pytest.raises(ValueError):
+            net.transfer_time_s(-1)
+
+    def test_ookami_is_hdr200(self):
+        assert "HDR-200" in get_system("ookami").interconnect.name
+
+
+class TestConsistency:
+    @pytest.mark.parametrize("key", sorted(set(SYSTEMS)))
+    def test_topology_matches_cores(self, key):
+        s = SYSTEMS[key]
+        assert s.topology.total_cores == s.cores
+
+    @pytest.mark.parametrize("key", sorted(set(SYSTEMS)))
+    def test_positive_peaks(self, key):
+        s = SYSTEMS[key]
+        assert s.peak_gflops_core > 0
+        assert s.node_stream_bw_gbs > 0

@@ -1,0 +1,83 @@
+"""Tests for the accuracy-study harness (the paper's announced follow-up)."""
+
+import numpy as np
+import pytest
+
+from repro.mathlib.accuracy import (
+    DOMAINS,
+    accuracy_sweep,
+    speed_accuracy_frontier,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return accuracy_sweep(samples=20_000)
+
+
+class TestSweep:
+    def test_covers_all_functions_and_domains(self, sweep):
+        fns = {r.function for r in sweep}
+        assert fns == set(DOMAINS)
+        for fn, domains in DOMAINS.items():
+            got = {r.domain for r in sweep if r.function == fn}
+            assert got == {d[0] for d in domains}
+
+    def test_all_vectorized_class_accuracy(self, sweep):
+        """Every production implementation stays within the 'few ulp'
+        vectorized-library class on its core domain — except the
+        deliberately degraded fast-math variants."""
+        for r in sweep:
+            if "fast" in r.implementation or "8term" in r.implementation:
+                continue
+            if "wide" in r.domain and "pow" in r.function:
+                continue  # pow error amplification, documented
+            assert r.max_ulp <= 8.0, (r.function, r.implementation, r.domain)
+
+    def test_fast_math_variants_measurably_worse(self, sweep):
+        def worst(impl_substr, fn):
+            return max(r.max_ulp for r in sweep
+                       if r.function == fn and impl_substr in r.implementation)
+
+        assert worst("2step", "recip") > worst("3step", "recip")
+        assert worst("8term", "exp") > worst("13term", "exp")
+
+    def test_refined_exp_is_best(self, sweep):
+        exp_rows = [r for r in sweep
+                    if r.function == "exp" and "wide" in r.domain]
+        best = min(exp_rows, key=lambda r: r.max_ulp)
+        assert "refined" in best.implementation
+
+    def test_mean_below_max(self, sweep):
+        for r in sweep:
+            assert r.mean_ulp <= r.max_ulp + 1e-12
+
+    def test_rows_render(self, sweep):
+        row = sweep[0].as_row()
+        assert set(row) == {"function", "implementation", "domain",
+                            "max_ulp", "mean_ulp"}
+
+    def test_function_filter(self):
+        rows = accuracy_sweep(samples=5_000, functions=["exp"])
+        assert {r.function for r in rows} == {"exp"}
+        with pytest.raises(KeyError):
+            accuracy_sweep(samples=100, functions=["erf"])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            accuracy_sweep(samples=0)
+
+
+class TestFrontier:
+    def test_sorted_by_cycles(self):
+        rows = speed_accuracy_frontier(samples=20_000)
+        cycles = [r["cycles_per_elem"] for r in rows]
+        assert cycles == sorted(cycles)
+
+    def test_pareto_story(self):
+        """Accuracy costs cycles: the most accurate exp is not the
+        cheapest, and the cheapest is not the most accurate."""
+        rows = speed_accuracy_frontier(samples=20_000)
+        cheapest = rows[0]
+        most_accurate = min(rows, key=lambda r: r["max_ulp"])
+        assert most_accurate["cycles_per_elem"] > cheapest["cycles_per_elem"]

@@ -1,0 +1,154 @@
+"""Tests for the Section IV exponential implementations.
+
+The accuracy claims under test come straight from the paper:
+* the plain 13-term algorithm: "An error of between 1 and 4 ulps ... is
+  common in vectorized libraries";
+* the FEXPA kernel: "about 6 ulp precision";
+* "better is possible ... by correcting the last FMA operation".
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mathlib.exp import (
+    EXP_OVERFLOW,
+    EXP_UNDERFLOW,
+    FEXPA_TERMS,
+    FEXPA_UNDERFLOW,
+    PLAIN_TERMS,
+    exp_fexpa,
+    exp_plain,
+    fexpa_emulate,
+)
+from repro.mathlib.ulp import max_ulp_error
+
+
+@pytest.fixture(scope="module")
+def dense_x():
+    rng = np.random.default_rng(42)
+    return rng.uniform(-700.0, 700.0, 500_000)
+
+
+class TestFexpaInstruction:
+    def test_exact_powers(self):
+        # i = 0: 2**m exactly
+        for m in (-10, 0, 1, 100):
+            bits = np.array([(m + 1023) << 6])
+            assert fexpa_emulate(bits)[0] == 2.0**m
+
+    def test_table_values(self):
+        # m = 0, i = 32: 2**0.5
+        bits = np.array([(1023 << 6) | 32])
+        assert fexpa_emulate(bits)[0] == pytest.approx(np.sqrt(2.0), rel=1e-15)
+
+    def test_17_bit_input_enforced(self):
+        with pytest.raises(ValueError):
+            fexpa_emulate(np.array([1 << 17]))
+        with pytest.raises(ValueError):
+            fexpa_emulate(np.array([-1]))
+
+    def test_monotone_in_input(self):
+        bits = (1023 << 6) + np.arange(-64, 65)
+        vals = fexpa_emulate(bits)
+        assert np.all(np.diff(vals) > 0)
+
+
+class TestPlainExp:
+    def test_accuracy_class(self, dense_x):
+        err = max_ulp_error(exp_plain(dense_x), np.exp(dense_x))
+        assert err <= 4.0  # the paper's "1 to 4 ulps" vectorized class
+
+    def test_small_arguments_exact_class(self):
+        x = np.linspace(-0.5, 0.5, 10001)
+        assert max_ulp_error(exp_plain(x), np.exp(x)) <= 2.0
+
+    def test_fewer_terms_lose_accuracy(self):
+        x = np.linspace(-0.3, 0.3, 20001)
+        full = max_ulp_error(exp_plain(x, terms=13), np.exp(x))
+        short = max_ulp_error(exp_plain(x, terms=6), np.exp(x))
+        assert short > 4 * max(full, 1.0)
+
+    def test_term_validation(self):
+        with pytest.raises(ValueError):
+            exp_plain(np.array([1.0]), terms=2)
+
+    def test_scheme_validation(self):
+        with pytest.raises(ValueError):
+            exp_plain(np.array([1.0]), scheme="chebyshev")  # type: ignore[arg-type]
+
+
+class TestFexpaExp:
+    def test_paper_accuracy_claim(self, dense_x):
+        """'Limited testing suggests that it yields about 6 ulp precision'"""
+        err = max_ulp_error(exp_fexpa(dense_x), np.exp(dense_x))
+        assert err <= 6.0
+
+    def test_refined_improves(self, dense_x):
+        """'better is possible ... by correcting the last FMA operation'"""
+        base = max_ulp_error(exp_fexpa(dense_x), np.exp(dense_x))
+        refined = max_ulp_error(exp_fexpa(dense_x, refined=True),
+                                np.exp(dense_x))
+        assert refined < base
+        assert refined <= 2.0
+
+    def test_horner_estrin_agree_closely(self, dense_x):
+        h = exp_fexpa(dense_x, scheme="horner")
+        e = exp_fexpa(dense_x, scheme="estrin")
+        assert max_ulp_error(h, e) <= 4.0
+
+    def test_uses_5_terms(self):
+        assert FEXPA_TERMS == 5
+        assert PLAIN_TERMS == 13
+
+
+class TestEdges:
+    def test_overflow_to_inf(self):
+        x = np.array([EXP_OVERFLOW + 1.0, 1000.0])
+        assert np.all(np.isinf(exp_plain(x)))
+        assert np.all(np.isinf(exp_fexpa(x)))
+
+    def test_underflow_to_zero(self):
+        x = np.array([EXP_UNDERFLOW - 1.0, -1000.0])
+        assert np.all(exp_plain(x) == 0.0)
+        assert np.all(exp_fexpa(x) == 0.0)
+
+    def test_fexpa_flushes_subnormal_region(self):
+        # documented deviation: would-be subnormal results flush to zero
+        x = np.array([FEXPA_UNDERFLOW - 1.0])
+        assert exp_fexpa(x)[0] == 0.0
+        assert exp_plain(x)[0] > 0.0  # the plain path keeps subnormals
+
+    def test_nan_propagates(self):
+        assert np.isnan(exp_plain(np.array([np.nan]))[0])
+        assert np.isnan(exp_fexpa(np.array([np.nan]))[0])
+
+    def test_zero_maps_to_one(self):
+        assert exp_plain(np.array([0.0]))[0] == 1.0
+        assert exp_fexpa(np.array([0.0]))[0] == 1.0
+
+
+class TestProperties:
+    @given(st.floats(min_value=-600, max_value=600, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_pointwise_close_to_libm(self, xv):
+        x = np.array([xv])
+        got = exp_fexpa(x)[0]
+        ref = float(np.exp(xv))
+        assert got == pytest.approx(ref, rel=2e-15)
+
+    @given(st.floats(min_value=-300, max_value=300, allow_nan=False),
+           st.floats(min_value=-300, max_value=300, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_monotonicity_pairs(self, a, b):
+        lo, hi = sorted((a, b))
+        y = exp_fexpa(np.array([lo, hi]))
+        assert y[0] <= y[1] * (1 + 1e-14)
+
+    @given(st.floats(min_value=-340, max_value=340, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_functional_equation(self, xv):
+        # exp(x) * exp(-x) ~= 1
+        y = exp_fexpa(np.array([xv, -xv]))
+        assert y[0] * y[1] == pytest.approx(1.0, rel=1e-13)

@@ -1,0 +1,87 @@
+"""Tests for the atanh-series natural logarithm."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mathlib.log import log_dd, log_poly
+from repro.mathlib.ulp import max_ulp_error
+
+
+@pytest.fixture(scope="module")
+def xs():
+    rng = np.random.default_rng(5)
+    return np.concatenate([
+        rng.uniform(0.1, 10.0, 100_000),
+        10.0 ** rng.uniform(-300, 300, 100_000),
+        1.0 + rng.uniform(-1e-8, 1e-8, 10_000),  # near-1 cancellation zone
+    ])
+
+
+class TestAccuracy:
+    def test_few_ulp_overall(self, xs):
+        assert max_ulp_error(log_poly(xs), np.log(xs)) <= 4.0
+
+    def test_near_one_no_cancellation(self):
+        x = 1.0 + np.linspace(-1e-6, 1e-6, 100_001)
+        assert max_ulp_error(log_poly(x), np.log(x)) <= 3.0
+
+    def test_exact_at_one(self):
+        assert log_poly(np.array([1.0]))[0] == 0.0
+
+    def test_powers_of_two(self):
+        x = 2.0 ** np.arange(-100, 101, dtype=np.float64)
+        assert max_ulp_error(log_poly(x), np.log(x)) <= 2.0
+
+
+class TestEdges:
+    def test_zero(self):
+        assert log_poly(np.array([0.0]))[0] == -np.inf
+
+    def test_negative(self):
+        assert np.isnan(log_poly(np.array([-1.0]))[0])
+
+    def test_inf(self):
+        assert log_poly(np.array([np.inf]))[0] == np.inf
+
+    def test_nan(self):
+        assert np.isnan(log_poly(np.array([np.nan]))[0])
+
+
+class TestDoubleDouble:
+    def test_tail_is_small_correction(self, xs):
+        pos = xs[xs > 0][:1000]
+        hi, lo = log_dd(pos)
+        assert np.allclose(hi, np.log(pos), rtol=1e-15)
+        nonzero = hi != 0
+        assert np.all(np.abs(lo[nonzero]) <= np.abs(hi[nonzero]) * 1e-15)
+
+    def test_requires_positive(self):
+        with pytest.raises(ValueError):
+            log_dd(np.array([-1.0]))
+
+    def test_head_plus_tail_beats_head(self):
+        x = np.array([3.0, 7.0, 1.5])
+        hi, lo = log_dd(x)
+        ld = np.longdouble
+        better = np.abs(hi.astype(ld) + lo.astype(ld) - np.log(x.astype(ld)))
+        plain = np.abs(hi.astype(ld) - np.log(x.astype(ld)))
+        assert np.all(better <= plain)
+
+
+class TestProperties:
+    @given(st.floats(min_value=1e-300, max_value=1e300, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_pointwise(self, v):
+        assert log_poly(np.array([v]))[0] == pytest.approx(
+            float(np.log(v)), rel=1e-14, abs=1e-14
+        )
+
+    @given(st.floats(min_value=0.01, max_value=100.0),
+           st.floats(min_value=0.01, max_value=100.0))
+    @settings(max_examples=100, deadline=None)
+    def test_product_rule(self, a, b):
+        lhs = log_poly(np.array([a * b]))[0]
+        rhs = log_poly(np.array([a]))[0] + log_poly(np.array([b]))[0]
+        assert lhs == pytest.approx(rhs, abs=1e-12)

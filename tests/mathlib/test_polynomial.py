@@ -1,0 +1,66 @@
+"""Tests for Horner/Estrin evaluation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mathlib.polynomial import estrin, estrin_depth, horner, horner_depth
+
+coeff_lists = st.lists(
+    st.floats(min_value=-10, max_value=10, allow_nan=False),
+    min_size=1, max_size=16,
+)
+
+
+class TestAgainstNumpy:
+    @pytest.mark.parametrize("degree", [0, 1, 2, 3, 5, 7, 13])
+    def test_horner_matches_polyval(self, degree):
+        rng = np.random.default_rng(degree)
+        c = rng.standard_normal(degree + 1)
+        x = rng.uniform(-1, 1, 100)
+        ref = np.polynomial.polynomial.polyval(x, c)
+        assert np.allclose(horner(c, x), ref, rtol=1e-13)
+
+    @pytest.mark.parametrize("degree", [0, 1, 2, 3, 5, 7, 13])
+    def test_estrin_matches_polyval(self, degree):
+        rng = np.random.default_rng(degree)
+        c = rng.standard_normal(degree + 1)
+        x = rng.uniform(-1, 1, 100)
+        ref = np.polynomial.polynomial.polyval(x, c)
+        assert np.allclose(estrin(c, x), ref, rtol=1e-12)
+
+    @given(coeff_lists, st.floats(min_value=-2, max_value=2,
+                                  allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_schemes_agree(self, coeffs, xval):
+        x = np.array([xval])
+        h = horner(coeffs, x)[0]
+        e = estrin(coeffs, x)[0]
+        scale = max(1.0, abs(h))
+        assert abs(h - e) <= 1e-10 * scale
+
+
+class TestDepths:
+    def test_horner_depth_is_degree(self):
+        assert horner_depth(13) == 13
+        assert horner_depth(0) == 0
+
+    def test_estrin_shallower_for_high_degree(self):
+        # Section IV: Estrin "reveals more parallelism"
+        for d in (5, 7, 13):
+            assert estrin_depth(d) < horner_depth(d)
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            horner_depth(-1)
+        with pytest.raises(ValueError):
+            estrin_depth(-1)
+
+
+class TestValidation:
+    def test_empty_coeffs(self):
+        with pytest.raises(ValueError):
+            horner([], np.array([1.0]))
+        with pytest.raises(ValueError):
+            estrin([], np.array([1.0]))

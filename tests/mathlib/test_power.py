@@ -1,0 +1,83 @@
+"""Tests for pow = exp(y * log x)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mathlib.power import pow_explog
+from repro.mathlib.ulp import max_ulp_error
+
+
+@pytest.fixture(scope="module")
+def bases():
+    rng = np.random.default_rng(7)
+    return rng.uniform(0.1, 10.0, 100_000)
+
+
+class TestAccuracy:
+    def test_accurate_mode_few_ulp(self, bases):
+        got = pow_explog(bases, 1.5, accurate=True)
+        assert max_ulp_error(got, np.power(bases, 1.5)) <= 8.0
+
+    def test_fast_mode_amplified_error(self, bases):
+        """The error-amplification story: the fast composition is fine in
+        relative terms but visibly worse than the double-double path."""
+        fast = max_ulp_error(pow_explog(bases, 1.5, accurate=False),
+                             np.power(bases, 1.5))
+        acc = max_ulp_error(pow_explog(bases, 1.5, accurate=True),
+                            np.power(bases, 1.5))
+        assert acc <= fast
+        assert fast <= 512.0  # still a usable fast-math pow
+
+    def test_large_exponents(self):
+        x = np.linspace(1.1, 2.0, 10_001)
+        got = pow_explog(x, 100.0)
+        assert np.allclose(got, np.power(x, 100.0), rtol=1e-12)
+
+    def test_negative_exponent(self, bases):
+        got = pow_explog(bases[:1000], -2.5)
+        assert np.allclose(got, np.power(bases[:1000], -2.5), rtol=1e-13)
+
+    def test_vector_exponent(self):
+        rng = np.random.default_rng(8)
+        x = rng.uniform(0.5, 2.0, 1000)
+        y = rng.uniform(-3.0, 3.0, 1000)
+        assert np.allclose(pow_explog(x, y), np.power(x, y), rtol=1e-13)
+
+
+class TestSpecialCases:
+    def test_one_to_anything(self):
+        assert pow_explog(np.array([1.0]), 1e300)[0] == 1.0
+
+    def test_anything_to_zero(self):
+        assert pow_explog(np.array([5.0]), 0.0)[0] == 1.0
+        assert pow_explog(np.array([0.0]), 0.0)[0] == 1.0
+
+    def test_zero_base(self):
+        assert pow_explog(np.array([0.0]), 2.0)[0] == 0.0
+        assert np.isinf(pow_explog(np.array([0.0]), -2.0)[0])
+
+    def test_negative_base_is_nan(self):
+        assert np.isnan(pow_explog(np.array([-2.0]), 1.5)[0])
+
+    def test_nan_propagates(self):
+        assert np.isnan(pow_explog(np.array([np.nan]), 2.0)[0])
+
+
+class TestProperties:
+    @given(st.floats(min_value=0.1, max_value=10.0),
+           st.floats(min_value=-5.0, max_value=5.0))
+    @settings(max_examples=200, deadline=None)
+    def test_pointwise(self, x, y):
+        got = pow_explog(np.array([x]), y)[0]
+        assert got == pytest.approx(x**y, rel=1e-12)
+
+    @given(st.floats(min_value=0.5, max_value=2.0),
+           st.floats(min_value=-3.0, max_value=3.0),
+           st.floats(min_value=-3.0, max_value=3.0))
+    @settings(max_examples=100, deadline=None)
+    def test_exponent_addition(self, x, a, b):
+        lhs = pow_explog(np.array([x]), a + b)[0]
+        rhs = pow_explog(np.array([x]), a)[0] * pow_explog(np.array([x]), b)[0]
+        assert lhs == pytest.approx(rhs, rel=1e-12)

@@ -1,0 +1,91 @@
+"""Tests for the counter-based RNG."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mathlib.rng import VectorRng, splitmix64
+
+
+class TestSplitmix:
+    def test_deterministic(self):
+        c = np.arange(100, dtype=np.uint64)
+        assert np.array_equal(splitmix64(c), splitmix64(c))
+
+    def test_counter_sensitivity(self):
+        a = splitmix64(np.array([1], dtype=np.uint64))
+        b = splitmix64(np.array([2], dtype=np.uint64))
+        assert a[0] != b[0]
+
+    def test_bit_balance(self):
+        bits = splitmix64(np.arange(100_000, dtype=np.uint64))
+        ones = sum(
+            int(np.sum((bits >> np.uint64(k)) & np.uint64(1)))
+            for k in range(64)
+        )
+        frac = ones / (64 * 100_000)
+        assert 0.49 < frac < 0.51
+
+
+class TestVectorRng:
+    def test_skippable_streams_match(self):
+        """The paper's vectorization requirement: thread k can jump to
+        its sub-stream without generating the prefix."""
+        whole = VectorRng(seed=9).uniform(1000)
+        skipped = VectorRng(seed=9)
+        skipped.skip(600)
+        assert np.array_equal(skipped.uniform(400), whole[600:])
+
+    def test_batches_compose(self):
+        gen = VectorRng(seed=1)
+        a = np.concatenate([gen.uniform(100), gen.uniform(100)])
+        b = VectorRng(seed=1).uniform(200)
+        assert np.array_equal(a, b)
+
+    def test_seeds_independent(self):
+        a = VectorRng(seed=1).uniform(1000)
+        b = VectorRng(seed=2).uniform(1000)
+        assert not np.array_equal(a, b)
+
+    def test_range(self):
+        u = VectorRng(seed=3).uniform(100_000)
+        assert np.all(u >= 0.0) and np.all(u < 1.0)
+
+    def test_moments(self):
+        u = VectorRng(seed=4).uniform(1_000_000)
+        assert np.mean(u) == pytest.approx(0.5, abs=2e-3)
+        assert np.var(u) == pytest.approx(1.0 / 12.0, abs=2e-3)
+        # lag-1 autocorrelation of a counter-based stream should vanish
+        c = np.corrcoef(u[:-1], u[1:])[0, 1]
+        assert abs(c) < 5e-3
+
+    def test_uniform_pairs(self):
+        gen = VectorRng(seed=5)
+        u1, u2 = gen.uniform_pairs(100)
+        flat = VectorRng(seed=5).uniform(200)
+        assert np.array_equal(u1, flat[0::2])
+        assert np.array_equal(u2, flat[1::2])
+
+    def test_position_tracking(self):
+        gen = VectorRng()
+        gen.uniform(10)
+        gen.skip(5)
+        assert gen.position == 15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VectorRng(seed=-1)
+        with pytest.raises(ValueError):
+            VectorRng().uniform(0)
+        with pytest.raises(ValueError):
+            VectorRng().skip(-1)
+
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=1, max_value=500))
+    @settings(max_examples=30, deadline=None)
+    def test_skip_equals_generate(self, offset, count):
+        ref = VectorRng(seed=11)
+        ref.skip(offset)
+        direct = VectorRng(seed=11, start=offset)
+        assert np.array_equal(ref.uniform(count), direct.uniform(count))

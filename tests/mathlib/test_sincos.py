@@ -1,0 +1,80 @@
+"""Tests for the quadrant-reduced sine/cosine kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mathlib.sincos import MAX_ABS_ARG, cos_poly, sin_poly
+from repro.mathlib.ulp import max_ulp_error
+
+
+@pytest.fixture(scope="module")
+def xs():
+    rng = np.random.default_rng(6)
+    return np.concatenate([
+        rng.uniform(-np.pi, np.pi, 100_000),
+        rng.uniform(-1e4, 1e4, 100_000),
+    ])
+
+
+class TestAccuracy:
+    def test_sin_few_ulp(self, xs):
+        # relative ULP near zeros of sin is inherently hard; measure on
+        # the kernel's absolute error scaled to the function's magnitude
+        got = sin_poly(xs)
+        ref = np.sin(xs)
+        assert np.max(np.abs(got - ref)) < 4e-16
+
+    def test_cos_few_ulp(self, xs):
+        got = cos_poly(xs)
+        ref = np.cos(xs)
+        assert np.max(np.abs(got - ref)) < 4e-16
+
+    def test_small_args_ulp_tight(self):
+        x = np.linspace(0.01, np.pi / 4, 100_001)
+        assert max_ulp_error(sin_poly(x), np.sin(x)) <= 2.0
+
+    def test_quadrants(self):
+        x = np.array([0.0, np.pi / 2, np.pi, 3 * np.pi / 2, 2 * np.pi])
+        assert np.allclose(sin_poly(x), [0, 1, 0, -1, 0], atol=1e-15)
+        assert np.allclose(cos_poly(x), [1, 0, -1, 0, 1], atol=1e-15)
+
+    def test_odd_even_symmetry(self, xs):
+        assert np.allclose(sin_poly(-xs), -sin_poly(xs), atol=1e-16)
+        assert np.allclose(cos_poly(-xs), cos_poly(xs), atol=1e-16)
+
+
+class TestDomain:
+    def test_large_args_rejected(self):
+        with pytest.raises(ValueError, match="Payne-Hanek"):
+            sin_poly(np.array([1e9]))
+        with pytest.raises(ValueError):
+            cos_poly(np.array([MAX_ABS_ARG * 2]))
+
+    def test_nan_inf(self):
+        assert np.isnan(sin_poly(np.array([np.nan]))[0])
+        assert np.isnan(sin_poly(np.array([np.inf]))[0])
+
+
+class TestProperties:
+    @given(st.floats(min_value=-1e4, max_value=1e4, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_pointwise(self, v):
+        assert sin_poly(np.array([v]))[0] == pytest.approx(
+            float(np.sin(v)), abs=2e-16
+        )
+
+    @given(st.floats(min_value=-1e3, max_value=1e3, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_pythagorean(self, v):
+        s = sin_poly(np.array([v]))[0]
+        c = cos_poly(np.array([v]))[0]
+        assert s * s + c * c == pytest.approx(1.0, abs=1e-14)
+
+    @given(st.floats(min_value=-0.7, max_value=0.7, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_double_angle(self, v):
+        s2 = sin_poly(np.array([2 * v]))[0]
+        s, c = sin_poly(np.array([v]))[0], cos_poly(np.array([v]))[0]
+        assert s2 == pytest.approx(2 * s * c, abs=1e-14)

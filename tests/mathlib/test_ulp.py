@@ -1,0 +1,75 @@
+"""Tests for ULP measurement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mathlib.ulp import (
+    float_to_ordinal,
+    max_ulp_error,
+    mean_ulp_error,
+    ulp_diff,
+)
+
+finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e300, max_value=1e300
+)
+
+
+class TestOrdinal:
+    def test_adjacent_values_differ_by_one(self):
+        for v in (1.0, -1.0, 1e-300, 1e300, 0.5, 2.0):
+            nxt = np.nextafter(v, np.inf)
+            assert ulp_diff(np.array([v]), np.array([nxt]))[0] == 1
+
+    def test_zero_crossing(self):
+        # -0.0 and +0.0 are the same ordinal; the smallest subnormals
+        # bracket them at distance 1 each
+        tiny = np.nextafter(0.0, 1.0)
+        assert ulp_diff(np.array([0.0]), np.array([tiny]))[0] == 1
+        assert ulp_diff(np.array([-tiny]), np.array([tiny]))[0] == 2
+
+    def test_monotone(self):
+        xs = np.array([-1e10, -1.0, -1e-10, 0.0, 1e-10, 1.0, 1e10])
+        ords = float_to_ordinal(xs).astype(np.float64)
+        assert np.all(np.diff(ords) > 0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            float_to_ordinal(np.array([np.nan]))
+
+    @given(st.lists(finite_floats, min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_ordinal_order_matches_float_order(self, vals):
+        xs = np.array(sorted(vals))
+        ords = float_to_ordinal(xs).astype(np.float64)
+        assert np.all(np.diff(ords) >= 0)
+
+
+class TestErrorMetrics:
+    def test_exact_is_zero(self):
+        x = np.array([1.0, 2.0, -3.0])
+        assert max_ulp_error(x, x) == 0.0
+        assert mean_ulp_error(x, x) == 0.0
+
+    def test_max_picks_worst(self):
+        exact = np.array([1.0, 1.0])
+        approx = np.array([1.0, np.nextafter(np.nextafter(1.0, 2), 2)])
+        assert max_ulp_error(approx, exact) == 2.0
+
+    def test_inf_must_match(self):
+        assert max_ulp_error(np.array([np.inf]), np.array([np.inf])) == 0.0
+        assert max_ulp_error(np.array([np.inf]), np.array([1.0])) == np.inf
+        assert max_ulp_error(np.array([1.0]), np.array([np.inf])) == np.inf
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            max_ulp_error(np.zeros(2), np.zeros(3))
+
+    @given(st.lists(finite_floats, min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry(self, vals):
+        a = np.array(vals)
+        b = a * (1.0 + 1e-15)
+        assert max_ulp_error(a, b) == max_ulp_error(b, a)

@@ -1,0 +1,94 @@
+"""Tests for the vector math recipe registry."""
+
+import numpy as np
+import pytest
+
+from repro.engine.scheduler import schedule_on
+from repro.machine.isa import Instruction, InstructionStream, Op
+from repro.machine.microarch import A64FX, SKYLAKE_6140
+from repro.mathlib.ulp import max_ulp_error
+from repro.mathlib.vectormath import RECIPES, build_recipe, numpy_impl
+
+
+def _schedule_recipe(name, march):
+    body = [Instruction(Op.VLOAD, "x")]
+    body += build_recipe(name, march, ["x"], "y", "k")
+    body.append(Instruction(Op.VSTORE, "", ("y",)))
+    stream = InstructionStream(body=body, elements_per_iter=march.lanes_f64)
+    return schedule_on(march, stream)
+
+
+class TestRegistry:
+    def test_unknown_recipe(self):
+        with pytest.raises(KeyError, match="available"):
+            build_recipe("exp_quantum", A64FX, ["x"], "y", "k")
+        with pytest.raises(KeyError):
+            numpy_impl("exp_quantum")
+
+    def test_fexpa_recipes_need_sve(self):
+        with pytest.raises(ValueError, match="FEXPA"):
+            build_recipe("exp_fexpa_estrin", SKYLAKE_6140, ["x"], "y", "k")
+
+    @pytest.mark.parametrize("name", sorted(RECIPES))
+    def test_all_recipes_build_and_validate(self, name):
+        march = A64FX if "svml" not in name else SKYLAKE_6140
+        args = ["x", "p"] if name.startswith("pow_") else ["x"]
+        instrs = build_recipe(name, march, args, "y", "k")
+        assert instrs, name
+        assert any(i.dest == "y" for i in instrs)
+        loads = [Instruction(Op.VLOAD, a) for a in args]
+        stream = InstructionStream(
+            body=[*loads, *instrs], elements_per_iter=march.lanes_f64,
+        )
+        stream.validate()
+
+    def test_fexpa_kernel_instruction_budget(self):
+        """Sec. IV: 'There are 15 floating-point instructions in the loop
+        body' — the modeled kernel must be in that class."""
+        instrs = build_recipe("exp_fexpa_estrin", A64FX, ["x"], "y", "k")
+        stream = InstructionStream(body=list(instrs), elements_per_iter=8)
+        assert 12 <= stream.fp_ops() + stream.counts().get(Op.ILOGIC, 0) <= 17
+
+    def test_fexpa_kernel_contains_fexpa(self):
+        instrs = build_recipe("exp_fexpa_estrin", A64FX, ["x"], "y", "k")
+        assert any(i.op is Op.FEXPA for i in instrs)
+
+
+class TestRelativeCosts:
+    """The Section IV ordering must emerge from the schedules."""
+
+    def test_exp_ordering_on_a64fx(self):
+        fexpa = _schedule_recipe("exp_fexpa_estrin", A64FX).cycles_per_element
+        cray = _schedule_recipe("exp_table13_estrin", A64FX).cycles_per_element
+        sleef = _schedule_recipe("exp_sleef_horner13", A64FX).cycles_per_element
+        assert fexpa < cray < sleef
+
+    def test_estrin_beats_horner(self):
+        """'the Estrin form ... is slightly faster than the Horner form'"""
+        estrin = _schedule_recipe("exp_fexpa_estrin", A64FX).cycles_per_element
+        horner = _schedule_recipe("exp_fexpa_horner", A64FX).cycles_per_element
+        assert estrin < horner <= estrin * 1.6
+
+    def test_sleef_pow_is_the_10x_kernel(self):
+        fast = _schedule_recipe("pow_explog_fast", A64FX).cycles_per_element
+        sleef = _schedule_recipe("pow_sleef", A64FX).cycles_per_element
+        assert 5.0 <= sleef / fast <= 16.0
+
+
+class TestNumericBindings:
+    @pytest.mark.parametrize("name", [n for n in sorted(RECIPES)
+                                      if n.startswith(("exp_", "log_", "sin_"))])
+    def test_unary_numerics_accurate(self, name):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0.1, 3.0, 20_000)
+        fn = numpy_impl(name)
+        ref = {"exp": np.exp, "log": np.log, "sin": np.sin}[name.split("_")[0]]
+        assert max_ulp_error(fn(x), ref(x)) <= 8.0
+
+    @pytest.mark.parametrize("name", [n for n in sorted(RECIPES)
+                                      if n.startswith("pow_")])
+    def test_pow_numerics_accurate(self, name):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(0.1, 5.0, 20_000)
+        got = numpy_impl(name)(x, 1.5)
+        assert np.allclose(got, np.power(x, 1.5), rtol=1e-10)

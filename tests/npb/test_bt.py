@@ -1,0 +1,95 @@
+"""Tests for the BT mini-app (block-tridiagonal ADI)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.npb.bt import BTMini, NCOMP, block_thomas
+
+
+def _random_system(nlines, n, c, seed=0, dominance=3.0):
+    rng = np.random.default_rng(seed)
+    lower = rng.standard_normal((nlines, n, c, c)) * 0.1
+    upper = rng.standard_normal((nlines, n, c, c)) * 0.1
+    diag = rng.standard_normal((nlines, n, c, c)) * 0.1 + np.eye(c) * dominance
+    rhs = rng.standard_normal((nlines, n, c))
+    return lower, diag, upper, rhs
+
+
+def _dense_solve(lower, diag, upper, rhs, line):
+    n, c = rhs.shape[1], rhs.shape[2]
+    a = np.zeros((n * c, n * c))
+    for k in range(n):
+        a[k * c:(k + 1) * c, k * c:(k + 1) * c] = diag[line, k]
+        if k > 0:
+            a[k * c:(k + 1) * c, (k - 1) * c:k * c] = lower[line, k]
+        if k < n - 1:
+            a[k * c:(k + 1) * c, (k + 1) * c:(k + 2) * c] = upper[line, k]
+    return np.linalg.solve(a, rhs[line].ravel()).reshape(n, c)
+
+
+class TestBlockThomas:
+    def test_matches_dense_solve(self):
+        lower, diag, upper, rhs = _random_system(4, 9, 5)
+        x = block_thomas(lower, diag, upper, rhs)
+        for line in range(4):
+            ref = _dense_solve(lower, diag, upper, rhs, line)
+            assert np.allclose(x[line], ref, atol=1e-11)
+
+    @given(st.integers(min_value=2, max_value=12),
+           st.integers(min_value=2, max_value=5))
+    @settings(max_examples=20, deadline=None)
+    def test_sizes_property(self, n, c):
+        lower, diag, upper, rhs = _random_system(2, n, c, seed=n * 7 + c)
+        x = block_thomas(lower, diag, upper, rhs)
+        ref = _dense_solve(lower, diag, upper, rhs, 0)
+        assert np.allclose(x[0], ref, atol=1e-9)
+
+    def test_identity_system(self):
+        n, c = 6, 5
+        eye = np.broadcast_to(np.eye(c), (1, n, c, c)).copy()
+        zero = np.zeros_like(eye)
+        rhs = np.arange(n * c, dtype=float).reshape(1, n, c)
+        x = block_thomas(zero, eye, zero, rhs)
+        assert np.allclose(x, rhs)
+
+    def test_shape_validation(self):
+        lower, diag, upper, rhs = _random_system(2, 5, 3)
+        with pytest.raises(ValueError):
+            block_thomas(lower, diag, upper, rhs[:, :, :2])
+        with pytest.raises(ValueError):
+            block_thomas(lower[:1], diag, upper, rhs)
+
+
+class TestBTMini:
+    def test_residual_decreases(self):
+        m = BTMini(n=8, dt=0.05)
+        hist = m.run(40)
+        assert hist[-1] < hist[0] / 50
+
+    def test_converges_to_manufactured_solution(self):
+        m = BTMini(n=8, dt=0.05)
+        m.run(80)
+        assert m.error() < 5e-3
+
+    def test_five_components(self):
+        m = BTMini(n=6)
+        assert m.u.shape == (6, 6, 6, NCOMP)
+
+    def test_steady_state_is_fixed_point(self):
+        m = BTMini(n=6, dt=0.05)
+        m.u = m.target.copy()
+        r0 = m.residual()
+        assert r0 < 1e-10
+        m.step()
+        assert m.error() < 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BTMini(n=2)
+        with pytest.raises(ValueError):
+            BTMini(n=8, dt=-0.1)
+        m = BTMini(n=6)
+        with pytest.raises(ValueError):
+            m.run(0)

@@ -1,0 +1,76 @@
+"""Tests for NPB CG — including the official class S verification."""
+
+import numpy as np
+import pytest
+import scipy.sparse.linalg as spla
+
+from repro.npb.cg import CG_VERIFY, make_cg_matrix, run_cg
+from repro.npb.classes import CLASSES
+
+
+@pytest.fixture(scope="module")
+def class_s_result():
+    return run_cg("S")
+
+
+class TestOfficialVerification:
+    def test_class_s_zeta(self, class_s_result):
+        """Bit-faithful NPB CG class S: zeta matches the published
+        verification value to 1e-10."""
+        r = class_s_result
+        assert r.verified
+        assert r.zeta == pytest.approx(CG_VERIFY["S"], abs=1e-10)
+
+    def test_residual_tiny(self, class_s_result):
+        assert class_s_result.rnorm < 1e-10
+
+    def test_unknown_class(self):
+        with pytest.raises(KeyError):
+            run_cg("X")
+
+    @pytest.mark.slow
+    def test_class_w_zeta(self):
+        r = run_cg("W")
+        assert r.verified
+        assert r.zeta == pytest.approx(CG_VERIFY["W"], abs=1e-10)
+
+    @pytest.mark.slow
+    def test_class_a_zeta(self):
+        r = run_cg("A")
+        assert r.verified
+        assert r.zeta == pytest.approx(CG_VERIFY["A"], abs=1e-10)
+
+
+class TestMakea:
+    @pytest.fixture(scope="class")
+    def matrix_s(self):
+        pc = CLASSES["S"]
+        return make_cg_matrix(pc.cg_n, pc.cg_nonzer, pc.cg_shift)
+
+    def test_shape(self, matrix_s):
+        assert matrix_s.shape == (1400, 1400)
+
+    def test_symmetric(self, matrix_s):
+        diff = matrix_s - matrix_s.T
+        assert abs(diff).max() < 1e-12
+
+    def test_sparse(self, matrix_s):
+        density = matrix_s.nnz / (1400 * 1400)
+        assert density < 0.06  # "large, sparse, and unstructured"
+
+    def test_eigenvalue_relationship(self, matrix_s, class_s_result):
+        """Inverse power iteration converges to the eigenvalue of A of
+        smallest magnitude; since x.z -> 1/lambda, the benchmark's
+        zeta = shift + 1/(x.z) = shift + lambda (dense cross-check)."""
+        lams = np.linalg.eigvalsh(matrix_s.toarray())
+        lam = lams[np.argmin(np.abs(lams))]
+        assert class_s_result.zeta == pytest.approx(10.0 + lam, abs=1e-4)
+
+    def test_deterministic(self):
+        a = make_cg_matrix(200, 3, 10.0)
+        b = make_cg_matrix(200, 3, 10.0)
+        assert (a != b).nnz == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_cg_matrix(0, 3, 10.0)

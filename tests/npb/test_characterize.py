@@ -1,0 +1,50 @@
+"""Tests: derived/measured workload structure vs the class-C signatures."""
+
+import pytest
+
+from repro.npb.characterize import (
+    bt_counts,
+    cg_structure,
+    ep_structure,
+    lu_counts,
+    signature_consistency,
+    sp_counts,
+)
+
+
+class TestDerivedCounts:
+    def test_bt_heavier_than_sp_per_point(self):
+        """BT's 5x5 block solves vs SP's scalar bands: the reason BT is
+        compute-bound and SP bandwidth-bound at the same grid."""
+        assert bt_counts().flops_per_point_iter > (
+            2 * sp_counts().flops_per_point_iter
+        )
+
+    def test_signatures_within_20_percent(self):
+        for row in signature_consistency():
+            assert 0.8 <= row["ratio"] <= 1.25, row
+
+
+class TestMeasuredStructure:
+    def test_cg_dedup_stable_across_classes(self):
+        s = cg_structure("S")
+        w = cg_structure("W")
+        assert s["dedup_factor"] == pytest.approx(0.87, abs=0.03)
+        assert w["dedup_factor"] == pytest.approx(0.90, abs=0.03)
+
+    def test_cg_nnz_per_row_far_above_nonzer(self):
+        """The outer products densify rows well beyond the nominal
+        'nonzeros' parameter — class C's '15 non-zeros' input yields
+        ~200+ per row, which is what the SpMV traffic model prices."""
+        s = cg_structure("S")
+        assert s["nnz_per_row"] > 5 * 7  # class S nonzer = 7
+
+    def test_ep_acceptance_is_pi_over_4(self):
+        import math
+
+        got = ep_structure(log2_pairs=18)["acceptance_rate"]
+        assert got == pytest.approx(math.pi / 4, abs=3e-3)
+
+    def test_unknown_class(self):
+        with pytest.raises(ValueError):
+            cg_structure("Z")

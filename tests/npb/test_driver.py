@@ -1,0 +1,34 @@
+"""Tests for the unified NPB runner."""
+
+import pytest
+
+from repro.npb.driver import BENCHMARKS, run_benchmark
+
+
+class TestDriver:
+    @pytest.mark.parametrize("name", BENCHMARKS)
+    def test_class_s_all_verify(self, name):
+        report = run_benchmark(name, "S")
+        assert report.verified, report.banner
+        assert report.seconds > 0
+        assert "SUCCESSFUL" in report.banner
+
+    def test_banner_format(self):
+        report = run_benchmark("bt", "S")
+        assert "BT Benchmark Completed" in report.banner
+        assert "class S" in report.banner
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(ValueError):
+            run_benchmark("ft", "S")
+
+    def test_unknown_class(self):
+        with pytest.raises(KeyError):
+            run_benchmark("ep", "Z")
+
+    def test_case_insensitive(self):
+        assert run_benchmark("EP", "S").benchmark == "ep"
+
+    @pytest.mark.slow
+    def test_ep_class_w(self):
+        assert run_benchmark("ep", "W").verified

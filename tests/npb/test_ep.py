@@ -1,0 +1,82 @@
+"""Tests for NPB EP — including the official class S verification."""
+
+import numpy as np
+import pytest
+
+from repro.npb.ep import EP_VERIFY, NQ, run_ep
+
+
+@pytest.fixture(scope="module")
+def class_s_result():
+    return run_ep("S")
+
+
+class TestOfficialVerification:
+    def test_class_s_passes(self, class_s_result):
+        """Bit-faithful reproduction of NPB EP class S: the published
+        verification sums to 1e-8 relative."""
+        r = class_s_result
+        ex, ey = EP_VERIFY["S"]
+        assert r.verified
+        assert r.sx == pytest.approx(ex, rel=1e-10)
+        assert r.sy == pytest.approx(ey, rel=1e-10)
+
+    def test_class_s_with_repro_mathlib(self):
+        """The project's own log/sqrt kernels hold verification accuracy
+        (the vectorized-library ULP class is sufficient)."""
+        r = run_ep("S", math="repro")
+        assert r.verified
+
+    def test_acceptance_rate_is_pi_over_4(self, class_s_result):
+        r = class_s_result
+        assert r.accepted / r.pairs == pytest.approx(np.pi / 4, abs=1e-3)
+
+    def test_annulus_counts_sum(self, class_s_result):
+        r = class_s_result
+        assert sum(r.q) == r.accepted
+
+    def test_counts_decay(self, class_s_result):
+        # Gaussian tails: each annulus holds fewer than the previous
+        q = class_s_result.q
+        nonzero = [c for c in q if c > 0]
+        assert all(a > b for a, b in zip(nonzero, nonzero[1:]))
+        assert len(q) == NQ
+
+
+class TestInvocation:
+    def test_chunking_invariance(self):
+        a = run_ep("S", log2_pairs=16, chunk_pairs=1 << 12)
+        b = run_ep("S", log2_pairs=16, chunk_pairs=1 << 16)
+        # summation order differs across chunk boundaries: equal to
+        # floating-point roundoff, and identical tallies
+        assert a.sx == pytest.approx(b.sx, rel=1e-12)
+        assert a.sy == pytest.approx(b.sy, rel=1e-12)
+        assert a.q == b.q and a.accepted == b.accepted
+
+    def test_custom_size(self):
+        r = run_ep(log2_pairs=14)
+        assert r.pairs == 1 << 14
+        assert r.accepted > 0
+
+    def test_unknown_class(self):
+        with pytest.raises(KeyError):
+            run_ep("Z")
+
+    def test_bad_math(self):
+        with pytest.raises(ValueError):
+            run_ep("S", math="mkl", log2_pairs=10)
+
+    @pytest.mark.slow
+    def test_class_w_official_verification(self):
+        r = run_ep("W")
+        assert r.verified
+        ex, ey = EP_VERIFY["W"]
+        assert r.sx == pytest.approx(ex, rel=1e-10)
+        assert r.sy == pytest.approx(ey, rel=1e-10)
+
+    def test_gaussian_moments_small_run(self):
+        r = run_ep(log2_pairs=18)
+        # mean of each Gaussian component ~ 0 within MC error
+        n = r.accepted
+        assert abs(r.sx / n) < 5.0 / np.sqrt(n)
+        assert abs(r.sy / n) < 5.0 / np.sqrt(n)

@@ -1,0 +1,97 @@
+"""Tests for the NPB 46-bit LCG (exactness and skip-ahead)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.npb.lcg import (
+    A_NPB,
+    Randlc,
+    SEED_NPB,
+    mulmod46,
+    powmod46,
+    randlc_batch,
+)
+
+MOD = 1 << 46
+
+
+class TestModularArithmetic:
+    @given(st.integers(min_value=0, max_value=MOD - 1),
+           st.integers(min_value=0, max_value=MOD - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_mulmod_matches_python(self, x, y):
+        got = int(mulmod46(np.int64(x), np.int64(y)))
+        assert got == (x * y) % MOD
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=50, deadline=None)
+    def test_powmod(self, n):
+        assert powmod46(A_NPB, n) == pow(A_NPB, n, MOD)
+
+    def test_powmod_negative(self):
+        with pytest.raises(ValueError):
+            powmod46(A_NPB, -1)
+
+
+class TestBatchGeneration:
+    def test_matches_serial_recurrence(self):
+        # reference serial randlc
+        state = SEED_NPB
+        ref = []
+        for _ in range(500):
+            state = (state * A_NPB) % MOD
+            ref.append(state / MOD)
+        got = randlc_batch(SEED_NPB, 500)
+        assert np.allclose(got, ref, rtol=0, atol=0)
+
+    def test_range(self):
+        u = randlc_batch(SEED_NPB, 10_000)
+        assert np.all((u > 0) & (u < 1))
+
+    def test_batch_sizes_consistent(self):
+        a = randlc_batch(SEED_NPB, 1000)
+        b = randlc_batch(SEED_NPB, 123)
+        assert np.array_equal(a[:123], b)
+
+
+class TestRandlcStateful:
+    def test_next_batch_continues_stream(self):
+        gen = Randlc()
+        a = np.concatenate([gen.next_batch(100), gen.next_batch(200)])
+        b = Randlc().next_batch(300)
+        assert np.array_equal(a, b)
+
+    @given(st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=20, deadline=None)
+    def test_skip_equivalence(self, n):
+        skipped = Randlc()
+        skipped.skip(n)
+        direct = Randlc()
+        direct.next_batch(n + 1)  # consume n+1, compare the tail
+        assert skipped.next_batch(1)[0] == direct.next_batch(0 + 1)[0] or True
+        # stronger: positions line up
+        a = Randlc(); a.skip(n)
+        b = Randlc();
+        if n:
+            b.next_batch(n)
+        assert np.array_equal(a.next_batch(50), b.next_batch(50))
+
+    def test_scalar_matches_batch(self):
+        gen = Randlc()
+        vals = [gen.next_scalar() for _ in range(10)]
+        assert np.allclose(vals, randlc_batch(SEED_NPB, 10), atol=0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Randlc(seed=0)
+        with pytest.raises(ValueError):
+            Randlc().skip(-1)
+        with pytest.raises(ValueError):
+            Randlc().next_batch(0)
+
+    def test_statistics(self):
+        u = randlc_batch(SEED_NPB, 1_000_000)
+        assert np.mean(u) == pytest.approx(0.5, abs=1e-3)
+        assert np.var(u) == pytest.approx(1 / 12, abs=1e-3)

@@ -1,0 +1,88 @@
+"""Tests for the SP mini-app (scalar pentadiagonal ADI)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.npb.sp import NCOMP, SPMini, penta_thomas
+
+
+def _dense(bands, rhs, line):
+    n = rhs.shape[1]
+    a = np.zeros((n, n))
+    for k in range(n):
+        for off, col in zip(range(-2, 3), range(5)):
+            if 0 <= k + off < n:
+                a[k, k + off] = bands[line, k, col]
+    return np.linalg.solve(a, rhs[line])
+
+
+def _random_penta(nlines, n, seed=0):
+    rng = np.random.default_rng(seed)
+    bands = rng.standard_normal((nlines, n, 5)) * 0.1
+    bands[:, :, 2] += 3.0
+    rhs = rng.standard_normal((nlines, n))
+    return bands, rhs
+
+
+class TestPentaThomas:
+    def test_matches_dense(self):
+        bands, rhs = _random_penta(3, 11)
+        x = penta_thomas(bands, rhs)
+        for line in range(3):
+            assert np.allclose(x[line], _dense(bands, rhs, line), atol=1e-11)
+
+    @given(st.integers(min_value=3, max_value=40))
+    @settings(max_examples=25, deadline=None)
+    def test_sizes_property(self, n):
+        bands, rhs = _random_penta(2, n, seed=n)
+        x = penta_thomas(bands, rhs)
+        assert np.allclose(x[0], _dense(bands, rhs, 0), atol=1e-9)
+
+    def test_tridiagonal_special_case(self):
+        # zero outer bands reduce to the classic Thomas algorithm
+        bands, rhs = _random_penta(1, 10)
+        bands[:, :, 0] = 0.0
+        bands[:, :, 4] = 0.0
+        x = penta_thomas(bands, rhs)
+        assert np.allclose(x[0], _dense(bands, rhs, 0), atol=1e-11)
+
+    def test_validation(self):
+        bands, rhs = _random_penta(2, 8)
+        with pytest.raises(ValueError):
+            penta_thomas(bands[:, :, :4], rhs)
+        with pytest.raises(ValueError):
+            penta_thomas(bands, rhs[:1])
+        with pytest.raises(ValueError):
+            penta_thomas(bands[:, :2], rhs[:, :2])
+
+
+class TestSPMini:
+    def test_residual_decreases(self):
+        m = SPMini(n=10, dt=0.05)
+        hist = m.run(40)
+        assert hist[-1] < hist[0] / 100
+
+    def test_converges_to_target(self):
+        m = SPMini(n=10, dt=0.05)
+        m.run(80)
+        assert m.error() < 1e-4
+
+    def test_components_decouple(self):
+        # perturb one component; others stay at their own trajectories
+        m1 = SPMini(n=8, dt=0.05)
+        m2 = SPMini(n=8, dt=0.05)
+        m2.u[..., 0] += 0.1
+        m1.step()
+        m2.step()
+        assert np.allclose(m1.u[..., 1:], m2.u[..., 1:])
+        assert not np.allclose(m1.u[..., 0], m2.u[..., 0])
+
+    def test_shapes(self):
+        m = SPMini(n=8)
+        assert m.u.shape == (8, 8, 8, NCOMP)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SPMini(n=4)

@@ -1,0 +1,80 @@
+"""Tests for the UA mini-app (adaptive octree heat transfer)."""
+
+import numpy as np
+import pytest
+
+from repro.npb.ua import UAMini
+
+
+class TestMesh:
+    def test_initial_uniform_mesh(self):
+        m = UAMini(base_level=2, max_level=2)
+        assert m.ncells == 64  # 4^3
+
+    def test_refinement_near_source(self):
+        m = UAMini(base_level=2, max_level=4)
+        assert m.ncells > 64
+        assert m.max_depth > 2
+
+    def test_refined_cells_cover_same_volume(self):
+        m = UAMini(base_level=2, max_level=4)
+        vols = sum(m.cell_size(k) ** 3 for k in m.keys)
+        assert vols == pytest.approx(1.0, rel=1e-12)
+
+    def test_mesh_adapts_as_source_moves(self):
+        """'irregular, dynamic memory accesses': the leaf set changes as
+        the heat source orbits."""
+        m = UAMini(base_level=2, max_level=4, adapt_every=1)
+        before = set(m.keys)
+        for _ in range(8):
+            m.step(dt=0.02)
+        after = set(m.keys)
+        assert before != after
+
+    def test_neighbor_table_shape(self):
+        m = UAMini(base_level=2, max_level=3)
+        nbr, valid = m.build_neighbor_table()
+        assert nbr.shape == (m.ncells, 6)
+        assert valid.shape == (m.ncells, 6)
+        # interior cells have all six neighbors
+        assert valid.sum() > 0
+
+    def test_neighbor_indices_in_range(self):
+        m = UAMini(base_level=2, max_level=4)
+        nbr, valid = m.build_neighbor_table()
+        assert np.all(nbr[valid] >= 0)
+        assert np.all(nbr[valid] < m.ncells)
+
+
+class TestPhysics:
+    def test_heat_grows_with_source(self):
+        m = UAMini(base_level=2, max_level=3)
+        h0 = m.total_heat()
+        m.run(10)
+        assert m.total_heat() > h0
+
+    def test_values_stay_bounded_nonnegative(self):
+        m = UAMini(base_level=2, max_level=4)
+        stats = m.run(30)
+        assert stats["min"] >= 0.0
+        assert np.isfinite(stats["max"])
+
+    def test_no_source_diffusion_smooths(self):
+        m = UAMini(base_level=2, max_level=2, source_amp=0.0)
+        # seed a hot spot, diffuse with insulated boundaries
+        m.values[0] = 1.0
+        spread0 = m.values.max() - m.values.min()
+        for _ in range(40):
+            m.step(dt=0.05)
+        assert m.values.max() - m.values.min() < spread0
+        assert m.values.min() > 0.0  # heat spreads everywhere
+
+    def test_run_returns_stats(self):
+        stats = UAMini(base_level=2, max_level=3).run(5)
+        assert set(stats) == {"cells", "total_heat", "max", "min"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UAMini(base_level=2, max_level=1)
+        with pytest.raises(ValueError):
+            UAMini().run(0)

@@ -1,0 +1,161 @@
+"""Regression tests: the NPB workload signatures must reproduce the
+paper's Figure 3-6 shapes through the machine model."""
+
+import pytest
+
+from repro.bench.expected import (
+    FIG3_RATIO_BANDS,
+    FIG5_EFFICIENCY_BANDS,
+    FIG6_EFFICIENCY_BANDS,
+)
+from repro.compilers.toolchains import TOOLCHAINS
+from repro.kernels.workload import parallel_run, serial_seconds
+from repro.machine.numa import PagePlacement
+from repro.machine.systems import get_system
+from repro.npb.workloads import NPB_WORKLOADS, PARALLEL_FACTORS, npb_workload
+
+OOKAMI = get_system("ookami")
+SKYLAKE = get_system("skylake")
+A64FX_TCS = ("fujitsu", "cray", "arm", "gnu")
+
+
+def _serial(bench, tc):
+    return serial_seconds(NPB_WORKLOADS[bench],
+                          SKYLAKE if tc == "intel" else OOKAMI,
+                          TOOLCHAINS[tc])
+
+
+def _fullnode(bench, tc, placement=None):
+    work = NPB_WORKLOADS[bench]
+    pf = PARALLEL_FACTORS.get(bench, {}).get(tc, 1.0)
+    if tc == "intel":
+        return parallel_run(work, SKYLAKE, TOOLCHAINS[tc], 36).seconds
+    return parallel_run(work, OOKAMI, TOOLCHAINS[tc], 48,
+                        placement=placement, parallel_factor=pf).seconds
+
+
+class TestLookup:
+    def test_npb_workload_lookup(self):
+        assert npb_workload("cg").name == "CG.C"
+        with pytest.raises(KeyError):
+            npb_workload("FT")
+
+
+class TestFig3Serial:
+    @pytest.mark.parametrize("bench", sorted(NPB_WORKLOADS))
+    def test_ratio_bands(self, bench):
+        """'Intel compiler outperforms all the compilers in A64FX by a
+        huge margin (from 1.6X to 5.5X)'"""
+        best = min(_serial(bench, tc) for tc in A64FX_TCS)
+        icc = _serial(bench, "intel")
+        lo, hi = FIG3_RATIO_BANDS[bench]
+        assert lo <= best / icc <= hi
+
+    def test_cg_has_narrowest_gap(self):
+        ratios = {
+            b: min(_serial(b, tc) for tc in A64FX_TCS) / _serial(b, "intel")
+            for b in NPB_WORKLOADS
+        }
+        assert min(ratios, key=ratios.get) in ("CG", "SP")
+
+    def test_ep_has_widest_gap(self):
+        ratios = {
+            b: min(_serial(b, tc) for tc in A64FX_TCS) / _serial(b, "intel")
+            for b in NPB_WORKLOADS
+        }
+        assert max(ratios, key=ratios.get) == "EP"
+
+    @pytest.mark.parametrize("bench", ["BT", "SP", "LU", "CG", "UA"])
+    def test_gcc_best_or_comparable(self, bench):
+        """'gcc seems to perform the best or comparable for 5 of the 6
+        apps except for EP'"""
+        gnu = _serial(bench, "gnu")
+        best = min(_serial(bench, tc) for tc in A64FX_TCS)
+        assert gnu <= best * 1.05
+
+    def test_gcc_three_fold_worse_on_ep(self):
+        """'both compilers vectorized the same portion of the code, yet
+        there is a 3 fold performance difference'"""
+        gnu = _serial("EP", "gnu")
+        best = min(_serial("EP", tc) for tc in A64FX_TCS)
+        assert 2.3 <= gnu / best <= 3.8
+
+
+class TestFig4FullNode:
+    @pytest.mark.parametrize("bench", ["SP", "UA", "CG"])
+    def test_a64fx_wins_memory_bound(self, bench):
+        """'in some cases, it outperforms Skylake (SP and UA) ... A64FX
+        performs well in memory-bound applications (CG, SP, UA)'"""
+        best_a64 = min(_fullnode(bench, tc) for tc in A64FX_TCS)
+        assert best_a64 < _fullnode(bench, "intel")
+
+    @pytest.mark.parametrize("bench", ["BT", "LU", "EP"])
+    def test_skylake_wins_compute_bound(self, bench):
+        best_a64 = min(_fullnode(bench, tc) for tc in A64FX_TCS)
+        assert _fullnode(bench, "intel") < best_a64
+
+    def test_fujitsu_default_placement_hurts_sp(self):
+        """'the Fujitsu compiler showed a much better performance in SP'
+        (with first touch)"""
+        default = _fullnode("SP", "fujitsu")
+        ft = _fullnode("SP", "fujitsu", PagePlacement.FIRST_TOUCH)
+        assert default > 1.5 * ft
+
+    def test_fujitsu_first_touch_slight_on_cg(self):
+        """'... and a slightly better performance in all the apps'"""
+        default = _fullnode("CG", "fujitsu")
+        ft = _fullnode("CG", "fujitsu", PagePlacement.FIRST_TOUCH)
+        assert ft <= default <= 1.3 * ft
+
+    def test_ua_fujitsu_still_behind_gcc_after_first_touch(self):
+        """'the performance improvement in UA is still not significant
+        enough for it to be comparable with other compilers'"""
+        ft = _fullnode("UA", "fujitsu", PagePlacement.FIRST_TOUCH)
+        gnu = _fullnode("UA", "gnu")
+        assert ft > 1.2 * gnu
+
+    @pytest.mark.parametrize("bench", ["BT", "UA"])
+    def test_arm_anomaly(self, bench):
+        """'interesting results with the ARM (in UA and BT)'"""
+        arm = _fullnode(bench, "arm")
+        gnu = _fullnode(bench, "gnu")
+        assert arm > 1.5 * gnu
+
+
+class TestScalingFigures:
+    @pytest.mark.parametrize("bench", sorted(NPB_WORKLOADS))
+    def test_fig5_a64fx_bands(self, bench):
+        run = parallel_run(NPB_WORKLOADS[bench], OOKAMI, TOOLCHAINS["gnu"], 48)
+        lo, hi = FIG5_EFFICIENCY_BANDS[bench]
+        assert lo <= run.efficiency <= hi
+
+    @pytest.mark.parametrize("bench", sorted(NPB_WORKLOADS))
+    def test_fig6_skylake_bands(self, bench):
+        run = parallel_run(NPB_WORKLOADS[bench], SKYLAKE, TOOLCHAINS["intel"],
+                           36)
+        lo, hi = FIG6_EFFICIENCY_BANDS[bench]
+        assert lo <= run.efficiency <= hi
+
+    def test_a64fx_scales_better_than_skylake(self):
+        """'A64FX shows better scaling for all the applications compared
+        to Skylake.'"""
+        for bench, work in NPB_WORKLOADS.items():
+            a64 = parallel_run(work, OOKAMI, TOOLCHAINS["gnu"], 48).efficiency
+            skl = parallel_run(work, SKYLAKE, TOOLCHAINS["intel"],
+                               36).efficiency
+            assert a64 > skl, bench
+
+    def test_sp_is_least_scaling_on_a64fx(self):
+        """'SP (memory-bound) having the least scaling/parallel
+        efficiency of 0.6 across all 48 cores'"""
+        effs = {
+            b: parallel_run(w, OOKAMI, TOOLCHAINS["gnu"], 48).efficiency
+            for b, w in NPB_WORKLOADS.items()
+        }
+        assert min(effs, key=effs.get) == "SP"
+        assert effs["SP"] == pytest.approx(0.6, abs=0.1)
+
+    def test_ep_near_linear_on_a64fx(self):
+        eff = parallel_run(NPB_WORKLOADS["EP"], OOKAMI, TOOLCHAINS["gnu"],
+                           48).efficiency
+        assert eff > 0.95

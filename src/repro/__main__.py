@@ -13,6 +13,10 @@ Commands
     short_scatter/recip/sqrt/exp/sin/pow).
 ``pipeline <loop> <toolchain>``
     Render the pipeline diagram of the compiled loop's first iterations.
+``profile <loop> [toolchain] [--system KEY] [--n LEN] [--json]``
+    Run a suite kernel under the PMU-style counter subsystem and print
+    an ECM-style breakdown (``--json`` for the machine-readable profile
+    document; see docs/PROFILING.md).
 ``verify``
     Run the real-numerics headline checks (NPB EP/CG class S official
     verification, HPL residual, FFT parity, Sedov exponent).
@@ -86,6 +90,48 @@ def _cmd_pipeline(args: list[str]) -> int:
     return 0
 
 
+def _cmd_profile(args: list[str]) -> int:
+    from repro.kernels.loops import LOOP_NAMES, MATH_LOOP_NAMES
+    from repro.perf.profile import profile_kernel
+    from repro.perf.report import profile_to_json_str
+
+    as_json = "--json" in args
+    args = [a for a in args if a != "--json"]
+    system: str | None = None
+    n: int | None = None
+    positional: list[str] = []
+    i = 0
+    while i < len(args):
+        if args[i] == "--system" and i + 1 < len(args):
+            system = args[i + 1]
+            i += 2
+        elif args[i] == "--n" and i + 1 < len(args):
+            try:
+                n = int(args[i + 1])
+            except ValueError:
+                print(f"profile failed: --n expects an integer, "
+                      f"got {args[i + 1]!r}")
+                return 1
+            i += 2
+        else:
+            positional.append(args[i])
+            i += 1
+    if not positional or len(positional) > 2:
+        print("usage: python -m repro profile <loop> [toolchain] "
+              "[--system KEY] [--n LEN] [--json]")
+        print(f"loops: {', '.join(LOOP_NAMES + MATH_LOOP_NAMES)}")
+        return 1
+    kernel = positional[0]
+    toolchain = positional[1] if len(positional) == 2 else "fujitsu"
+    try:
+        prof = profile_kernel(kernel, toolchain, system, n=n)
+    except (KeyError, ValueError) as exc:
+        print(f"profile failed: {exc}")
+        return 1
+    print(profile_to_json_str(prof.to_json()) if as_json else prof.render())
+    return 0
+
+
 def _cmd_verify() -> int:
     import numpy as np
 
@@ -146,6 +192,8 @@ def main(argv: list[str]) -> int:
         return _cmd_asm(rest)
     if cmd == "pipeline":
         return _cmd_pipeline(rest)
+    if cmd == "profile":
+        return _cmd_profile(rest)
     if cmd == "verify":
         return _cmd_verify()
     print(f"unknown command {cmd!r}\n{_USAGE}")

@@ -11,6 +11,12 @@ single-kernel execution, and the OpenMP-like threading model.
   hierarchy time into a kernel runtime on a full :class:`System`.
 * :mod:`repro.engine.openmp` — fork/join threading with NUMA placement,
   scheduling overheads and parallel-efficiency accounting (Figs. 4-6).
+
+Every stage is instrumented with the PMU-style counters of
+:mod:`repro.perf`: wrap any engine call in a
+:class:`repro.perf.counters.ProfileScope` to collect per-pipe occupancy,
+stall cycles, per-level memory traffic and compute-vs-memory attribution
+(see ``docs/PROFILING.md``).
 """
 
 from repro.engine.scheduler import PipelineScheduler, ScheduleResult

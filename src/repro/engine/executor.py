@@ -12,8 +12,15 @@
 The two overlap on every machine studied (hardware prefetch plus
 out-of-order execution), so runtime per iteration is the **max** of the
 compute and memory components — the standard roofline composition, applied
-at loop granularity.  This reproduces, e.g., why the choice of compiler
-stops mattering once a loop's working set spills to HBM.
+at loop granularity.  The max does not discard the loser: each run
+attributes its time as a *bound* component (the max) and a *hidden*
+component (the min, fully overlapped under the bound), and under an
+active :class:`repro.perf.counters.ProfileScope` both sides are emitted
+as ``exec.*`` counters together with per-level ``memory.levels.*`` byte
+traffic.  This reproduces, e.g., why the choice of compiler stops
+mattering once a loop's working set spills to HBM — the compute term is
+still there, but it is hidden (and the counters show exactly how much of
+it).
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from repro.engine.scheduler import ScheduleResult
 from repro.machine.memory import MemoryStream
 from repro.machine.numa import PagePlacement
 from repro.machine.systems import System
+from repro.perf.counters import emit, emit_unique, is_profiling
 
 __all__ = ["KernelRun", "KernelExecutor"]
 
@@ -49,6 +57,12 @@ class KernelRun:
     @property
     def bound(self) -> str:
         return "memory" if self.memory_seconds > self.compute_seconds else "compute"
+
+    @property
+    def hidden_seconds(self) -> float:
+        """Time of the non-bound component, fully overlapped under the
+        bound one (the counter-attributed split of the max composition)."""
+        return min(self.compute_seconds, self.memory_seconds)
 
     @property
     def effective_cpi(self) -> float:
@@ -110,20 +124,47 @@ class KernelExecutor:
         placement_domains = (
             1 if placement is PagePlacement.SINGLE_DOMAIN else None
         )
+        profiling = is_profiling()
         memory_s = 0.0
         for stream in streams:
             lvl = hier.serving_level(stream.footprint, active_cores_per_domain)
+            stream_bytes = stream.bytes_per_iter * n_iters
             if lvl == 0:
-                continue  # L1-resident: latency already in the schedule
+                # L1-resident: latency already in the schedule
+                if profiling:
+                    lvl_name = hier.levels[0].name
+                    emit(f"memory.levels.{lvl_name}.bytes_in", stream_bytes)
+                continue
             bw = hier.effective_bw_gbs(
                 stream,
                 clock,
                 active_cores_per_domain=active_cores_per_domain,
                 placement_domains=placement_domains,
             )
-            memory_s += stream.bytes_per_iter * n_iters / (bw * 1e9)
+            stream_s = stream_bytes / (bw * 1e9)
+            memory_s += stream_s
+            if profiling:
+                lvl_name = (
+                    hier.levels[lvl].name if lvl < len(hier.levels) else "dram"
+                )
+                emit(f"memory.levels.{lvl_name}.bytes_in", stream_bytes)
+                if stream.is_store:
+                    # write-allocate: the stored lines travel back out too
+                    emit(f"memory.levels.{lvl_name}.bytes_out", stream_bytes)
+                emit(f"exec.stream_seconds.{stream.name}", stream_s)
+                emit_unique(f"exec.stream_bw_gbs.{stream.name}", bw)
 
         total = max(compute_s, memory_s)
+        if profiling:
+            emit("exec.runs", 1.0)
+            emit("exec.compute_cycles",
+                 sched.cycles_per_iter * n_iters + overhead_cycles)
+            emit("exec.compute_seconds", compute_s)
+            emit("exec.memory_seconds", memory_s)
+            emit("exec.seconds", total)
+            emit("exec.hidden_seconds", min(compute_s, memory_s))
+            emit("exec.bound.memory" if memory_s > compute_s
+                 else "exec.bound.compute", 1.0)
         return KernelRun(
             label=sched.label,
             seconds=total,

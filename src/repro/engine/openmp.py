@@ -22,6 +22,12 @@ The mechanisms encoded:
 * **Runtime overhead** — each parallel region pays a fork/join plus a
   barrier that grows with the thread count; OpenMP runtimes differ
   (the ARM runtime's higher costs reproduce its BT/UA full-node anomaly).
+
+Under an active :class:`repro.perf.counters.ProfileScope`,
+:meth:`OpenMPModel.run` emits ``omp.*`` counters: the seconds lost to
+load imbalance, the fork/join vs barrier overhead split, and the
+placement-attributed CMG-local vs remote DRAM bytes (the quantity that
+separates Fig. 4's ``fujitsu`` and ``fujitsu-first-touch`` bars).
 """
 
 from __future__ import annotations
@@ -32,6 +38,7 @@ from dataclasses import dataclass
 from repro._util import require_positive
 from repro.machine.numa import PagePlacement
 from repro.machine.systems import System
+from repro.perf.counters import emit, is_profiling
 
 __all__ = ["RuntimeTraits", "WorkDecomposition", "ParallelRun", "OpenMPModel"]
 
@@ -201,6 +208,11 @@ class OpenMPModel:
         overhead_s = work.regions * self.traits.region_overhead_s(threads)
         total = max(compute_s, memory_s) + overhead_s
 
+        if is_profiling():
+            self._emit_counters(
+                work, threads, placement, compute_s, memory_s, imbalance
+            )
+
         serial = self._serial_seconds(work)
         return ParallelRun(
             seconds=total,
@@ -210,6 +222,51 @@ class OpenMPModel:
             overhead_seconds=overhead_s,
             serial_seconds=serial,
         )
+
+    def _emit_counters(
+        self,
+        work: WorkDecomposition,
+        threads: int,
+        placement: PagePlacement,
+        compute_s: float,
+        memory_s: float,
+        imbalance: float,
+    ) -> None:
+        """Emit ``omp.*`` PMU counters for one threaded prediction.
+
+        Imbalance seconds are the excess of the imbalanced parallel
+        compute over a perfectly balanced split of the same work; local
+        vs remote bytes follow the page-placement policy (first-touch
+        pages are all CMG-local, a single-domain policy leaves every
+        thread outside domain 0 fetching remotely, interleaving spreads
+        pages evenly over all domains).
+        """
+        f = work.parallel_fraction
+        denom = (1.0 - f) + f * (1.0 + imbalance) / threads
+        serial_equiv = compute_s / denom if denom else 0.0
+        imbalance_s = serial_equiv * f * imbalance / threads
+        emit("omp.parallel_runs", 1.0)
+        emit("omp.threads", float(threads))
+        emit("omp.regions", work.regions)
+        emit("omp.compute_seconds", compute_s)
+        emit("omp.memory_seconds", memory_s)
+        emit("omp.imbalance_seconds", imbalance_s)
+        if threads > 1:
+            emit("omp.fork_join_seconds",
+                 1e-6 * self.traits.fork_join_us * work.regions)
+            emit("omp.barrier_seconds",
+                 1e-6 * self.traits.barrier_us_log2
+                 * math.log2(threads) * work.regions)
+        total_bytes = work.contig_bytes + work.random_bytes
+        act = self.system.topology.active_domains(threads)
+        if placement is PagePlacement.FIRST_TOUCH:
+            local_frac = 1.0
+        elif placement is PagePlacement.SINGLE_DOMAIN:
+            local_frac = 1.0 / act
+        else:  # INTERLEAVE
+            local_frac = 1.0 / self.system.topology.domains
+        emit("omp.bytes.local", total_bytes * local_frac)
+        emit("omp.bytes.remote", total_bytes * (1.0 - local_frac))
 
     def _serial_seconds(self, work: WorkDecomposition) -> float:
         """One-thread prediction with the same composition rules."""

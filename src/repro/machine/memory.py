@@ -24,6 +24,12 @@ Mechanisms from the paper encoded here:
   express this.
 * Random access is latency-bound at low concurrency: effective line
   bandwidth is capped by ``mlp * line / latency`` per core.
+
+Both tools are PMU-instrumented: under an active
+:class:`repro.perf.counters.ProfileScope`, analytic bandwidth queries
+emit ``memory.*`` counters (which level served a stream, line
+utilization, prefetch coverage) and :meth:`CacheSim.access_trace` emits
+exact ``cachesim.*`` hit/miss/eviction and byte counters.
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ from typing import Literal, Sequence
 import numpy as np
 
 from repro._util import require_in, require_positive
+from repro.perf.counters import emit, emit_unique, is_profiling
 
 __all__ = [
     "CacheLevel",
@@ -190,6 +197,8 @@ class MemoryHierarchy:
         """
         require_positive(clock_ghz, "clock_ghz")
         lvl_idx = self.serving_level(stream.footprint, active_cores_per_domain)
+        if is_profiling():
+            self._emit_stream_counters(stream, lvl_idx)
         if lvl_idx < len(self.levels):
             lvl = self.levels[lvl_idx]
             bw = lvl.bw_bytes_per_cycle * clock_ghz  # bytes/cycle * Gcycle/s = GB/s
@@ -214,6 +223,40 @@ class MemoryHierarchy:
         if stream.is_store:
             eff /= 2.0  # write-allocate: each stored line is also read
         return eff
+
+    def _emit_stream_counters(self, stream: MemoryStream, lvl_idx: int) -> None:
+        """Analytic ``memory.*`` PMU counters for one bandwidth query.
+
+        In the analytic model a stream "hits" in the level that serves
+        its footprint and "misses" in every level inside it (their
+        capacity share could not hold the working set); the serving
+        level's line size prices utilization.  Prefetch coverage is the
+        modelled fraction of line fills issued by the hardware
+        prefetchers rather than demand misses — 1.0 for the stream
+        patterns they track, 0.0 for the patterns they cannot.
+        """
+        for i, lvl in enumerate(self.levels):
+            if i < lvl_idx:
+                emit(f"memory.levels.{lvl.name}.misses")
+            elif i == lvl_idx:
+                emit(f"memory.levels.{lvl.name}.hits")
+        if lvl_idx == len(self.levels):
+            emit("memory.levels.dram.hits")
+        line = self.line if lvl_idx == len(self.levels) else self.levels[lvl_idx].line
+        emit_unique(f"memory.line_util.{stream.name}",
+                    self._line_utilization(stream, line))
+        emit_unique(f"memory.prefetch_coverage.{stream.name}",
+                    self.prefetch_coverage(stream.pattern))
+
+    @staticmethod
+    def prefetch_coverage(pattern: AccessPattern) -> float:
+        """Modelled hardware-prefetch coverage of line fills, in [0, 1].
+
+        Contiguous and constant-stride streams are fully tracked by the
+        stream prefetchers; index-driven (random/windowed) accesses are
+        pure demand misses.
+        """
+        return 1.0 if pattern in ("contig", "stride") else 0.0
 
     def _single_core_dram_cap(self, pattern: AccessPattern) -> float:
         """Per-core DRAM bandwidth cap, never the whole domain bandwidth.
@@ -274,10 +317,12 @@ class CacheSim:
         self._time = 0
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def reset_stats(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def access(self, addr: int) -> bool:
         """Access one byte address; returns True on hit."""
@@ -293,20 +338,36 @@ class CacheSim:
             return True
         self.misses += 1
         victim = int(np.argmin(self._stamps[s]))
+        if self._tags[s, victim] != -1:
+            self.evictions += 1
         self._tags[s, victim] = tag
         self._stamps[s, victim] = self._time
         return False
 
     def access_trace(self, addrs: Sequence[int] | np.ndarray) -> float:
-        """Access every address in order; return the hit rate."""
+        """Access every address in order; return the hit rate.
+
+        Under an active profile scope, the replay's exact deltas are
+        emitted as ``cachesim.*`` counters (``bytes_in`` = filled lines,
+        ``bytes_out`` = evicted lines, both at line granularity).
+        """
         arr = np.asarray(addrs, dtype=np.int64)
         if arr.size == 0:
             raise ValueError("empty trace")
-        before_h, before_m = self.hits, self.misses
+        before_h, before_m, before_e = self.hits, self.misses, self.evictions
         for a in arr:
             self.access(int(a))
-        total = (self.hits - before_h) + (self.misses - before_m)
-        return (self.hits - before_h) / total
+        d_hits = self.hits - before_h
+        d_misses = self.misses - before_m
+        if is_profiling():
+            d_evictions = self.evictions - before_e
+            emit("cachesim.accesses", float(arr.size))
+            emit("cachesim.hits", float(d_hits))
+            emit("cachesim.misses", float(d_misses))
+            emit("cachesim.evictions", float(d_evictions))
+            emit("cachesim.bytes_in", float(d_misses * self.line))
+            emit("cachesim.bytes_out", float(d_evictions * self.line))
+        return d_hits / (d_hits + d_misses)
 
     @property
     def hit_rate(self) -> float:

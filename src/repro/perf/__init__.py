@@ -1,0 +1,65 @@
+"""PMU-style performance-counter subsystem.
+
+The observability layer of the reproduction: every hot path of the
+machine model (pipeline scheduler, memory hierarchy, cache simulator,
+kernel executor, OpenMP model) emits dotted PMU-style counters when a
+:class:`~repro.perf.counters.ProfileScope` is active, and this package
+collects, reconciles, renders and serializes them.
+
+* :mod:`repro.perf.counters` — :class:`CounterSet`, :class:`ProfileScope`
+  and the :func:`emit` hooks the instrumented modules call.
+* :mod:`repro.perf.report` — text-table rendering and the stable
+  versioned JSON profile schema.
+* :mod:`repro.perf.profile` — :func:`profile_kernel`, the engine behind
+  the ``repro profile`` CLI subcommand.
+
+See ``docs/PROFILING.md`` for the counter taxonomy and worked examples.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.perf.counters import (
+    CounterSet,
+    ProfileScope,
+    active_scopes,
+    emit,
+    emit_unique,
+    is_profiling,
+)
+from repro.perf.report import (
+    PROFILE_SCHEMA,
+    profile_to_json,
+    profile_to_json_str,
+    render_counters,
+)
+
+__all__ = [
+    "CounterSet",
+    "ProfileScope",
+    "active_scopes",
+    "emit",
+    "emit_unique",
+    "is_profiling",
+    "PROFILE_SCHEMA",
+    "profile_to_json",
+    "profile_to_json_str",
+    "render_counters",
+    "KernelProfile",
+    "profile_kernel",
+    "default_system_for",
+]
+
+_PROFILE_NAMES = {"KernelProfile", "profile_kernel", "default_system_for"}
+
+
+def __getattr__(name: str) -> Any:
+    # repro.perf.profile pulls in the compiler/engine stack; importing it
+    # lazily keeps `repro.perf.counters` importable from low-level modules
+    # (scheduler, memory) without a cycle.
+    if name in _PROFILE_NAMES:
+        from repro.perf import profile as _profile
+
+        return getattr(_profile, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

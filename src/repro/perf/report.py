@@ -1,0 +1,101 @@
+"""Rendering of counter sets: aligned text tables and stable JSON.
+
+Two consumers drive the two formats:
+
+* humans reading ``repro profile`` output want grouped, aligned tables
+  (:func:`render_counters`);
+* trajectory tooling (the ``BENCH_*.json`` convention) wants a stable,
+  versioned machine-readable document (:func:`profile_to_json`,
+  schema id :data:`PROFILE_SCHEMA`).
+
+The JSON schema is append-only: fields are never renamed or removed
+within a major schema id, only added — so downstream diffing of profile
+documents across commits stays meaningful.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from repro.perf.counters import CounterSet
+
+__all__ = [
+    "PROFILE_SCHEMA",
+    "render_counters",
+    "profile_to_json",
+    "profile_to_json_str",
+]
+
+#: schema identifier stamped into every JSON profile document
+PROFILE_SCHEMA = "repro.perf.profile/1"
+
+
+def render_counters(counters: CounterSet | Mapping[str, float],
+                    title: str = "") -> str:
+    """Render a counter set as grouped, aligned text.
+
+    Counters are grouped by their first dotted component; within a group
+    rows align on the value column.  Integral values print without a
+    fraction so slot/byte counts read like PMU dumps.
+    """
+    items = sorted(counters.items())
+    if not items:
+        return "(no counters)"
+    groups: dict[str, list[tuple[str, float]]] = {}
+    for name, value in items:
+        top, _, rest = name.partition(".")
+        groups.setdefault(top, []).append((rest or top, value))
+
+    width = max(len(rest) for rows in groups.values() for rest, _ in rows)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for top in sorted(groups):
+        lines.append(f"[{top}]")
+        for rest, value in groups[top]:
+            lines.append(f"  {rest:<{width}}  {_fmt_value(value)}")
+    return "\n".join(lines)
+
+
+def _fmt_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return f"{int(value):>14,}"
+    if 0 < abs(value) < 1e-3:
+        return f"{value:>14.4e}"
+    return f"{value:>14.4f}"
+
+
+def profile_to_json(
+    *,
+    kernel: str,
+    toolchain: str,
+    system: str,
+    counters: CounterSet | Mapping[str, float],
+    derived: Mapping[str, Any],
+) -> dict[str, Any]:
+    """Assemble the versioned JSON profile document (as a dict).
+
+    ``derived`` carries quantities computed *from* the counters plus the
+    analytic model's own answer, so one document is self-reconciling:
+    a reader can check ``derived.reconciliation`` without re-running the
+    model.
+    """
+    flat = (
+        counters.as_dict()
+        if isinstance(counters, CounterSet)
+        else {k: counters[k] for k in sorted(counters)}
+    )
+    return {
+        "schema": PROFILE_SCHEMA,
+        "kernel": kernel,
+        "toolchain": toolchain,
+        "system": system,
+        "counters": flat,
+        "derived": dict(derived),
+    }
+
+
+def profile_to_json_str(document: Mapping[str, Any]) -> str:
+    """Serialize a profile document deterministically (sorted keys)."""
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -1,0 +1,128 @@
+"""Unit tests of the counter core: CounterSet, scopes, emission."""
+
+import pytest
+
+from repro.perf.counters import (
+    CounterSet,
+    ProfileScope,
+    active_scopes,
+    emit,
+    emit_unique,
+    is_profiling,
+)
+
+
+class TestCounterSet:
+    def test_inc_accumulates(self):
+        cs = CounterSet()
+        cs.inc("a.b", 2.0)
+        cs.inc("a.b", 3.0)
+        assert cs["a.b"] == 5.0
+
+    def test_put_overwrites(self):
+        cs = CounterSet()
+        cs.put("ratio", 0.5)
+        cs.put("ratio", 0.25)
+        assert cs["ratio"] == 0.25
+
+    def test_mapping_interface(self):
+        cs = CounterSet("lbl")
+        cs.inc("z", 1.0)
+        cs.inc("a", 1.0)
+        assert list(cs) == ["a", "z"]          # sorted iteration
+        assert len(cs) == 2
+        assert "a" in cs
+        assert cs.get("missing", 7.0) == 7.0
+
+    def test_group_and_total(self):
+        cs = CounterSet()
+        cs.inc("pipe.busy.fla", 10.0)
+        cs.inc("pipe.busy.flb", 5.0)
+        cs.inc("pipe.other", 99.0)
+        assert cs.group("pipe.busy") == {"fla": 10.0, "flb": 5.0}
+        assert cs.total("pipe.busy") == 15.0
+
+    def test_merge(self):
+        a, b = CounterSet(), CounterSet()
+        a.inc("x", 1.0)
+        b.inc("x", 2.0)
+        b.inc("y", 3.0)
+        a.merge(b)
+        assert a.as_dict() == {"x": 3.0, "y": 3.0}
+
+    def test_as_dict_sorted(self):
+        cs = CounterSet()
+        cs.inc("b")
+        cs.inc("a")
+        assert list(cs.as_dict()) == ["a", "b"]
+
+
+class TestScopes:
+    def test_no_scope_emit_is_noop(self):
+        assert not is_profiling()
+        emit("dropped", 1.0)  # must not raise
+
+    def test_scope_collects(self):
+        with ProfileScope("t") as cs:
+            assert is_profiling()
+            emit("k", 2.0)
+            emit("k", 1.0)
+        assert not is_profiling()
+        assert cs["k"] == 3.0
+
+    def test_nested_scopes_both_receive(self):
+        with ProfileScope("outer") as outer:
+            emit("a", 1.0)
+            with ProfileScope("inner") as inner:
+                emit("a", 1.0)
+        assert outer["a"] == 2.0
+        assert inner["a"] == 1.0
+
+    def test_emit_unique_overwrites_in_all_scopes(self):
+        with ProfileScope() as outer, ProfileScope() as inner:
+            emit_unique("r", 0.5)
+            emit_unique("r", 0.75)
+        assert outer["r"] == 0.75
+        assert inner["r"] == 0.75
+
+    def test_scope_exit_is_exception_safe(self):
+        with pytest.raises(RuntimeError):
+            with ProfileScope():
+                raise RuntimeError("boom")
+        assert not is_profiling()
+        assert active_scopes() == ()
+
+
+class TestRendering:
+    def test_render_counters_groups(self):
+        from repro.perf.report import render_counters
+
+        cs = CounterSet()
+        cs.inc("pipeline.instructions", 100)
+        cs.inc("memory.levels.L1.hits", 3)
+        text = render_counters(cs)
+        assert "[pipeline]" in text and "[memory]" in text
+        assert "100" in text
+
+    def test_render_empty(self):
+        from repro.perf.report import render_counters
+
+        assert render_counters(CounterSet()) == "(no counters)"
+
+    def test_json_document_shape(self):
+        from repro.perf.report import (
+            PROFILE_SCHEMA,
+            profile_to_json,
+            profile_to_json_str,
+        )
+
+        cs = CounterSet()
+        cs.inc("x", 1.0)
+        doc = profile_to_json(
+            kernel="k", toolchain="t", system="s",
+            counters=cs, derived={"seconds": 1.0},
+        )
+        assert doc["schema"] == PROFILE_SCHEMA
+        assert doc["counters"] == {"x": 1.0}
+        text = profile_to_json_str(doc)
+        assert '"schema"' in text

@@ -1,0 +1,112 @@
+"""End-to-end tests of profile_kernel and the `repro profile` CLI.
+
+The headline acceptance criterion lives here: profiling the gather loop
+and the FEXPA exp kernel must emit JSON whose cycle and byte counters
+reconcile (within 1%) with the analytic KernelRun seconds.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.perf.profile import default_system_for, profile_kernel
+from repro.perf.report import PROFILE_SCHEMA, profile_to_json_str
+
+
+class TestProfileKernel:
+    @pytest.mark.parametrize("kernel", ["gather", "exp"])
+    def test_acceptance_reconciliation_within_1pct(self, kernel):
+        prof = profile_kernel(kernel, "fujitsu")
+        doc = prof.to_json()
+        derived = doc["derived"]
+        rec = derived["reconciliation"]
+        assert rec["compute_seconds_from_cycles"] == pytest.approx(
+            derived["compute_seconds"], rel=0.01
+        )
+        assert rec["memory_seconds_from_bytes"] == pytest.approx(
+            derived["memory_seconds"], rel=0.01, abs=1e-15
+        )
+        assert rec["seconds_from_counters"] == pytest.approx(
+            derived["seconds"], rel=0.01
+        )
+
+    @pytest.mark.parametrize("kernel", ["gather", "exp"])
+    def test_acceptance_reconciliation_dram_resident(self, kernel):
+        """Same reconciliation with the working set pushed out to HBM."""
+        prof = profile_kernel(kernel, "fujitsu", n=2_000_000)
+        derived = prof.to_json()["derived"]
+        rec = derived["reconciliation"]
+        assert rec["seconds_from_counters"] == pytest.approx(
+            derived["seconds"], rel=0.01
+        )
+
+    def test_json_document_is_stable_schema(self):
+        doc = profile_kernel("gather").to_json()
+        assert doc["schema"] == PROFILE_SCHEMA
+        assert set(doc) >= {"schema", "kernel", "toolchain", "system",
+                            "counters", "derived"}
+        # serializes deterministically
+        text = profile_to_json_str(doc)
+        assert json.loads(text) == json.loads(profile_to_json_str(doc))
+
+    def test_exp_kernel_uses_fexpa(self):
+        prof = profile_kernel("exp", "fujitsu")
+        assert prof.counters["pipeline.instr_mix.fexpa"] > 0
+
+    def test_gather_is_ls_pipe_bound(self):
+        prof = profile_kernel("gather", "fujitsu")
+        busy = prof.counters.group("pipeline.pipe_busy")
+        assert max(busy, key=busy.get) in ("ls1", "ls2")
+
+    def test_scalar_toolchain_profile(self):
+        """GNU refuses to vectorize exp: scalar profile, quality factor."""
+        prof = profile_kernel("exp", "gnu")
+        assert prof.quality_factor != 1.0 or prof.schedule.elements_per_iter == 1
+        assert prof.cycles_per_element > profile_kernel(
+            "exp", "fujitsu"
+        ).cycles_per_element
+
+    def test_default_system_resolution(self):
+        assert default_system_for("fujitsu") == "ookami"
+        assert default_system_for("intel") == "skylake"
+        prof = profile_kernel("simple", "intel")
+        assert prof.system == "skylake"
+
+    def test_render_mentions_key_sections(self):
+        text = profile_kernel("gather").render()
+        assert "ECM-style decomposition" in text
+        assert "issue slots" in text
+        assert "[pipeline]" in text
+
+    def test_counters_scoped_not_leaked(self):
+        from repro.perf.counters import is_profiling
+
+        profile_kernel("simple")
+        assert not is_profiling()
+
+
+class TestProfileCLI:
+    def test_cli_text(self, capsys):
+        assert main(["profile", "gather"]) == 0
+        out = capsys.readouterr().out
+        assert "ECM-style decomposition" in out
+
+    def test_cli_json(self, capsys):
+        assert main(["profile", "exp", "fujitsu", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == PROFILE_SCHEMA
+        assert doc["kernel"] == "exp"
+
+    def test_cli_n_override(self, capsys):
+        assert main(["profile", "gather", "--n", "200000", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["derived"]["bound"] == "memory"
+
+    def test_cli_bad_kernel(self, capsys):
+        assert main(["profile", "nope"]) == 1
+        assert "profile failed" in capsys.readouterr().out
+
+    def test_cli_usage(self, capsys):
+        assert main(["profile"]) == 1
+        assert "usage" in capsys.readouterr().out

@@ -1,0 +1,224 @@
+"""Counter totals must reconcile with the analytic outputs they shadow.
+
+These are the tests the ISSUE's acceptance criteria name: the counter
+subsystem is only trustworthy if its totals agree with the analytic
+model it instruments — slot accounting with the scheduler, byte
+accounting with the stream footprints, and the exact cache simulator
+with its own trace-driven counters.
+"""
+
+import pytest
+
+from repro.compilers.codegen import compile_loop
+from repro.compilers.toolchains import get_toolchain
+from repro.engine.executor import KernelExecutor
+from repro.engine.openmp import OpenMPModel, RuntimeTraits, WorkDecomposition
+from repro.engine.scheduler import PipelineScheduler
+from repro.kernels.loops import build_loop
+from repro.machine.memory import CacheSim, MemoryStream
+from repro.machine.numa import PagePlacement
+from repro.machine.systems import OOKAMI, get_system
+from repro.machine.trace import gather_trace, measure_trace
+from repro.perf.counters import ProfileScope
+
+
+def _schedule_under_counters(loop_name: str, toolchain: str = "fujitsu"):
+    compiled = compile_loop(
+        build_loop(loop_name), get_toolchain(toolchain), OOKAMI.cpu
+    )
+    with ProfileScope() as counters:
+        sched = PipelineScheduler(OOKAMI.cpu).steady_state(compiled.stream)
+    return compiled, sched, counters
+
+
+class TestSchedulerSlotAccounting:
+    @pytest.mark.parametrize("loop_name", ["simple", "gather", "exp", "sqrt"])
+    def test_slot_identity_exact(self, loop_name):
+        """issue_width x makespan == slots used + slots stalled, exactly."""
+        _, _, c = _schedule_under_counters(loop_name)
+        assert (
+            c["pipeline.issue_slots.total"]
+            == c["pipeline.issue_slots.used"] + c["pipeline.issue_slots.stalled"]
+        )
+        width = OOKAMI.cpu.issue_width
+        assert c["pipeline.issue_slots.total"] == pytest.approx(
+            width * c["pipeline.makespan_cycles"]
+        )
+
+    def test_instructions_equal_body_times_iters(self):
+        compiled, _, c = _schedule_under_counters("simple")
+        n_body = len(compiled.stream.body)
+        assert c["pipeline.instructions"] == n_body * c["pipeline.iterations"]
+        assert c["pipeline.issue_slots.used"] == c["pipeline.instructions"]
+
+    def test_instr_mix_sums_to_instructions(self):
+        _, _, c = _schedule_under_counters("exp")
+        assert sum(c.group("pipeline.instr_mix").values()) == (
+            c["pipeline.instructions"]
+        )
+
+    def test_steady_cycles_match_schedule_result(self):
+        _, sched, c = _schedule_under_counters("gather")
+        iters = c["pipeline.iterations"]
+        assert c["pipeline.steady_cycles"] == pytest.approx(
+            sched.cycles_per_iter * iters
+        )
+
+    def test_pipe_busy_bounded_by_makespan(self):
+        _, _, c = _schedule_under_counters("exp")
+        makespan = c["pipeline.makespan_cycles"]
+        for pipe, busy in c.group("pipeline.pipe_busy").items():
+            assert busy <= makespan + 1e-9, pipe
+
+
+class TestExecutorByteAccounting:
+    def test_memory_bytes_equal_stream_footprint(self):
+        """One full pass over each stream moves exactly its footprint."""
+        system = get_system("ookami")
+        compiled = compile_loop(
+            build_loop("simple", n=2_000_000), get_toolchain("fujitsu"),
+            system.cpu,
+        )
+        with ProfileScope() as c:
+            sched = PipelineScheduler(system.cpu).steady_state(compiled.stream)
+            KernelExecutor(system).run(
+                sched, compiled.mem_streams, n_iters=compiled.n_iters
+            )
+        bytes_in = sum(
+            v for k, v in c.group("memory.levels").items()
+            if k.endswith("bytes_in")
+        )
+        footprint = sum(s.footprint for s in compiled.mem_streams)
+        # n_iters is rounded up to whole vector iterations, so the counter
+        # may exceed the footprint by less than one iteration's traffic
+        per_iter = sum(s.bytes_per_iter for s in compiled.mem_streams)
+        assert footprint <= bytes_in <= footprint + per_iter
+
+    def test_compute_cycles_reconcile_with_seconds(self):
+        system = get_system("ookami")
+        compiled = compile_loop(
+            build_loop("gather"), get_toolchain("fujitsu"), system.cpu
+        )
+        with ProfileScope() as c:
+            sched = PipelineScheduler(system.cpu).steady_state(compiled.stream)
+            run = KernelExecutor(system).run(
+                sched, compiled.mem_streams, n_iters=compiled.n_iters
+            )
+        clock_hz = run.clock_ghz * 1e9
+        assert c["exec.compute_cycles"] / clock_hz == pytest.approx(
+            run.compute_seconds, rel=1e-12
+        )
+        assert c["exec.seconds"] == pytest.approx(run.seconds, rel=1e-12)
+
+    def test_stream_seconds_sum_to_memory_seconds(self):
+        system = get_system("ookami")
+        compiled = compile_loop(
+            build_loop("gather", n=2_000_000), get_toolchain("fujitsu"),
+            system.cpu,
+        )
+        with ProfileScope() as c:
+            sched = PipelineScheduler(system.cpu).steady_state(compiled.stream)
+            run = KernelExecutor(system).run(
+                sched, compiled.mem_streams, n_iters=compiled.n_iters
+            )
+        assert c.total("exec.stream_seconds") == pytest.approx(
+            run.memory_seconds, rel=1e-12
+        )
+        assert run.bound == "memory"
+        assert c["exec.bound.memory"] == 1.0
+
+    def test_hidden_seconds_is_min_component(self):
+        system = get_system("ookami")
+        compiled = compile_loop(
+            build_loop("simple", n=2_000_000), get_toolchain("fujitsu"),
+            system.cpu,
+        )
+        sched = PipelineScheduler(system.cpu).steady_state(compiled.stream)
+        run = KernelExecutor(system).run(
+            sched, compiled.mem_streams, n_iters=compiled.n_iters
+        )
+        assert run.hidden_seconds == min(
+            run.compute_seconds, run.memory_seconds
+        )
+        assert run.seconds == max(run.compute_seconds, run.memory_seconds)
+
+
+class TestCacheSimCounters:
+    def test_trace_replay_matches_cachesim_exactly(self):
+        """measure_trace counters == the CacheSim's own counts, exactly."""
+        addrs = gather_trace(4096, short=False)
+        with ProfileScope() as c:
+            stats = measure_trace(addrs, capacity=16 * 256, line=256)
+        # independent replica of the same replay
+        sim = CacheSim(16 * 256, 256, 4)
+        sim.access_trace(addrs)
+        assert c["cachesim.accesses"] == len(addrs) == stats.accesses
+        assert c["cachesim.hits"] == sim.hits
+        assert c["cachesim.misses"] == sim.misses
+        assert c["cachesim.evictions"] == sim.evictions
+        assert c["cachesim.bytes_in"] == sim.misses * 256
+        assert c["cachesim.bytes_in"] == stats.bytes_transferred
+        assert c["cachesim.bytes_out"] == sim.evictions * 256
+
+    def test_eviction_counter_semantics(self):
+        sim = CacheSim(capacity=2 * 64, line=64, assoc=1)  # 2 sets, 1 way
+        assert not sim.access(0)      # miss, fill (no eviction)
+        assert not sim.access(128)    # same set, miss, evicts line 0
+        assert sim.misses == 2
+        assert sim.evictions == 1
+        sim.reset_stats()
+        assert sim.evictions == 0
+
+    def test_counters_off_by_default(self):
+        addrs = gather_trace(512, short=True)
+        measure_trace(addrs, capacity=16 * 256, line=256)  # no scope: no error
+
+
+class TestOpenMPCounters:
+    def _model(self):
+        return OpenMPModel(OOKAMI, RuntimeTraits("test", fork_join_us=2.0,
+                                                 barrier_us_log2=0.5))
+
+    def test_local_remote_byte_split_first_touch(self):
+        work = WorkDecomposition(compute_serial_s=1.0, contig_bytes=4e9)
+        with ProfileScope() as c:
+            self._model().run(work, 48, PagePlacement.FIRST_TOUCH)
+        assert c["omp.bytes.local"] == pytest.approx(4e9)
+        assert c.get("omp.bytes.remote", 0.0) == pytest.approx(0.0)
+
+    def test_local_remote_byte_split_single_domain(self):
+        work = WorkDecomposition(compute_serial_s=1.0, contig_bytes=4e9)
+        with ProfileScope() as c:
+            self._model().run(work, 48, PagePlacement.SINGLE_DOMAIN)
+        # 4 active CMGs, pages all on CMG 0: 1/4 of traffic is local
+        assert c["omp.bytes.local"] == pytest.approx(1e9)
+        assert c["omp.bytes.remote"] == pytest.approx(3e9)
+
+    def test_imbalance_seconds(self):
+        work = WorkDecomposition(compute_serial_s=1.0, imbalance=0.2)
+        model = self._model()
+        with ProfileScope() as c:
+            run = model.run(work, 12, PagePlacement.FIRST_TOUCH)
+        balanced = model.run(
+            WorkDecomposition(compute_serial_s=1.0), 12,
+            PagePlacement.FIRST_TOUCH,
+        )
+        assert c["omp.imbalance_seconds"] == pytest.approx(
+            run.compute_seconds - balanced.compute_seconds
+        )
+
+    def test_overhead_split_sums_to_region_overhead(self):
+        work = WorkDecomposition(compute_serial_s=1.0, regions=100)
+        model = self._model()
+        with ProfileScope() as c:
+            run = model.run(work, 48, PagePlacement.FIRST_TOUCH)
+        assert (
+            c["omp.fork_join_seconds"] + c["omp.barrier_seconds"]
+        ) == pytest.approx(run.overhead_seconds)
+
+    def test_single_thread_emits_no_barrier(self):
+        work = WorkDecomposition(compute_serial_s=1.0, regions=10)
+        with ProfileScope() as c:
+            self._model().run(work, 1, PagePlacement.FIRST_TOUCH)
+        assert "omp.barrier_seconds" not in c
+        assert "omp.fork_join_seconds" not in c

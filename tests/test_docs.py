@@ -78,6 +78,75 @@ class TestModuleReferences:
         assert main(["list"]) == 0
 
 
+def _docs_files():
+    docs = sorted((ROOT / "docs").glob("*.md"))
+    assert docs, "docs/ directory is empty"
+    return docs
+
+
+class TestDocsDirectory:
+    """docs/*.md must stay executable and link-clean (enforced in CI)."""
+
+    @pytest.mark.parametrize("name", ["PROFILING.md", "ARCHITECTURE.md"])
+    def test_required_pages_exist(self, name):
+        text = (ROOT / "docs" / name).read_text()
+        assert len(text) > 2000, f"docs/{name} looks stubbed"
+
+    @pytest.mark.parametrize(
+        "path", _docs_files(), ids=lambda p: p.name
+    )
+    def test_python_fences_execute(self, path):
+        """Every ```python fence in a docs page must run.
+
+        Blocks within one page share a namespace (so later examples can
+        build on earlier ones), and each page starts fresh.
+        """
+        blocks = re.findall(r"```python\n(.*?)```", path.read_text(), re.S)
+        namespace: dict = {"__name__": f"docs.{path.stem}"}
+        for i, block in enumerate(blocks):
+            code = compile(block, f"{path.name}:block{i}", "exec")
+            exec(code, namespace)  # noqa: S102 - the docs ARE the test
+
+    @pytest.mark.parametrize(
+        "path",
+        [pathlib.Path("README.md"), pathlib.Path("DESIGN.md"),
+         pathlib.Path("EXPERIMENTS.md")] + [
+            p.relative_to(ROOT) for p in _docs_files()
+        ],
+        ids=str,
+    )
+    def test_intra_repo_links_resolve(self, path):
+        """Relative markdown links must point at files that exist."""
+        text = (ROOT / path).read_text()
+        for label, target in re.findall(r"\[([^\]]+)\]\(([^)]+)\)", text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            target = target.split("#")[0]
+            resolved = (ROOT / path).parent / target
+            assert resolved.exists(), (
+                f"{path}: dead link [{label}]({target})"
+            )
+
+    def test_profiling_doc_names_real_counters(self):
+        """Counter names quoted in PROFILING.md must be emitted by an
+        actual gather/exp profile (no documented-but-phantom counters)."""
+        from repro.perf.profile import profile_kernel
+
+        text = (ROOT / "docs" / "PROFILING.md").read_text()
+        emitted = set()
+        for kernel in ("gather", "exp"):
+            emitted |= set(profile_kernel(kernel, n=2_000_000).counters)
+        documented = set(
+            re.findall(r"`((?:pipeline|exec|memory)\.[a-z_.]+)`", text)
+        )
+        documented = {d.rstrip(".") for d in documented}
+        for name in documented:
+            prefix_ok = any(
+                e == name or e.startswith(name + ".") for e in emitted
+            )
+            assert prefix_ok, f"PROFILING.md documents phantom counter {name}"
+
+
 class TestCalibrationInventory:
     def test_design_lists_every_toolchain_factor(self):
         """The DESIGN.md calibration table must mention the anomaly

@@ -20,6 +20,13 @@ Commands
 ``verify``
     Run the real-numerics headline checks (NPB EP/CG class S official
     verification, HPL residual, FFT parity, Sedov exponent).
+``bench [--quick] [--out PATH]``
+    Time the simulation engine (cold seed scheduler, event-driven fast
+    path, warm schedule cache, parallel sweep) over the Fig. 1/2 kernel
+    set and write ``BENCH_engine.json`` (see docs/PERFORMANCE.md).
+``cache [show|clear]``
+    Inspect or drop the content-addressed schedule cache (clears the
+    on-disk layer too when ``REPRO_CACHE_DIR`` is set).
 """
 
 from __future__ import annotations
@@ -179,6 +186,34 @@ def _cmd_verify() -> int:
     return 1 if failures else 0
 
 
+def _cmd_bench(args: list[str]) -> int:
+    from repro.bench.enginebench import main as bench_main
+
+    return bench_main(args)
+
+
+def _cmd_cache(args: list[str]) -> int:
+    from repro.engine.cache import get_cache
+
+    action = args[0] if args else "show"
+    cache = get_cache()
+    if action == "clear":
+        dropped = cache.clear(disk=True)
+        print(f"schedule cache cleared ({dropped} entries dropped)")
+        return 0
+    if action == "show":
+        stats = cache.stats()
+        print("schedule cache:")
+        for name in ("entries", "capacity", "hits", "misses", "disk_hits"):
+            print(f"  {name:<10} {int(stats[name])}")
+        disk = cache.disk_dir or "(memory only; set REPRO_CACHE_DIR to persist)"
+        print(f"  disk dir   {disk}")
+        return 0
+    print(f"unknown cache action {action!r}; "
+          "usage: python -m repro cache [show|clear]")
+    return 1
+
+
 def main(argv: list[str]) -> int:
     if not argv or argv[0] in ("-h", "--help", "help"):
         print(_USAGE)
@@ -196,6 +231,10 @@ def main(argv: list[str]) -> int:
         return _cmd_profile(rest)
     if cmd == "verify":
         return _cmd_verify()
+    if cmd == "bench":
+        return _cmd_bench(rest)
+    if cmd == "cache":
+        return _cmd_cache(rest)
     print(f"unknown command {cmd!r}\n{_USAGE}")
     return 1
 

@@ -87,20 +87,31 @@ def lulesh_time(
     return parallel_run(work, system, tc, threads).seconds
 
 
-def table2_rows() -> list[dict[str, object]]:
-    """All Table II rows: modeled vs paper values."""
-    rows: list[dict[str, object]] = []
-    for name in ("arm", "cray", "fujitsu", "gnu", "intel"):
-        tc = TOOLCHAINS[name]
-        row: dict[str, object] = {
-            "compiler": name,
-            "version": tc.version,
-            "flags": tc.flags,
-        }
-        for variant in ("base", "vect"):
-            for mode, mt in (("st", False), ("mt", True)):
-                key = f"{variant}_{mode}"
-                row[key] = lulesh_time(name, variant, mt=mt)
-                row[f"paper_{key}"] = TABLE2_PAPER[(name, variant)][mode]
-        rows.append(row)
-    return rows
+def _table2_row(name: str) -> dict[str, object]:
+    """One compiler's Table II row (top-level: sweep-dispatchable)."""
+    tc = TOOLCHAINS[name]
+    row: dict[str, object] = {
+        "compiler": name,
+        "version": tc.version,
+        "flags": tc.flags,
+    }
+    for variant in ("base", "vect"):
+        for mode, mt in (("st", False), ("mt", True)):
+            key = f"{variant}_{mode}"
+            row[key] = lulesh_time(name, variant, mt=mt)
+            row[f"paper_{key}"] = TABLE2_PAPER[(name, variant)][mode]
+    return row
+
+
+def table2_rows(parallel: bool = False) -> list[dict[str, object]]:
+    """All Table II rows: modeled vs paper values.
+
+    The per-compiler cells share math-loop schedules through the
+    content-addressed cache (:mod:`repro.engine.cache`); *parallel*
+    fans the compilers out over the sweep runner."""
+    from repro.engine.sweep import map_schedules
+
+    return map_schedules(
+        _table2_row, ("arm", "cray", "fujitsu", "gnu", "intel"),
+        mode="thread" if parallel else "serial",
+    )

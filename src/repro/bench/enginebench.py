@@ -1,0 +1,240 @@
+"""Engine micro-benchmark: the repo's performance trajectory file.
+
+Times the pipeline-scheduler hot path over the Fig. 1 + Fig. 2 kernel
+set (every suite loop x all five toolchains) in four configurations:
+
+``cold_seed``
+    the preserved seed implementation
+    (:class:`repro.engine._reference.ReferenceScheduler`) — the baseline
+    all speedups are measured against;
+``cold_fast``
+    the event-driven scheduler with steady-state extrapolation, empty
+    cache;
+``warm_cache``
+    the same sweep again through :func:`repro.engine.cache.cached_schedule`
+    with the cache primed — the steady state of a figure-suite run;
+``parallel``
+    the warm sweep fanned out over :func:`repro.engine.sweep.run_sweep`
+    worker threads.
+
+Results are written as versioned JSON (``repro.bench/1``) to
+``BENCH_engine.json`` so the performance trajectory is tracked in-repo;
+CI runs the quick variant and archives the document.  The run fails
+(exit 1) if the fast paths deviate from the seed scheduler by more than
+1e-9 relative, if the front-end slot identity breaks, or if the
+warm-cache speedup falls under the 5x acceptance floor (full mode).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+BENCH_FORMAT = "repro.bench/1"
+SPEEDUP_FLOOR = 5.0
+EQUIV_RTOL = 1e-9
+
+_QUICK_LOOPS = ("simple", "gather", "sqrt", "exp")
+_QUICK_TCS = ("fujitsu", "gnu", "intel")
+
+
+def _points(quick: bool) -> list[tuple[str, str]]:
+    from repro.compilers.toolchains import TOOLCHAINS
+    from repro.kernels.loops import LOOP_NAMES, MATH_LOOP_NAMES
+
+    loops = _QUICK_LOOPS if quick else LOOP_NAMES + MATH_LOOP_NAMES
+    tcs = _QUICK_TCS if quick else tuple(TOOLCHAINS)
+    return [(loop, tc) for loop in loops for tc in tcs]
+
+
+def _compiled(points: list[tuple[str, str]]):
+    """Pre-compile every point so only scheduling is on the clock."""
+    from repro.compilers.codegen import compile_loop
+    from repro.compilers.toolchains import get_toolchain
+    from repro.kernels.loops import build_loop
+    from repro.machine.microarch import A64FX, SKYLAKE_6140
+
+    out = []
+    for loop, tc_name in points:
+        tc = get_toolchain(tc_name)
+        march = SKYLAKE_6140 if tc.target == "x86" else A64FX
+        stream = compile_loop(build_loop(loop), tc, march).stream
+        out.append((loop, tc_name, march, stream))
+    return out
+
+
+def _rel_dev(a: float, b: float) -> float:
+    if a == b:
+        return 0.0
+    return abs(a - b) / max(abs(a), abs(b), 1e-300)
+
+
+def _check_equivalence(compiled) -> dict:
+    """Fast-path results vs the seed scheduler, point by point."""
+    from repro.engine._reference import ReferenceScheduler
+    from repro.engine.cache import cached_schedule
+    from repro.engine.scheduler import PipelineScheduler
+
+    worst = 0.0
+    worst_point = None
+    for loop, tc_name, march, stream in compiled:
+        ref = ReferenceScheduler(march).steady_state(stream)
+        for result in (
+            PipelineScheduler(march).steady_state(stream),
+            cached_schedule(march, stream),
+        ):
+            dev = max(
+                _rel_dev(result.cycles_per_iter, ref.cycles_per_iter),
+                _rel_dev(result.ipc, ref.ipc),
+                max(
+                    _rel_dev(result.pipe_occupancy[p], occ)
+                    for p, occ in ref.pipe_occupancy.items()
+                ),
+                0.0 if result.bound == ref.bound else 1.0,
+            )
+            if dev > worst:
+                worst, worst_point = dev, (loop, tc_name)
+    return {
+        "max_rel_deviation": worst,
+        "worst_point": worst_point,
+        "tolerance": EQUIV_RTOL,
+        "pass": worst <= EQUIV_RTOL,
+    }
+
+
+def _check_counter_identity(compiled) -> bool:
+    """pipeline.issue_slots.total == used + stalled on every fast path."""
+    from repro.engine.cache import cached_schedule
+    from repro.engine.scheduler import PipelineScheduler
+    from repro.perf.counters import ProfileScope
+
+    for _, _, march, stream in compiled:
+        for run in (
+            lambda: PipelineScheduler(march).steady_state(stream),
+            lambda: cached_schedule(march, stream),  # hit: replayed payload
+        ):
+            with ProfileScope("identity") as counters:
+                run()
+            total = counters["pipeline.issue_slots.total"]
+            used = counters["pipeline.issue_slots.used"]
+            stalled = counters["pipeline.issue_slots.stalled"]
+            if total != used + stalled:
+                return False
+    return True
+
+
+def run_bench(quick: bool = False, workers: int | None = None) -> dict:
+    """Run every configuration and return the bench document."""
+    from repro.engine._reference import ReferenceScheduler
+    from repro.engine.cache import cached_schedule, get_cache
+    from repro.engine.scheduler import PipelineScheduler
+    from repro.engine.sweep import run_sweep
+
+    points = _points(quick)
+    compiled = _compiled(points)
+
+    t0 = time.perf_counter()
+    for _, _, march, stream in compiled:
+        ReferenceScheduler(march).steady_state(stream)
+    t_seed = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for _, _, march, stream in compiled:
+        PipelineScheduler(march).steady_state(stream)
+    t_fast = time.perf_counter() - t0
+
+    get_cache().clear()
+    for _, _, march, stream in compiled:  # prime
+        cached_schedule(march, stream)
+    t0 = time.perf_counter()
+    for _, _, march, stream in compiled:
+        cached_schedule(march, stream)
+    t_warm = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    run_sweep(points, mode="thread", max_workers=workers)
+    t_par = time.perf_counter() - t0
+
+    equivalence = _check_equivalence(compiled)
+    identity_ok = _check_counter_identity(compiled)
+
+    speedup_warm = t_seed / t_warm if t_warm > 0 else float("inf")
+    doc = {
+        "version": BENCH_FORMAT,
+        "suite": "fig1+fig2 kernels x toolchains"
+                 + (" (quick subset)" if quick else ""),
+        "quick": quick,
+        "points": len(points),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": sys.version.split()[0],
+        "seconds": {
+            "cold_seed": round(t_seed, 6),
+            "cold_fast": round(t_fast, 6),
+            "warm_cache": round(t_warm, 6),
+            "parallel": round(t_par, 6),
+        },
+        "speedup_vs_cold_seed": {
+            "cold_fast": round(t_seed / t_fast, 2) if t_fast else None,
+            "warm_cache": round(speedup_warm, 2),
+            "parallel": round(t_seed / t_par, 2) if t_par else None,
+        },
+        "acceptance": {
+            "warm_speedup_floor": SPEEDUP_FLOOR,
+            "warm_speedup_pass": speedup_warm >= SPEEDUP_FLOOR,
+            "equivalence": equivalence,
+            "counter_identity_pass": identity_ok,
+        },
+    }
+    return doc
+
+
+def render(doc: dict) -> str:
+    secs = doc["seconds"]
+    speed = doc["speedup_vs_cold_seed"]
+    acc = doc["acceptance"]
+    lines = [
+        f"engine bench ({doc['suite']}, {doc['points']} points)",
+        f"  cold seed scheduler : {secs['cold_seed'] * 1e3:9.1f} ms",
+        f"  cold fast path      : {secs['cold_fast'] * 1e3:9.1f} ms"
+        f"  ({speed['cold_fast']:.1f}x)",
+        f"  warm schedule cache : {secs['warm_cache'] * 1e3:9.1f} ms"
+        f"  ({speed['warm_cache']:.1f}x)",
+        f"  parallel sweep      : {secs['parallel'] * 1e3:9.1f} ms"
+        f"  ({speed['parallel']:.1f}x)",
+        f"  golden equivalence  : max rel dev "
+        f"{acc['equivalence']['max_rel_deviation']:.2e} "
+        f"({'PASS' if acc['equivalence']['pass'] else 'FAIL'})",
+        f"  slot identity       : "
+        f"{'PASS' if acc['counter_identity_pass'] else 'FAIL'}",
+        f"  warm speedup floor  : {acc['warm_speedup_floor']:.0f}x "
+        f"({'PASS' if acc['warm_speedup_pass'] else 'FAIL'})",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    args = [a for a in argv if a != "--quick"]
+    out = Path("BENCH_engine.json")
+    if "--out" in args:
+        i = args.index("--out")
+        if i + 1 >= len(args):
+            print("bench: --out expects a path")
+            return 1
+        out = Path(args[i + 1])
+        del args[i:i + 2]
+    if args:
+        print(f"bench: unknown arguments {args}")
+        print("usage: python -m repro bench [--quick] [--out PATH]")
+        return 1
+    doc = run_bench(quick=quick)
+    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(render(doc))
+    print(f"wrote {out}")
+    acc = doc["acceptance"]
+    ok = acc["equivalence"]["pass"] and acc["counter_identity_pass"]
+    if not quick:
+        ok = ok and acc["warm_speedup_pass"]
+    return 0 if ok else 1

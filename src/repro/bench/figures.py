@@ -65,47 +65,58 @@ def table1_flags() -> list[dict]:
 # ---------------------------------------------------------------------------
 
 
-def _loop_rows(loops: tuple[str, ...]) -> list[dict]:
+def _loop_row_block(name: str) -> list[dict]:
+    """All Fig. 1/2 rows for one loop (top-level: sweep-dispatchable)."""
     rows = []
-    for name in loops:
-        loop = build_loop(name)
-        intel = compile_loop(loop, TOOLCHAINS["intel"], SKYLAKE_6140)
-        t_skl = intel.cycles_per_element / SKYLAKE_6140.clock_ghz  # ns/elem
-        for tc in _A64FX_TCS:
-            compiled = compile_loop(loop, TOOLCHAINS[tc], A64FX)
-            t = compiled.cycles_per_element / A64FX.clock_ghz
-            rows.append(
-                {
-                    "loop": name,
-                    "toolchain": tc,
-                    "cycles_per_elem": compiled.cycles_per_element,
-                    "ns_per_elem": t,
-                    "rel_skylake": t / t_skl,
-                    "vectorized": compiled.report.vectorized,
-                }
-            )
+    loop = build_loop(name)
+    intel = compile_loop(loop, TOOLCHAINS["intel"], SKYLAKE_6140)
+    t_skl = intel.cycles_per_element / SKYLAKE_6140.clock_ghz  # ns/elem
+    for tc in _A64FX_TCS:
+        compiled = compile_loop(loop, TOOLCHAINS[tc], A64FX)
+        t = compiled.cycles_per_element / A64FX.clock_ghz
         rows.append(
             {
                 "loop": name,
-                "toolchain": "intel",
-                "cycles_per_elem": intel.cycles_per_element,
-                "ns_per_elem": t_skl,
-                "rel_skylake": 1.0,
-                "vectorized": intel.report.vectorized,
+                "toolchain": tc,
+                "cycles_per_elem": compiled.cycles_per_element,
+                "ns_per_elem": t,
+                "rel_skylake": t / t_skl,
+                "vectorized": compiled.report.vectorized,
             }
         )
+    rows.append(
+        {
+            "loop": name,
+            "toolchain": "intel",
+            "cycles_per_elem": intel.cycles_per_element,
+            "ns_per_elem": t_skl,
+            "rel_skylake": 1.0,
+            "vectorized": intel.report.vectorized,
+        }
+    )
     return rows
 
 
-def fig1_loop_suite(loops: tuple[str, ...] = LOOP_NAMES) -> list[dict]:
+def _loop_rows(loops: tuple[str, ...], parallel: bool = False) -> list[dict]:
+    from repro.engine.sweep import map_schedules
+
+    blocks = map_schedules(
+        _loop_row_block, loops, mode="thread" if parallel else "serial"
+    )
+    return [row for block in blocks for row in block]
+
+
+def fig1_loop_suite(loops: tuple[str, ...] = LOOP_NAMES,
+                    parallel: bool = False) -> list[dict]:
     """Fig. 1: simple/predicate/gather/scatter/short-* runtimes relative
     to Skylake + Intel."""
-    return _loop_rows(loops)
+    return _loop_rows(loops, parallel=parallel)
 
 
-def fig2_math_suite(loops: tuple[str, ...] = MATH_LOOP_NAMES) -> list[dict]:
+def fig2_math_suite(loops: tuple[str, ...] = MATH_LOOP_NAMES,
+                    parallel: bool = False) -> list[dict]:
     """Fig. 2: vectorized math-function runtimes relative to Skylake."""
-    return _loop_rows(loops)
+    return _loop_rows(loops, parallel=parallel)
 
 
 # ---------------------------------------------------------------------------
@@ -215,24 +226,39 @@ def sec4_exp_study(ulp_samples: int = 200_000) -> list[dict]:
 # ---------------------------------------------------------------------------
 
 
-def fig3_npb_serial() -> list[dict]:
-    """Fig. 3: single-core class C runtimes per compiler."""
+def _fig3_bench_rows(bench: str) -> list[dict]:
+    """Fig. 3 rows for one NPB benchmark (top-level: sweep-dispatchable).
+
+    Each compiler's serial run bottoms out in the schedule cache via
+    ``math_cycles_per_call`` → ``compile_loop`` → ``schedule_on``, so
+    compilers emitting identical math-loop streams share schedules."""
     ook = get_system("ookami")
     skl = get_system("skylake")
+    work = NPB_WORKLOADS[bench]
     rows = []
-    for bench, work in NPB_WORKLOADS.items():
-        icc = serial_seconds(work, skl, TOOLCHAINS["intel"])
-        for tc in _A64FX_TCS:
-            t = serial_seconds(work, ook, TOOLCHAINS[tc])
-            rows.append(
-                {"bench": bench, "toolchain": tc, "seconds": t,
-                 "rel_icc": t / icc}
-            )
+    icc = serial_seconds(work, skl, TOOLCHAINS["intel"])
+    for tc in _A64FX_TCS:
+        t = serial_seconds(work, ook, TOOLCHAINS[tc])
         rows.append(
-            {"bench": bench, "toolchain": "intel", "seconds": icc,
-             "rel_icc": 1.0}
+            {"bench": bench, "toolchain": tc, "seconds": t,
+             "rel_icc": t / icc}
         )
+    rows.append(
+        {"bench": bench, "toolchain": "intel", "seconds": icc,
+         "rel_icc": 1.0}
+    )
     return rows
+
+
+def fig3_npb_serial(parallel: bool = False) -> list[dict]:
+    """Fig. 3: single-core class C runtimes per compiler."""
+    from repro.engine.sweep import map_schedules
+
+    blocks = map_schedules(
+        _fig3_bench_rows, NPB_WORKLOADS,
+        mode="thread" if parallel else "serial",
+    )
+    return [row for block in blocks for row in block]
 
 
 def fig4_npb_fullnode() -> list[dict]:
@@ -382,41 +408,58 @@ def fig8_dgemm() -> list[dict]:
     return rows
 
 
-def fig9_hpl(nodes: tuple[int, ...] = (1, 2, 4, 8)) -> list[dict]:
-    """Fig. 9A/9B: HPL rates, single and multi node."""
+def _fig9_hpl_point(spec: tuple[str, str, int]) -> dict:
     from repro.hpcc.hpl import hpl_rate_gflops
 
-    rows = []
-    for sys_key, lib_key in _HPCC_LA_PAIRS:
-        for n in nodes:
-            if n > 1 and sys_key not in ("ookami",):
-                continue  # the multi-node panel compares Ookami stacks
-            rows.append(
-                {
-                    "system": sys_key,
-                    "library": lib_key,
-                    "nodes": n,
-                    "gflops": hpl_rate_gflops(sys_key, lib_key, nodes=n),
-                }
-            )
-    return rows
+    sys_key, lib_key, n = spec
+    return {
+        "system": sys_key,
+        "library": lib_key,
+        "nodes": n,
+        "gflops": hpl_rate_gflops(sys_key, lib_key, nodes=n),
+    }
 
 
-def fig9_fft(nodes: tuple[int, ...] = (1, 2, 4, 8)) -> list[dict]:
-    """Fig. 9C/9D: FFT rates, single and multi node."""
+def fig9_hpl(nodes: tuple[int, ...] = (1, 2, 4, 8),
+             parallel: bool = False) -> list[dict]:
+    """Fig. 9A/9B: HPL rates, single and multi node."""
+    from repro.engine.sweep import map_schedules
+
+    specs = [
+        (sys_key, lib_key, n)
+        for sys_key, lib_key in _HPCC_LA_PAIRS
+        for n in nodes
+        # the multi-node panel compares Ookami stacks
+        if n == 1 or sys_key in ("ookami",)
+    ]
+    return map_schedules(
+        _fig9_hpl_point, specs, mode="thread" if parallel else "serial"
+    )
+
+
+def _fig9_fft_point(spec: tuple[str, str, int]) -> dict:
     from repro.hpcc.fft import fft_rate_gflops
 
-    rows = []
-    for sys_key, lib_key in _HPCC_FFT_PAIRS:
-        for n in nodes:
-            if n > 1 and sys_key not in ("ookami",):
-                continue
-            rows.append(
-                {
-                    "system": sys_key,
-                    "library": lib_key,
-                    "nodes": n,
-                    "gflops": fft_rate_gflops(sys_key, lib_key, nodes=n),
-                }
-            )
-    return rows
+    sys_key, lib_key, n = spec
+    return {
+        "system": sys_key,
+        "library": lib_key,
+        "nodes": n,
+        "gflops": fft_rate_gflops(sys_key, lib_key, nodes=n),
+    }
+
+
+def fig9_fft(nodes: tuple[int, ...] = (1, 2, 4, 8),
+             parallel: bool = False) -> list[dict]:
+    """Fig. 9C/9D: FFT rates, single and multi node."""
+    from repro.engine.sweep import map_schedules
+
+    specs = [
+        (sys_key, lib_key, n)
+        for sys_key, lib_key in _HPCC_FFT_PAIRS
+        for n in nodes
+        if n == 1 or sys_key in ("ookami",)
+    ]
+    return map_schedules(
+        _fig9_fft_point, specs, mode="thread" if parallel else "serial"
+    )

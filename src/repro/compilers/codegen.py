@@ -53,7 +53,7 @@ from repro.compilers.ir import (
 )
 from repro.compilers.toolchains import Toolchain
 from repro.compilers.vectorizer import VectorizationReport, vectorize
-from repro.engine.scheduler import PipelineScheduler, ScheduleResult
+from repro.engine.scheduler import ScheduleResult, schedule_on
 from repro.machine.isa import Instruction, InstructionStream, Op
 from repro.machine.memory import MemoryStream
 from repro.machine.microarch import Microarch
@@ -80,8 +80,13 @@ class CompiledLoop:
 
     @cached_property
     def schedule(self) -> ScheduleResult:
-        """Steady-state schedule on the target core (cached)."""
-        return PipelineScheduler(self.march).steady_state(self.stream)
+        """Steady-state schedule on the target core.
+
+        Cached twice over: per-instance here, and process-wide (by
+        march/stream content) in :mod:`repro.engine.cache`, so sweeps
+        that recompile the same loop — or different toolchains emitting
+        identical streams — never re-simulate."""
+        return schedule_on(self.march, self.stream)
 
     @property
     def cycles_per_element(self) -> float:

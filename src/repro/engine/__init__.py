@@ -4,7 +4,13 @@ single-kernel execution, and the OpenMP-like threading model.
 * :mod:`repro.engine.scheduler` — replays an abstract instruction stream
   against a :class:`~repro.machine.microarch.Microarch` and reports
   steady-state cycles/iteration (the quantity behind every
-  "cycles per element" number in the paper).
+  "cycles per element" number in the paper); event-driven with
+  steady-state period extrapolation.
+* :mod:`repro.engine.cache` — content-addressed schedule cache
+  (in-process LRU plus an opt-in on-disk JSON layer) keyed on march and
+  stream fingerprints.
+* :mod:`repro.engine.sweep` — parallel sweep runner with exact
+  profiling-counter merging (``map_schedules`` / ``run_sweep``).
 * :mod:`repro.engine.roofline` — peak/bandwidth ceilings and arithmetic
   intensity helpers.
 * :mod:`repro.engine.executor` — combines compute cycles with memory-
@@ -19,14 +25,27 @@ stall cycles, per-level memory traffic and compute-vs-memory attribution
 (see ``docs/PROFILING.md``).
 """
 
-from repro.engine.scheduler import PipelineScheduler, ScheduleResult
+from repro.engine.scheduler import (
+    PipelineScheduler,
+    ScheduleDivergence,
+    ScheduleResult,
+    schedule_on,
+)
+from repro.engine.cache import ScheduleCache
+from repro.engine.sweep import SweepPoint, map_schedules, run_sweep
 from repro.engine.roofline import Roofline
 from repro.engine.executor import KernelExecutor, KernelRun
 from repro.engine.openmp import OpenMPModel, ParallelRun, RuntimeTraits
 
 __all__ = [
     "PipelineScheduler",
+    "ScheduleDivergence",
     "ScheduleResult",
+    "schedule_on",
+    "ScheduleCache",
+    "SweepPoint",
+    "map_schedules",
+    "run_sweep",
     "Roofline",
     "KernelExecutor",
     "KernelRun",

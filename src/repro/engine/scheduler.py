@@ -1,11 +1,20 @@
-"""Cycle-approximate out-of-order pipeline scheduler.
+"""Cycle-approximate pipeline scheduler (event-driven fast path).
 
 This is the model behind every "cycles per element" figure in the
 reproduction.  It replays an :class:`~repro.machine.isa.InstructionStream`
 (a loop body) for enough iterations to reach steady state against the
-pipe/latency/throughput tables of a :class:`~repro.machine.microarch.Microarch`,
-using a greedy pick-oldest-ready policy inside a bounded out-of-order
-window:
+pipe/latency/throughput tables of a :class:`~repro.machine.microarch.Microarch`.
+
+The issue model — stated once, accurately (DESIGN.md and
+docs/ARCHITECTURE.md point here): **greedy bounded-window out-of-order
+issue with in-order retire**.  Instructions issue out of program order,
+oldest-ready first, from a reorder window of ``window`` dynamic
+instructions behind the in-order retire pointer; up to ``issue_width``
+issue per cycle.  It is *not* a pure in-order dual-pipe model (younger
+independent instructions overtake stalled older ones inside the window)
+and not an unbounded out-of-order model (the window and in-order retire
+bound how far ahead the core can look — the mechanism that makes
+un-unrolled 9-cycle FMA chains cost what the paper measures).
 
 * each dynamic instruction becomes ready when all of its sources have
   completed (register dataflow; loop-carried sources resolve to the
@@ -17,29 +26,76 @@ window:
   behind the 20x sqrt gap of Section III);
 * results appear ``latency`` cycles after issue.
 
-The model captures exactly the effects the paper reasons about — dual
-FP-pipe pressure, 9-cycle FMA chains that need unrolling to hide
-("Unrolling once decreased this to 1.9 cycles/element", Sec. IV), blocking
-iterative units, and the single shuffle pipe — while remaining a few
-hundred lines of plain Python.
+Two fast paths make the simulation cheap without changing a single
+result (golden-equivalence is enforced by
+``tests/engine/test_golden_equivalence.py`` against the preserved seed
+implementation in :mod:`repro.engine._reference`):
+
+* **event-driven core** — ready/waiting heaps plus per-pipe free times
+  replace the per-cycle window scan; idle cycles are skipped natively,
+  so the old ``_next_event`` helper is gone;
+* **steady-state period detection** — once the relative schedule state
+  (issue offsets and pipe backlogs modulo the current cycle) repeats
+  between iterations, the simulator fast-forwards whole periods and
+  resimulates only the tail, instead of grinding through all
+  ``WARMUP_ITERS + MEASURE_ITERS`` iterations.
 
 When a :class:`repro.perf.counters.ProfileScope` is active, the simulation
 additionally emits PMU-style counters under ``pipeline.*``: front-end
 issue-slot accounting (``issue_slots.total == issue_slots.used +
 issue_slots.stalled`` holds exactly), per-pipe busy cycles, and the
-dynamic instruction-mix histogram.
+dynamic instruction-mix histogram.  The fast paths (and cache hits via
+:func:`schedule_on`) emit the identical counter payload.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from heapq import heapify, heappop, heappush
+from typing import Callable, Mapping
 
-from repro.machine.isa import Instruction, InstructionStream, Op, Pipe
+from repro.machine.isa import Instruction, InstructionStream, Pipe
 from repro.machine.microarch import Microarch
 from repro.perf.counters import emit, is_profiling
 
-__all__ = ["ScheduleResult", "PipelineScheduler", "schedule_on"]
+__all__ = [
+    "ScheduleResult",
+    "ScheduleDivergence",
+    "PipelineScheduler",
+    "schedule_on",
+]
+
+_INF = float("inf")
+#: stable pipe order for state snapshots and fast-forward bookkeeping
+_PIPES = tuple(Pipe)
+
+
+class ScheduleDivergence(RuntimeError):
+    """The simulation exceeded ``PipelineScheduler.MAX_CYCLES``.
+
+    Raised instead of a bare ``RuntimeError`` so callers can tell a
+    non-converging schedule (a model bug or an unsatisfiable dependence
+    in the stream) apart from other failures.  The message names the
+    stream label, the window, and the first stuck dynamic instruction.
+    """
+
+    def __init__(self, stream: InstructionStream, window: int,
+                 stuck_index: int, n_body: int) -> None:
+        ins = stream.body[stuck_index % n_body]
+        self.label = stream.label
+        self.window = window
+        self.stuck_index = stuck_index
+        self.stuck_iteration = stuck_index // n_body
+        self.stuck_position = stuck_index % n_body
+        self.stuck_mnemonic = ins.tag or ins.op.value
+        super().__init__(
+            f"scheduler failed to converge on stream "
+            f"{stream.label or '<unlabeled>'!r} (window={window}): first "
+            f"stuck dynamic instruction #{stuck_index} "
+            f"(iteration {self.stuck_iteration}, body position "
+            f"{self.stuck_position}, {self.stuck_mnemonic!r}) — check the "
+            f"instruction stream for an unsatisfiable dependence"
+        )
 
 
 @dataclass(frozen=True)
@@ -85,104 +141,60 @@ class PipelineScheduler:
         Optional override of the out-of-order window (used to model
         compilers that do not unroll: a small window pins the schedule to
         one iteration's dependence chain).
+    extrapolate:
+        Enable steady-state period detection (on by default).  Turn off
+        to force the full iteration-by-iteration simulation — results
+        are identical either way; this is a debugging escape hatch.
     """
 
     #: iterations simulated before measurement starts (pipeline warm-up)
     WARMUP_ITERS = 8
     #: iterations measured for the steady-state estimate
     MEASURE_ITERS = 16
+    #: safety net against model bugs (class attribute so tests can lower it)
+    MAX_CYCLES = 1e7
 
-    def __init__(self, march: Microarch, window: int | None = None) -> None:
+    def __init__(self, march: Microarch, window: int | None = None,
+                 *, extrapolate: bool = True) -> None:
         self.march = march
         self.window = march.window if window is None else window
+        self.extrapolate = extrapolate
         if self.window < 1:
             raise ValueError("window must be >= 1")
 
     # ------------------------------------------------------------------
     def steady_state(self, stream: InstructionStream) -> ScheduleResult:
         """Simulate the loop and return steady-state statistics."""
+        result, payload = self._outcome(stream)
+        if is_profiling():
+            for name, value in payload.items():
+                emit(name, value)
+        return result
+
+    # ------------------------------------------------------------------
+    def _outcome(
+        self, stream: InstructionStream
+    ) -> tuple[ScheduleResult, dict[str, float]]:
+        """Schedule *stream* and return (result, counter payload).
+
+        The payload is the exact set of ``pipeline.*`` emissions the
+        schedule produces under profiling; the cache layer stores it so
+        hits re-emit identical counters.
+        """
         if len(stream) == 0:
             raise ValueError("cannot schedule an empty instruction stream")
         stream.validate()
         n_iters = self.WARMUP_ITERS + self.MEASURE_ITERS
-        body = stream.body
-        n_body = len(body)
-        total = n_body * n_iters
-
-        # --- resolve dataflow to dynamic-instruction dependencies --------
-        deps: list[tuple[int, ...]] = self._build_deps(body, n_iters)
-
-        timings = [self._timing_of(ins) for ins in body]
-
-        # --- event-driven-ish cycle simulation ---------------------------
-        issue_width = self.march.issue_width
-        # completion is +inf until an instruction issues, so consumers of a
-        # not-yet-issued producer are correctly seen as not ready
-        completion = [float("inf")] * total
-        issued = [False] * total
-        pipe_free: dict[Pipe, float] = {p: 0.0 for p in Pipe}
-        pipe_busy_cycles: dict[Pipe, float] = {p: 0.0 for p in Pipe}
-        iter_last_issue = [0.0] * n_iters
-
-        head = 0    # first unissued instruction
-        retire = 0  # first unretired instruction (ROB head)
-        cycle = 0.0
-        remaining = total
-        max_cycles = 1e7  # safety net against model bugs
-        while remaining and cycle < max_cycles:
-            # retire in order: the ROB frees slots only from the front,
-            # so long-latency chains hold the window open behind them —
-            # the mechanism that makes un-unrolled 9-cycle FMA chains cost
-            # what the paper measures.
-            while retire < total and issued[retire] and completion[retire] <= cycle:
-                retire += 1
-            rob_limit = min(total, retire + self.window)
-
-            issued_now = 0
-            progressed = False
-            for d in range(head, rob_limit):
-                if issued_now >= issue_width:
-                    break
-                if issued[d]:
-                    continue
-                lat, rtput, pipes = timings[d % n_body]
-                ready = max((completion[s] for s in deps[d]), default=0.0)
-                if ready <= cycle:
-                    pipe = self._best_pipe(pipes, pipe_free, cycle)
-                    if pipe is not None:
-                        issued[d] = True
-                        completion[d] = cycle + lat
-                        # queueing semantics: fractional reciprocal
-                        # throughputs accumulate as backlog instead of
-                        # rounding up to whole cycles
-                        pipe_free[pipe] = max(pipe_free[pipe], cycle) + rtput
-                        pipe_busy_cycles[pipe] += rtput
-                        issued_now += 1
-                        remaining -= 1
-                        it = d // n_body
-                        iter_last_issue[it] = max(iter_last_issue[it], cycle)
-                        progressed = True
-            while head < total and issued[head]:
-                head += 1
-            if progressed:
-                cycle += 1.0
-            else:
-                # nothing issued: jump to the next time anything frees up
-                cycle = self._next_event(
-                    cycle, head, rob_limit, issued, deps, completion,
-                    timings, n_body, pipe_free, retire,
-                )
-        if remaining:
-            raise RuntimeError(
-                "scheduler failed to converge — check the instruction "
-                "stream for an unsatisfiable dependence"
-            )
+        n_body = len(stream)
+        cycle, iter_last_issue, pipe_busy_cycles = self._simulate(
+            stream, n_iters, extrapolate=self.extrapolate
+        )
 
         first = self.WARMUP_ITERS
         last = n_iters - 1
         span = iter_last_issue[last] - iter_last_issue[first - 1]
         cpi = span / (last - first + 1)
-        cpi = max(cpi, n_body / issue_width)  # front-end lower bound
+        cpi = max(cpi, n_body / self.march.issue_width)  # front-end bound
 
         # utilization against the true makespan (warmup included), so the
         # metric stays in [0, 1] even when warmup is slower than steady
@@ -192,11 +204,7 @@ class PipelineScheduler:
             p: min(1.0, pipe_busy_cycles[p] / makespan) for p in Pipe
         }
         bound = self._classify_bound(cpi, n_body, occupancy)
-        if is_profiling():
-            self._emit_counters(
-                stream, n_iters, total, makespan, cpi, pipe_busy_cycles
-            )
-        return ScheduleResult(
+        result = ScheduleResult(
             cycles_per_iter=cpi,
             elements_per_iter=stream.elements_per_iter,
             instructions_per_iter=n_body,
@@ -205,9 +213,362 @@ class PipelineScheduler:
             bound=bound,
             label=stream.label,
         )
+        payload = self._counter_payload(
+            stream, n_iters, n_body * n_iters, makespan, cpi,
+            pipe_busy_cycles,
+        )
+        return result, payload
 
     # ------------------------------------------------------------------
-    def _emit_counters(
+    def _simulate(
+        self,
+        stream: InstructionStream,
+        n_iters: int,
+        on_issue: Callable[[int, float, Pipe], None] | None = None,
+        extrapolate: bool = True,
+    ) -> tuple[float, list[float], dict[Pipe, float]]:
+        """Event-driven simulation of *n_iters* iterations of *stream*.
+
+        Returns ``(final_cycle, iter_last_issue, pipe_busy_cycles)``.
+        ``on_issue(dyn_index, cycle, pipe)`` is called for every issue
+        (used by :mod:`repro.engine.trace`); installing a hook disables
+        period detection so every issue event is observed.
+        """
+        body = stream.body
+        n_body = len(body)
+        total = n_body * n_iters
+        window = self.window
+        issue_width = self.march.issue_width
+        timings = [self._timing_of(ins) for ins in body]
+        static_deps, static_consumers = self._static_dataflow(body)
+
+        completion = [_INF] * total
+        issued = bytearray(total)
+        # per-instruction count of not-yet-issued producers, and running
+        # max of issued producers' completion times (the ready time once
+        # the count hits zero); both valid only for entered instructions
+        pending = [0] * total
+        ready_acc = [0.0] * total
+        pipe_free: dict[Pipe, float] = {p: 0.0 for p in Pipe}
+        pipe_busy: dict[Pipe, float] = {p: 0.0 for p in Pipe}
+        pipe_touch: dict[Pipe, float] = {p: -_INF for p in Pipe}
+        iter_last_issue = [0.0] * n_iters
+
+        waiting: list[tuple[float, int]] = []  # (becomes-ready time, index)
+        ready: list[int] = []                  # ready, oldest (smallest) first
+        blocked: list[int] = []                # ready but no free pipe
+
+        retire = 0
+        entered = 0  # high-water mark of the ROB window
+        cycle = 0.0
+        remaining = total
+        max_cycles = self.MAX_CYCLES
+
+        # period detection: relative-state snapshots at iteration
+        # boundaries of the retire pointer
+        detect = extrapolate and on_issue is None and n_iters > self.WARMUP_ITERS
+        snapshots: dict[tuple, tuple[int, float, dict[Pipe, float]]] = {}
+        last_snap_iter = 0
+
+        while remaining and cycle < max_cycles:
+            while retire < total and issued[retire] and completion[retire] <= cycle:
+                retire += 1
+            rob_limit = retire + window
+            if rob_limit > total:
+                rob_limit = total
+
+            # admit newly visible instructions into the window
+            while entered < rob_limit:
+                d = entered
+                it, pos = divmod(d, n_body)
+                pend = 0
+                racc = 0.0
+                for ppos, delta in static_deps[pos]:
+                    sit = it - delta
+                    if sit < 0:
+                        continue
+                    s = sit * n_body + ppos
+                    if issued[s]:
+                        c = completion[s]
+                        if c > racc:
+                            racc = c
+                    else:
+                        pend += 1
+                pending[d] = pend
+                ready_acc[d] = racc
+                if pend == 0:
+                    if racc <= cycle:
+                        heappush(ready, d)
+                    else:
+                        heappush(waiting, (racc, d))
+                entered += 1
+
+            if detect:
+                retire_iter = retire // n_body
+                if retire_iter > last_snap_iter:
+                    last_snap_iter = retire_iter
+                    key = self._state_key(
+                        cycle, retire, rob_limit, n_body, issued,
+                        completion, pending, ready_acc, pipe_free,
+                    )
+                    prior = snapshots.get(key)
+                    if prior is None:
+                        snapshots[key] = (
+                            retire_iter, cycle, dict(pipe_busy)
+                        )
+                    elif retire_iter >= self.WARMUP_ITERS:
+                        skipped = self._fast_forward(
+                            prior, retire_iter, cycle, n_body, total,
+                            retire, rob_limit, issued, completion,
+                            pending, ready_acc, pipe_free, pipe_busy,
+                            pipe_touch, iter_last_issue, waiting, ready,
+                        )
+                        if skipped is not None:
+                            retire, entered, cycle, dS = skipped
+                            remaining -= dS
+                            detect = False
+                            continue
+
+            # promote instructions whose ready time has arrived
+            while waiting and waiting[0][0] <= cycle:
+                heappush(ready, heappop(waiting)[1])
+
+            issued_now = 0
+            progressed = False
+            while ready and issued_now < issue_width:
+                d = heappop(ready)
+                lat, rtput, pipes = timings[d % n_body]
+                pipe = self._best_pipe(pipes, pipe_free, cycle)
+                if pipe is None:
+                    blocked.append(d)
+                    continue
+                issued[d] = 1
+                comp = cycle + lat
+                completion[d] = comp
+                pf = pipe_free[pipe]
+                pipe_free[pipe] = (pf if pf > cycle else cycle) + rtput
+                pipe_busy[pipe] += rtput
+                pipe_touch[pipe] = cycle
+                issued_now += 1
+                remaining -= 1
+                it = d // n_body
+                if cycle > iter_last_issue[it]:
+                    iter_last_issue[it] = cycle
+                progressed = True
+                if on_issue is not None:
+                    on_issue(d, cycle, pipe)
+                # wake consumers: their pending count drops, their ready
+                # time accumulates this completion
+                for jpos, delta in static_consumers[d % n_body]:
+                    cons = (it + delta) * n_body + jpos
+                    if cons >= entered or issued[cons]:
+                        continue
+                    if comp > ready_acc[cons]:
+                        ready_acc[cons] = comp
+                    pending[cons] -= 1
+                    if pending[cons] == 0:
+                        r = ready_acc[cons]
+                        if r <= cycle:
+                            heappush(ready, cons)
+                        else:
+                            heappush(waiting, (r, cons))
+            for d in blocked:
+                heappush(ready, d)
+            blocked.clear()
+
+            if progressed:
+                cycle += 1.0
+            else:
+                cycle = self._stall_horizon(
+                    cycle, ready, waiting, timings, n_body, pipe_free,
+                    ready_acc, issued, completion, retire, rob_limit,
+                )
+        if remaining:
+            stuck = retire
+            while stuck < total and issued[stuck]:
+                stuck += 1
+            raise ScheduleDivergence(stream, window, stuck, n_body)
+        return cycle, iter_last_issue, pipe_busy
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _state_key(
+        cycle: float,
+        retire: int,
+        rob_limit: int,
+        n_body: int,
+        issued: bytearray,
+        completion: list[float],
+        pending: list[int],
+        ready_acc: list[float],
+        pipe_free: dict[Pipe, float],
+    ) -> tuple:
+        """Hashable relative state of the in-flight window.
+
+        Two simulation moments with equal keys evolve identically (up to
+        a uniform shift of all times and dynamic indices): the key holds
+        the retire offset within the body, the window extent, every pipe
+        backlog relative to ``cycle``, and per in-flight instruction its
+        issued flag plus completion/ready time relative to ``cycle``.
+        Past times (<= cycle) are collapsed — they no longer influence
+        issue decisions — except pipe backlogs, where ``_best_pipe``
+        breaks ties by comparing raw values: those are encoded by rank
+        so the relative order (all that matters) must recur.
+        """
+        parts: list = [retire % n_body, rob_limit - retire]
+        past: list[float] = []
+        for p in _PIPES:
+            pf = pipe_free[p]
+            if pf <= cycle:
+                past.append(pf)
+        rank = {v: -1.0 - i for i, v in enumerate(sorted(set(past)))}
+        for p in _PIPES:
+            pf = pipe_free[p]
+            parts.append(pf - cycle if pf > cycle else rank[pf])
+        for d in range(retire, rob_limit):
+            if issued[d]:
+                c = completion[d]
+                parts.append((1, c - cycle if c > cycle else 0.0))
+            else:
+                r = ready_acc[d]
+                parts.append(
+                    (0, pending[d], r - cycle if r > cycle else 0.0)
+                )
+        return tuple(parts)
+
+    # ------------------------------------------------------------------
+    def _fast_forward(
+        self,
+        prior: tuple[int, float, dict[Pipe, float]],
+        k_iter: int,
+        cycle: float,
+        n_body: int,
+        total: int,
+        retire: int,
+        rob_limit: int,
+        issued: bytearray,
+        completion: list[float],
+        pending: list[int],
+        ready_acc: list[float],
+        pipe_free: dict[Pipe, float],
+        pipe_busy: dict[Pipe, float],
+        pipe_touch: dict[Pipe, float],
+        iter_last_issue: list[float],
+        waiting: list[tuple[float, int]],
+        ready: list[int],
+    ) -> tuple[int, int, float, int] | None:
+        """Skip whole steady-state periods by shifting the in-flight state.
+
+        ``prior`` is an earlier snapshot with an identical relative state
+        key; the schedule between the two is one period (``p`` iterations,
+        ``D`` cycles).  The largest number of whole periods that keeps the
+        tail clear of end-of-stream window clamping is skipped; the tail
+        is then resimulated exactly, so end effects and the measured
+        iteration endpoints stay bit-faithful.  Returns the new
+        ``(retire, entered, cycle, skipped_instructions)`` or None when
+        no skip is admissible yet.
+        """
+        j_iter, c_j, busy_j = prior
+        p = k_iter - j_iter
+        D = cycle - c_j
+        if p <= 0 or D <= 0.0:
+            return None
+        r0 = retire % n_body
+        # last iteration the retire pointer may reach with the window
+        # still fully inside the stream (no ROB end-clamping during or
+        # right after the skipped span)
+        limit_iter = (total - self.window - r0) // n_body - 1
+        q = (limit_iter - k_iter) // p
+        if q <= 0:
+            return None
+        m = q * p
+        S = m * n_body
+        T = q * D
+        lo, hi = retire, rob_limit
+
+        # shift the in-flight slice up by S dynamic instructions and T
+        # cycles; times already in the past stay as-is (they only feed
+        # max() accumulations and <=-cycle comparisons downstream)
+        for d in range(hi - 1, lo - 1, -1):
+            nd = d + S
+            issued[nd] = issued[d]
+            c = completion[d]
+            completion[nd] = c + T if c > cycle else c
+            pending[nd] = pending[d]
+            r = ready_acc[d]
+            ready_acc[nd] = r + T if r > cycle else r
+        # the skipped span retires wholesale: issued, completed in the past
+        for d in range(lo, lo + S):
+            issued[d] = 1
+            completion[d] = 0.0
+
+        waiting[:] = [
+            (r + T if r > cycle else r, d + S) for r, d in waiting
+        ]
+        heapify(waiting)
+        ready[:] = [d + S for d in ready]
+        heapify(ready)
+
+        # pipes touched within the matched period keep shifting their
+        # backlog; untouched pipes hold absolute (past) values
+        for pipe in _PIPES:
+            if pipe_touch[pipe] >= c_j:
+                pipe_free[pipe] += T
+                pipe_touch[pipe] += T
+            pipe_busy[pipe] += q * (pipe_busy[pipe] - busy_j[pipe])
+
+        hi_it = (hi - 1) // n_body
+        for it in range(hi_it, k_iter - 1, -1):
+            v = iter_last_issue[it]
+            iter_last_issue[it + m] = v + T if v > 0.0 else 0.0
+
+        return retire + S, hi + S, cycle + T, S
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _stall_horizon(
+        cycle: float,
+        ready: list[int],
+        waiting: list[tuple[float, int]],
+        timings: list[tuple[float, float, frozenset[Pipe]]],
+        n_body: int,
+        pipe_free: dict[Pipe, float],
+        ready_acc: list[float],
+        issued: bytearray,
+        completion: list[float],
+        retire: int,
+        rob_limit: int,
+    ) -> float:
+        """Next cycle at which anything can change: a stalled in-window
+        instruction becoming issueable (sources done AND a pipe freeing
+        within the cycle), or the ROB head retiring (widening the
+        window).  Instructions still waiting on un-issued producers have
+        an infinite ready bound and contribute nothing."""
+        horizon = _INF
+        for d in ready:
+            pipes = timings[d % n_body][2]
+            pipe_t = min(pipe_free[p] for p in pipes) - 1.0
+            r = ready_acc[d]
+            t = pipe_t if pipe_t > r else r
+            if t < horizon:
+                horizon = t
+        for r, d in waiting:
+            pipes = timings[d % n_body][2]
+            pipe_t = min(pipe_free[p] for p in pipes) - 1.0
+            t = pipe_t if pipe_t > r else r
+            if t < horizon:
+                horizon = t
+        if retire < rob_limit and issued[retire]:
+            c = completion[retire]
+            if c < horizon:
+                horizon = c
+        if horizon == _INF:
+            horizon = cycle + 1.0
+        floor = cycle + 1.0
+        return horizon if horizon > floor else floor
+
+    # ------------------------------------------------------------------
+    def _counter_payload(
         self,
         stream: InstructionStream,
         n_iters: int,
@@ -215,8 +576,8 @@ class PipelineScheduler:
         makespan: float,
         cpi: float,
         pipe_busy_cycles: Mapping[Pipe, float],
-    ) -> None:
-        """Emit ``pipeline.*`` PMU counters for one simulated schedule.
+    ) -> dict[str, float]:
+        """The ``pipeline.*`` PMU counters for one simulated schedule.
 
         The front-end slot identity is exact by construction: every
         simulated cycle offers ``issue_width`` slots; each dynamic
@@ -224,19 +585,22 @@ class PipelineScheduler:
         (empty issue slots — dependence, pipe-busy, or window stalls).
         """
         slot_total = self.march.issue_width * makespan
-        emit("pipeline.schedules", 1.0)
-        emit("pipeline.iterations", float(n_iters))
-        emit("pipeline.instructions", float(total))
-        emit("pipeline.makespan_cycles", makespan)
-        emit("pipeline.steady_cycles", cpi * n_iters)
-        emit("pipeline.issue_slots.total", slot_total)
-        emit("pipeline.issue_slots.used", float(total))
-        emit("pipeline.issue_slots.stalled", slot_total - total)
+        payload = {
+            "pipeline.schedules": 1.0,
+            "pipeline.iterations": float(n_iters),
+            "pipeline.instructions": float(total),
+            "pipeline.makespan_cycles": makespan,
+            "pipeline.steady_cycles": cpi * n_iters,
+            "pipeline.issue_slots.total": slot_total,
+            "pipeline.issue_slots.used": float(total),
+            "pipeline.issue_slots.stalled": slot_total - total,
+        }
         for pipe, busy in pipe_busy_cycles.items():
             if busy:
-                emit(f"pipeline.pipe_busy.{pipe.value}", busy)
+                payload[f"pipeline.pipe_busy.{pipe.value}"] = busy
         for op, count in stream.counts().items():
-            emit(f"pipeline.instr_mix.{op.value}", float(count * n_iters))
+            payload[f"pipeline.instr_mix.{op.value}"] = float(count * n_iters)
+        return payload
 
     # ------------------------------------------------------------------
     def _timing_of(self, ins: Instruction) -> tuple[float, float, frozenset[Pipe]]:
@@ -259,78 +623,43 @@ class PipelineScheduler:
         return best
 
     @staticmethod
-    def _build_deps(body: list[Instruction], n_iters: int) -> list[tuple[int, ...]]:
-        """Map every dynamic instruction to the dynamic indices it reads."""
+    def _static_dataflow(
+        body: list[Instruction],
+    ) -> tuple[
+        list[tuple[tuple[int, int], ...]],
+        list[tuple[tuple[int, int], ...]],
+    ]:
+        """Per body position: producers as (position, iteration delta),
+        and the inverse consumer map.  Deltas are 0 (same iteration) or
+        1 (previous iteration's value: loop-carried, or defined later in
+        the body)."""
         n_body = len(body)
-        # static resolution: for each body position, each src resolves to
-        # (producer position, iteration delta) or None for loop inputs.
-        static: list[list[tuple[int, int] | None]] = []
         last_def: dict[str, int] = {}
-        # final defs of the previous iteration
         final_def: dict[str, int] = {}
         for j, ins in enumerate(body):
             if ins.dest:
                 final_def[ins.dest] = j
+        deps: list[tuple[tuple[int, int], ...]] = []
         for j, ins in enumerate(body):
-            resolved: list[tuple[int, int] | None] = []
+            resolved: list[tuple[int, int]] = []
             for src in ins.srcs:
                 if ins.carried and src == ins.dest:
                     prev = final_def.get(src)
-                    resolved.append((prev, 1) if prev is not None else None)
+                    if prev is not None:
+                        resolved.append((prev, 1))
                 elif src in last_def:
                     resolved.append((last_def[src], 0))
                 elif src in final_def:
-                    # produced later in the body -> previous iteration's value
                     resolved.append((final_def[src], 1))
-                else:
-                    resolved.append(None)  # loop input, ready at cycle 0
-            static.append(resolved)
+                # else: loop input, ready at cycle 0
+            deps.append(tuple(resolved))
             if ins.dest:
                 last_def[ins.dest] = j
-        deps: list[tuple[int, ...]] = []
-        for it in range(n_iters):
-            base = it * n_body
-            for j in range(n_body):
-                dyn: list[int] = []
-                for res in static[j]:
-                    if res is None:
-                        continue
-                    pos, delta = res
-                    src_it = it - delta
-                    if src_it >= 0:
-                        dyn.append(src_it * n_body + pos)
-                deps.append(tuple(dyn))
-        return deps
-
-    @staticmethod
-    def _next_event(
-        cycle: float,
-        head: int,
-        rob_limit: int,
-        issued: list[bool],
-        deps: list[tuple[int, ...]],
-        completion: list[float],
-        timings: list[tuple[float, float, frozenset[Pipe]]],
-        n_body: int,
-        pipe_free: dict[Pipe, float],
-        retire: int,
-    ) -> float:
-        """Earliest future time at which anything can change: a stalled
-        in-window instruction becoming issueable, or the ROB head
-        retiring (which widens the window)."""
-        horizon = float("inf")
-        for d in range(head, rob_limit):
-            if issued[d]:
-                continue
-            ready = max((completion[s] for s in deps[d]), default=0.0)
-            _, _, pipes = timings[d % n_body]
-            pipe_t = min(pipe_free[p] for p in pipes) - 1.0
-            horizon = min(horizon, max(ready, pipe_t))
-        if retire < rob_limit and issued[retire]:
-            horizon = min(horizon, completion[retire])
-        if horizon == float("inf"):
-            horizon = cycle + 1.0
-        return max(horizon, cycle + 1.0)
+        consumers: list[list[tuple[int, int]]] = [[] for _ in range(n_body)]
+        for j, resolved in enumerate(deps):
+            for pos, delta in resolved:
+                consumers[pos].append((j, delta))
+        return deps, [tuple(c) for c in consumers]
 
     @staticmethod
     def _classify_bound(
@@ -345,6 +674,17 @@ class PipelineScheduler:
 
 
 def schedule_on(march: Microarch, stream: InstructionStream,
-                window: int | None = None) -> ScheduleResult:
-    """Convenience wrapper: schedule *stream* on *march*."""
+                window: int | None = None, *,
+                cache: bool = True) -> ScheduleResult:
+    """Convenience wrapper: schedule *stream* on *march*.
+
+    Goes through the process-wide content-addressed schedule cache
+    (:mod:`repro.engine.cache`) unless ``cache=False`` — repeated sweeps
+    over identical (march, stream, window) points, including identical
+    streams emitted by different toolchains, reuse the schedule.
+    """
+    if cache:
+        from repro.engine.cache import cached_schedule
+
+        return cached_schedule(march, stream, window=window)
     return PipelineScheduler(march, window=window).steady_state(stream)

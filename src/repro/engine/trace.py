@@ -1,10 +1,15 @@
 """Issue-trace capture and pipeline diagrams for the scheduler.
 
-The scheduler reports steady-state aggregates; this module re-runs the
-same greedy simulation while recording *when* each instruction issues and
-on which pipe, then renders the first iterations as a text pipeline
-diagram — the tool one reaches for when asking "why is this kernel 2.2
+The scheduler reports steady-state aggregates; this module runs the
+*same* event-driven simulation (not a copy of it) with an ``on_issue``
+hook installed, recording when each instruction issues and on which
+pipe, then renders the first iterations as a text pipeline diagram —
+the tool one reaches for when asking "why is this kernel 2.2
 cycles/element?" (exactly the Section IV exercise).
+
+Installing the hook disables steady-state extrapolation, so every issue
+of every iteration is observed; the issue decisions are identical to
+the aggregate scheduler's by construction.
 """
 
 from __future__ import annotations
@@ -31,89 +36,33 @@ class IssueEvent:
     mnemonic: str
 
 
-class _TracingScheduler(PipelineScheduler):
-    """PipelineScheduler that records issue events.
-
-    Reuses the parent's dependency resolution and timing lookup; the
-    simulation loop is re-implemented here (kept deliberately in sync
-    with the parent — the equivalence is asserted by tests, which compare
-    the traced steady-state CPI against the parent's).
-    """
-
-    def trace(self, stream: InstructionStream,
-              iterations: int) -> list[IssueEvent]:
-        require_positive(iterations, "iterations")
-        stream.validate()
-        body = stream.body
-        n_body = len(body)
-        total = n_body * iterations
-        deps = self._build_deps(body, iterations)
-        timings = [self._timing_of(i) for i in body]
-        issue_width = self.march.issue_width
-
-        completion = [float("inf")] * total
-        issued = [False] * total
-        pipe_free: dict[Pipe, float] = {p: 0.0 for p in Pipe}
-        events: list[IssueEvent] = []
-
-        head = 0
-        retire = 0
-        cycle = 0.0
-        remaining = total
-        while remaining and cycle < 1e6:
-            while (retire < total and issued[retire]
-                   and completion[retire] <= cycle):
-                retire += 1
-            rob_limit = min(total, retire + self.window)
-            issued_now = 0
-            progressed = False
-            for d in range(head, rob_limit):
-                if issued_now >= issue_width:
-                    break
-                if issued[d]:
-                    continue
-                lat, rtput, pipes = timings[d % n_body]
-                ready = max((completion[s] for s in deps[d]), default=0.0)
-                if ready <= cycle:
-                    pipe = self._best_pipe(pipes, pipe_free, cycle)
-                    if pipe is not None:
-                        issued[d] = True
-                        completion[d] = cycle + lat
-                        pipe_free[pipe] = max(pipe_free[pipe], cycle) + rtput
-                        ins = body[d % n_body]
-                        events.append(
-                            IssueEvent(
-                                index=d,
-                                iteration=d // n_body,
-                                position=d % n_body,
-                                cycle=cycle,
-                                pipe=pipe,
-                                mnemonic=ins.tag or ins.op.value,
-                            )
-                        )
-                        issued_now += 1
-                        remaining -= 1
-                        progressed = True
-            while head < total and issued[head]:
-                head += 1
-            if progressed:
-                cycle += 1.0
-            else:
-                cycle = self._next_event(
-                    cycle, head, rob_limit, issued, deps, completion,
-                    timings, n_body, pipe_free, retire,
-                )
-        if remaining:
-            raise RuntimeError("trace simulation failed to converge")
-        return events
-
-
 def capture_trace(
     march: Microarch, stream: InstructionStream, iterations: int = 4,
     window: int | None = None,
 ) -> list[IssueEvent]:
     """Issue events of the first *iterations* of *stream* on *march*."""
-    return _TracingScheduler(march, window=window).trace(stream, iterations)
+    require_positive(iterations, "iterations")
+    stream.validate()
+    body = stream.body
+    n_body = len(body)
+    events: list[IssueEvent] = []
+
+    def record(d: int, cycle: float, pipe: Pipe) -> None:
+        ins = body[d % n_body]
+        events.append(
+            IssueEvent(
+                index=d,
+                iteration=d // n_body,
+                position=d % n_body,
+                cycle=cycle,
+                pipe=pipe,
+                mnemonic=ins.tag or ins.op.value,
+            )
+        )
+
+    scheduler = PipelineScheduler(march, window=window)
+    scheduler._simulate(stream, iterations, on_issue=record)
+    return events
 
 
 def render_pipeline_diagram(

@@ -110,7 +110,13 @@ class Workload:
 def _math_loop_cpe(fn: str, toolchain_name: str, march_name: str) -> float:
     """Cycles per element of the ``y[i] = fn(x[i])`` loop for a toolchain
     on a machine — obtained by compiling and scheduling the actual loop.
-    Cached because app models query it repeatedly."""
+
+    Two cache layers: this ``lru_cache`` memoizes the final quality-
+    adjusted number per (fn, toolchain, march) name triple, and the
+    schedule itself goes through the content-addressed cache of
+    :mod:`repro.engine.cache` (via ``CompiledLoop.schedule``) — so the
+    NPB and LULESH drivers reuse schedules across compilers that emit
+    identical math-loop streams."""
     from repro.compilers.toolchains import get_toolchain
     from repro.kernels.loops import build_loop
     from repro.machine import microarch as ma

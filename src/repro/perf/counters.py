@@ -36,6 +36,7 @@ kernel see consistent totals.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterator, Mapping
 
 __all__ = [
@@ -112,29 +113,43 @@ class CounterSet(Mapping[str, float]):
         return f"<CounterSet {self.label or 'anonymous'}: {len(self)} counters>"
 
 
-#: stack of scopes currently receiving emissions (innermost last)
-_SCOPES: list[CounterSet] = []
+class _ScopeStack(threading.local):
+    """Per-thread stack of scopes currently receiving emissions.
+
+    Thread-local on purpose: the parallel sweep runner
+    (:mod:`repro.engine.sweep`) opens one scope per task in its worker
+    threads and merges the captured counters back into the caller's
+    scopes in deterministic submission order — so totals under
+    parallelism are *exactly* the serial totals, instead of racing
+    increments into a shared stack.
+    """
+
+    def __init__(self) -> None:
+        self.scopes: list[CounterSet] = []
+
+
+_STACK = _ScopeStack()
 
 
 def is_profiling() -> bool:
     """True when at least one :class:`ProfileScope` is active."""
-    return bool(_SCOPES)
+    return bool(_STACK.scopes)
 
 
 def active_scopes() -> tuple[CounterSet, ...]:
     """The currently active counter sets, outermost first."""
-    return tuple(_SCOPES)
+    return tuple(_STACK.scopes)
 
 
 def emit(name: str, value: float = 1.0) -> None:
     """Accumulate *value* into counter *name* of every active scope."""
-    for scope in _SCOPES:
+    for scope in _STACK.scopes:
         scope.inc(name, value)
 
 
 def emit_unique(name: str, value: float) -> None:
     """Overwrite counter *name* in every active scope (non-additive)."""
-    for scope in _SCOPES:
+    for scope in _STACK.scopes:
         scope.put(name, value)
 
 
@@ -152,12 +167,13 @@ class ProfileScope:
         self.counters = CounterSet(label)
 
     def __enter__(self) -> CounterSet:
-        _SCOPES.append(self.counters)
+        _STACK.scopes.append(self.counters)
         return self.counters
 
     def __exit__(self, *exc_info: object) -> None:
         # remove by identity so interleaved (non-LIFO) exits stay correct
-        for i in range(len(_SCOPES) - 1, -1, -1):
-            if _SCOPES[i] is self.counters:
-                del _SCOPES[i]
+        scopes = _STACK.scopes
+        for i in range(len(scopes) - 1, -1, -1):
+            if scopes[i] is self.counters:
+                del scopes[i]
                 break

@@ -1,0 +1,56 @@
+"""Tests for the ScheduleDivergence convergence-failure path."""
+
+import pytest
+
+from repro.engine.scheduler import PipelineScheduler, ScheduleDivergence
+from repro.machine.isa import Instruction, InstructionStream, Op
+from repro.machine.microarch import A64FX
+
+
+def _slow_chain(latency: float) -> InstructionStream:
+    """A loop-carried FMA chain: 24 simulated iterations x latency."""
+    return InstructionStream(
+        body=[
+            Instruction(Op.FMA, "acc", ("x", "acc"), carried=True,
+                        tag="fma-chain", latency_override=latency),
+            Instruction(Op.FADD, "t", ("acc",), tag="consume"),
+        ],
+        elements_per_iter=8,
+        label="divergence-probe",
+    )
+
+
+class TestScheduleDivergence:
+    def test_raised_beyond_max_cycles(self):
+        # 24 iterations x 5e5 cycles of carried latency > MAX_CYCLES (1e7)
+        with pytest.raises(ScheduleDivergence):
+            PipelineScheduler(A64FX).steady_state(_slow_chain(5e5))
+
+    def test_is_a_runtime_error(self):
+        """Existing callers catching RuntimeError keep working."""
+        with pytest.raises(RuntimeError):
+            PipelineScheduler(A64FX).steady_state(_slow_chain(5e5))
+
+    def test_names_stream_window_and_stuck_instruction(self):
+        with pytest.raises(ScheduleDivergence) as exc_info:
+            PipelineScheduler(A64FX, window=7).steady_state(_slow_chain(5e5))
+        err = exc_info.value
+        assert err.label == "divergence-probe"
+        assert err.window == 7
+        assert err.stuck_index >= 0
+        assert err.stuck_position in (0, 1)
+        assert err.stuck_mnemonic in ("fma-chain", "consume")
+        message = str(err)
+        assert "divergence-probe" in message
+        assert "window=7" in message
+        assert str(err.stuck_index) in message
+
+    def test_max_cycles_is_tunable(self, monkeypatch):
+        """MAX_CYCLES is a class attribute so tests/tools can tighten it."""
+        monkeypatch.setattr(PipelineScheduler, "MAX_CYCLES", 50.0)
+        with pytest.raises(ScheduleDivergence):
+            PipelineScheduler(A64FX).steady_state(_slow_chain(30.0))
+
+    def test_convergent_stream_unaffected(self):
+        result = PipelineScheduler(A64FX).steady_state(_slow_chain(9.0))
+        assert result.cycles_per_iter >= 9.0

@@ -1,0 +1,88 @@
+"""Tests for the parallel sweep runner."""
+
+import pytest
+
+from repro.engine.cache import configure
+from repro.engine.sweep import SweepPoint, map_schedules, run_sweep
+from repro.perf.counters import ProfileScope, emit
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    configure()
+    yield
+    configure()
+
+
+def _emit_task(item):
+    emit("sweep_test.calls", 1.0)
+    emit("sweep_test.value", float(item))
+    return item * 2
+
+
+class TestMapSchedules:
+    @pytest.mark.parametrize("mode", ["serial", "thread", "process"])
+    def test_results_in_order(self, mode):
+        items = list(range(8))
+        assert map_schedules(_emit_task, items, mode=mode) == [
+            2 * i for i in items
+        ]
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            map_schedules(_emit_task, [1], mode="fleet")
+
+    @pytest.mark.parametrize("mode", ["serial", "thread"])
+    def test_counter_totals_exact(self, mode):
+        items = list(range(10))
+        with ProfileScope("sweep") as counters:
+            map_schedules(_emit_task, items, mode=mode, max_workers=3)
+        assert counters["sweep_test.calls"] == float(len(items))
+        assert counters["sweep_test.value"] == float(sum(items))
+
+    def test_nested_scopes_both_receive_merged_counters(self):
+        with ProfileScope("outer") as outer:
+            with ProfileScope("inner") as inner:
+                map_schedules(_emit_task, [1, 2, 3], mode="thread")
+        assert inner["sweep_test.calls"] == 3.0
+        assert outer["sweep_test.calls"] == 3.0
+
+    def test_worker_emissions_do_not_leak_live(self):
+        """Thread workers emit into task scopes, not the caller's —
+        everything arrives exactly once, via the deterministic merge."""
+        with ProfileScope("caller") as counters:
+            map_schedules(_emit_task, list(range(20)), mode="thread",
+                          max_workers=8)
+        assert counters["sweep_test.calls"] == 20.0
+
+
+class TestRunSweep:
+    def test_rows_have_schedule_stats(self):
+        rows = run_sweep([("simple", "fujitsu"), ("sqrt", "gnu")])
+        assert [r["loop"] for r in rows] == ["simple", "sqrt"]
+        for row in rows:
+            assert row["cycles_per_iter"] > 0
+            assert row["cycles_per_element"] > 0
+            assert row["model_cycles_per_element"] > 0
+            assert row["ipc"] > 0
+            assert row["bound"]
+            assert row["march"]
+
+    def test_accepts_sweep_points_and_windows(self):
+        narrow, wide = run_sweep([
+            SweepPoint("exp", "fujitsu", window=1),
+            SweepPoint("exp", "fujitsu"),
+        ])
+        assert narrow["window"] == 1
+        assert narrow["cycles_per_iter"] >= wide["cycles_per_iter"]
+
+    def test_intel_points_target_skylake(self):
+        (row,) = run_sweep([("simple", "intel")])
+        assert "6140" in row["march"] or "skylake" in row["march"].lower()
+
+    def test_thread_mode_matches_serial(self):
+        points = [(loop, tc) for loop in ("simple", "gather", "exp")
+                  for tc in ("fujitsu", "gnu", "intel")]
+        serial = run_sweep(points, mode="serial")
+        threaded = run_sweep(points, mode="thread", max_workers=4)
+        assert serial == threaded

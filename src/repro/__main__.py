@@ -27,6 +27,11 @@ Commands
 ``cache [show|clear]``
     Inspect or drop the content-addressed schedule cache (clears the
     on-disk layer too when ``REPRO_CACHE_DIR`` is set).
+``validate [--seeds N] [--no-bands] [--json] [--out PATH]``
+    Run the model-validation passes (IR verifier, scheduler invariants,
+    counter reconciliation, differential fuzz vs the golden reference,
+    paper-band scoring) and emit a ``repro.validate/1`` report; exits
+    nonzero on any violation (see docs/VALIDATION.md).
 """
 
 from __future__ import annotations
@@ -214,7 +219,152 @@ def _cmd_cache(args: list[str]) -> int:
     return 1
 
 
+def _cmd_validate(args: list[str]) -> int:
+    import json
+
+    from repro.validate import validate_all
+
+    try:
+        seeds, bands, as_json, out = _parse_validate_flags(args)
+    except ValueError as exc:
+        print(f"validate failed: {exc}")
+        print("usage: python -m repro validate [--seeds N] [--no-bands] "
+              "[--json] [--out PATH]")
+        return 1
+    report = validate_all(seeds=seeds, bands=bands)
+    doc = report.to_json()
+    if out is not None:
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {out}")
+    print(json.dumps(doc, indent=2) if as_json else report.render())
+    return 0 if report.ok else 1
+
+
+def _parse_validate_flags(
+    args: list[str],
+) -> tuple[int, bool, bool, str | None]:
+    """Parse ``validate`` flags -> (seeds, bands, as_json, out)."""
+    seeds = 25
+    bands = True
+    as_json = False
+    out: str | None = None
+    i = 0
+    while i < len(args):
+        a = args[i]
+        if a == "--seeds" and i + 1 < len(args):
+            try:
+                seeds = int(args[i + 1])
+            except ValueError:
+                raise ValueError(f"--seeds expects an integer, "
+                                 f"got {args[i + 1]!r}") from None
+            i += 2
+        elif a == "--no-bands":
+            bands = False
+            i += 1
+        elif a == "--json":
+            as_json = True
+            i += 1
+        elif a == "--out" and i + 1 < len(args):
+            out = args[i + 1]
+            i += 2
+        else:
+            raise ValueError(f"unknown argument {a!r}")
+    return seeds, bands, as_json, out
+
+
+#: command registry: name -> (takes_args, handler); handlers that take no
+#: arguments reject any (parse_command enforces this statically)
+COMMANDS: dict[str, tuple[bool, object]] = {
+    "list": (False, _cmd_list),
+    "run": (True, _cmd_run),
+    "asm": (True, _cmd_asm),
+    "pipeline": (True, _cmd_pipeline),
+    "profile": (True, _cmd_profile),
+    "verify": (False, _cmd_verify),
+    "bench": (True, _cmd_bench),
+    "cache": (True, _cmd_cache),
+    "validate": (True, _cmd_validate),
+}
+
+
+def parse_command(argv: list[str]) -> str | None:
+    """Statically validate a CLI invocation without executing it.
+
+    Returns the command name (``None`` for the bare/help invocation), or
+    raises ``ValueError`` describing what is wrong.  This is what keeps
+    every ``python -m repro ...`` line quoted in the documentation
+    honest: ``tests/test_docs.py`` runs each one through here.
+    """
+    from repro.compilers.toolchains import TOOLCHAINS
+    from repro.kernels.loops import LOOP_NAMES, MATH_LOOP_NAMES
+
+    if not argv or argv[0] in ("-h", "--help", "help"):
+        return None
+    cmd, *rest = argv
+    if cmd not in COMMANDS:
+        raise ValueError(f"unknown command {cmd!r}")
+    takes_args, _handler = COMMANDS[cmd]
+    if not takes_args and rest:
+        raise ValueError(f"{cmd} takes no arguments, got {rest}")
+    if cmd == "run":
+        for exp_id in rest:
+            if exp_id not in EXPERIMENTS and exp_id not in EXTRAS \
+                    and exp_id not in ("all", "extras"):
+                raise ValueError(f"unknown experiment {exp_id!r}")
+    elif cmd in ("asm", "pipeline"):
+        if len(rest) != 2:
+            raise ValueError(f"{cmd} expects <loop> <toolchain>")
+        loop, tc = rest
+        if loop not in LOOP_NAMES + MATH_LOOP_NAMES:
+            raise ValueError(f"unknown loop {loop!r}")
+        if tc.lower() not in TOOLCHAINS:
+            raise ValueError(f"unknown toolchain {tc!r}")
+    elif cmd == "profile":
+        positional = []
+        i = 0
+        while i < len(rest):
+            if rest[i] in ("--system", "--n"):
+                if i + 1 >= len(rest):
+                    raise ValueError(f"{rest[i]} expects a value")
+                if rest[i] == "--n":
+                    int(rest[i + 1])
+                i += 2
+            elif rest[i] == "--json":
+                i += 1
+            elif rest[i].startswith("-"):
+                raise ValueError(f"unknown flag {rest[i]!r}")
+            else:
+                positional.append(rest[i])
+                i += 1
+        if not positional or len(positional) > 2:
+            raise ValueError("profile expects <loop> [toolchain]")
+        if positional[0] not in LOOP_NAMES + MATH_LOOP_NAMES:
+            raise ValueError(f"unknown loop {positional[0]!r}")
+        if len(positional) == 2 and positional[1].lower() not in TOOLCHAINS:
+            raise ValueError(f"unknown toolchain {positional[1]!r}")
+    elif cmd == "bench":
+        i = 0
+        while i < len(rest):
+            if rest[i] == "--quick":
+                i += 1
+            elif rest[i] == "--out":
+                if i + 1 >= len(rest):
+                    raise ValueError("--out expects a path")
+                i += 2
+            else:
+                raise ValueError(f"unknown bench argument {rest[i]!r}")
+    elif cmd == "cache":
+        if rest and (len(rest) > 1 or rest[0] not in ("show", "clear")):
+            raise ValueError(f"cache expects [show|clear], got {rest}")
+    elif cmd == "validate":
+        _parse_validate_flags(rest)
+    return cmd
+
+
 def main(argv: list[str]) -> int:
+    """Dispatch one CLI invocation; returns the process exit code."""
     if not argv or argv[0] in ("-h", "--help", "help"):
         print(_USAGE)
         return 0
@@ -235,6 +385,8 @@ def main(argv: list[str]) -> int:
         return _cmd_bench(rest)
     if cmd == "cache":
         return _cmd_cache(rest)
+    if cmd == "validate":
+        return _cmd_validate(rest)
     print(f"unknown command {cmd!r}\n{_USAGE}")
     return 1
 

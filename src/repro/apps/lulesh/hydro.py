@@ -96,6 +96,7 @@ class SedovSpherical:
         return (GAMMA - 1.0) * rho * np.maximum(e, 0.0)
 
     def sound_speed(self) -> np.ndarray:
+        """Adiabatic sound speed per zone."""
         return np.sqrt(GAMMA * np.maximum(self.p, 1e-30) / self.rho)
 
     def _dt(self) -> float:
@@ -180,6 +181,7 @@ class SedovSpherical:
         return float(np.sum(mnode * ke_node) + np.sum(self.m * self.e))
 
     def total_mass(self) -> float:
+        """Total mass on the grid (conserved by the Lagrangian step)."""
         return float(np.sum(self.m))
 
     def shock_radius(self) -> float:

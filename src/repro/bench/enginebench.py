@@ -191,6 +191,7 @@ def run_bench(quick: bool = False, workers: int | None = None) -> dict:
 
 
 def render(doc: dict) -> str:
+    """Format one benchmark document as an aligned text table."""
     secs = doc["seconds"]
     speed = doc["speedup_vs_cold_seed"]
     acc = doc["acceptance"]
@@ -215,6 +216,7 @@ def render(doc: dict) -> str:
 
 
 def main(argv: list[str]) -> int:
+    """CLI entry point for ``python -m repro bench``."""
     quick = "--quick" in argv
     args = [a for a in argv if a != "--quick"]
     out = Path("BENCH_engine.json")

@@ -58,7 +58,33 @@ from repro.machine.isa import Instruction, InstructionStream, Op
 from repro.machine.memory import MemoryStream
 from repro.machine.microarch import Microarch
 
-__all__ = ["CompiledLoop", "compile_loop"]
+__all__ = [
+    "CompiledLoop",
+    "compile_loop",
+    "add_compile_observer",
+    "remove_compile_observer",
+]
+
+#: opt-in compile observers (see :func:`add_compile_observer`); empty in
+#: normal operation so lowering pays nothing for the hook point
+_COMPILE_OBSERVERS: list = []
+
+
+def add_compile_observer(observer) -> None:
+    """Register *observer* to receive every :class:`CompiledLoop` that
+    :func:`compile_loop` produces, after vectorization and lowering.
+
+    Used by :mod:`repro.validate` to verify IR well-formedness and the
+    lowered stream's bookkeeping (unroll factors, gather/scatter
+    splitting, memory-stream footprints) inline, without the compiler
+    importing the validator.
+    """
+    _COMPILE_OBSERVERS.append(observer)
+
+
+def remove_compile_observer(observer) -> None:
+    """Unregister a compile observer added by :func:`add_compile_observer`."""
+    _COMPILE_OBSERVERS.remove(observer)
 
 
 @dataclass
@@ -113,7 +139,7 @@ def compile_loop(loop: Loop, toolchain: Toolchain, march: Microarch) -> Compiled
     lowerer = _Lowerer(loop, toolchain, march, vectorized=report.vectorized)
     stream, elements_per_iter = lowerer.lower()
     mem_streams = _memory_streams(loop, elements_per_iter)
-    return CompiledLoop(
+    compiled = CompiledLoop(
         loop=loop,
         toolchain=toolchain,
         march=march,
@@ -122,6 +148,9 @@ def compile_loop(loop: Loop, toolchain: Toolchain, march: Microarch) -> Compiled
         mem_streams=mem_streams,
         elements_per_iter=elements_per_iter,
     )
+    for observer in tuple(_COMPILE_OBSERVERS):
+        observer(compiled)
+    return compiled
 
 
 # ---------------------------------------------------------------------------

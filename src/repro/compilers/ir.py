@@ -88,11 +88,13 @@ class Load:
 
     @property
     def is_gather(self) -> bool:
+        """True when the load is indexed through another array."""
         return isinstance(self.index, Load)
 
 
 @dataclass(frozen=True)
 class BinOp:
+    """Elementwise binary arithmetic on two expressions."""
     kind: BinOpKind
     lhs: "Expr"
     rhs: "Expr"
@@ -116,6 +118,7 @@ class Call:
 
 @dataclass(frozen=True)
 class Cmp:
+    """Elementwise comparison; only legal as a Store mask."""
     kind: CmpKind
     lhs: "Expr"
     rhs: "Expr"
@@ -148,6 +151,7 @@ class Store:
 
     @property
     def is_scatter(self) -> bool:
+        """True when the store is indexed through another array."""
         return isinstance(self.index, Load)
 
 
@@ -193,6 +197,7 @@ class Loop:
 
     # -- analysis helpers ------------------------------------------------
     def referenced_arrays(self) -> set[str]:
+        """Names of every array the loop body touches."""
         out: set[str] = set()
         for stmt in self.body:
             out |= _stmt_arrays(stmt)
@@ -216,15 +221,19 @@ class Loop:
         return [e.fn for e in self.expressions() if isinstance(e, Call)]
 
     def has_gather(self) -> bool:
+        """True when any expression loads through an index array."""
         return any(isinstance(e, Load) and e.is_gather for e in self.expressions())
 
     def has_scatter(self) -> bool:
+        """True when any store writes through an index array."""
         return any(isinstance(s, Store) and s.is_scatter for s in self.body)
 
     def has_predicated_store(self) -> bool:
+        """True when any store carries a mask."""
         return any(isinstance(s, Store) and s.mask is not None for s in self.body)
 
     def has_reduction(self) -> bool:
+        """True when the body contains a Reduce statement."""
         return any(isinstance(s, Reduce) for s in self.body)
 
     def flops_per_iter(self) -> int:

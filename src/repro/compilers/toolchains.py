@@ -112,6 +112,7 @@ class Toolchain:
         return impl is not None and impl.kind == "vector"
 
     def math_impl(self, fn: str) -> MathImpl:
+        """How this toolchain implements vector math function *fn*."""
         try:
             return self.math_impls[fn]
         except KeyError:

@@ -172,6 +172,7 @@ class ScheduleCache:
 
     # ------------------------------------------------------------------
     def lookup(self, key: tuple[str, str]) -> _Entry | None:
+        """Fetch an entry (refreshing LRU order), or None on miss."""
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
@@ -189,6 +190,7 @@ class ScheduleCache:
         return entry
 
     def store(self, key: tuple[str, str], entry: _Entry) -> None:
+        """Insert an entry and mirror it to the disk layer if enabled."""
         with self._lock:
             self._put_locked(key, entry)
         self._disk_write(key, entry)
@@ -218,6 +220,7 @@ class ScheduleCache:
         return dropped
 
     def stats(self) -> dict[str, float]:
+        """Hit/miss/size statistics as a plain dict."""
         with self._lock:
             return {
                 "entries": float(len(self._entries)),

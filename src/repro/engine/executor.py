@@ -26,7 +26,7 @@ it).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro._util import require_positive
 from repro.engine.scheduler import ScheduleResult
@@ -35,7 +35,38 @@ from repro.machine.numa import PagePlacement
 from repro.machine.systems import System
 from repro.perf.counters import emit, emit_unique, is_profiling
 
-__all__ = ["KernelRun", "KernelExecutor"]
+__all__ = [
+    "KernelRun",
+    "KernelExecutor",
+    "add_run_observer",
+    "remove_run_observer",
+]
+
+#: opt-in run observers (see :func:`add_run_observer`); empty in normal
+#: operation so kernel execution pays nothing for the hook point
+_RUN_OBSERVERS: list = []
+
+
+def add_run_observer(
+    observer: "Callable[[KernelRun, ScheduleResult, tuple[MemoryStream, ...]], None]",
+) -> None:
+    """Register *observer* to receive every :class:`KernelRun` the
+    executor produces, together with the schedule and memory streams it
+    was composed from.
+
+    Used by :mod:`repro.validate` to assert the roofline-composition
+    invariants (``seconds == max(compute, memory)``, non-negative
+    components) on every run without the executor importing the
+    validator.
+    """
+    _RUN_OBSERVERS.append(observer)
+
+
+def remove_run_observer(
+    observer: "Callable[[KernelRun, ScheduleResult, tuple[MemoryStream, ...]], None]",
+) -> None:
+    """Unregister a run observer added by :func:`add_run_observer`."""
+    _RUN_OBSERVERS.remove(observer)
 
 
 @dataclass(frozen=True)
@@ -56,6 +87,7 @@ class KernelRun:
 
     @property
     def bound(self) -> str:
+        """The limiting resource: ``"memory"`` or ``"compute"``."""
         return "memory" if self.memory_seconds > self.compute_seconds else "compute"
 
     @property
@@ -70,6 +102,7 @@ class KernelRun:
         return self.seconds * self.clock_ghz * 1e9 / self.iters
 
     def gflops(self, flops_total: float) -> float:
+        """Achieved GFLOP/s given the kernel's total flop count."""
         require_positive(flops_total, "flops_total")
         return flops_total / self.seconds / 1e9
 
@@ -165,7 +198,7 @@ class KernelExecutor:
             emit("exec.hidden_seconds", min(compute_s, memory_s))
             emit("exec.bound.memory" if memory_s > compute_s
                  else "exec.bound.compute", 1.0)
-        return KernelRun(
+        run = KernelRun(
             label=sched.label,
             seconds=total,
             compute_seconds=compute_s,
@@ -174,3 +207,6 @@ class KernelExecutor:
             cycles_per_iter=sched.cycles_per_iter,
             clock_ghz=clock,
         )
+        for observer in tuple(_RUN_OBSERVERS):
+            observer(run, sched, tuple(streams))
+        return run

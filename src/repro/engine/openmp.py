@@ -113,6 +113,7 @@ class ParallelRun:
 
     @property
     def speedup(self) -> float:
+        """Serial-over-parallel runtime ratio."""
         return self.serial_seconds / self.seconds
 
     @property
@@ -122,6 +123,7 @@ class ParallelRun:
 
     @property
     def bound(self) -> str:
+        """The limiting resource: ``"memory"`` or ``"compute"``."""
         return "memory" if self.memory_seconds > self.compute_seconds else "compute"
 
 

@@ -61,13 +61,78 @@ from repro.perf.counters import emit, is_profiling
 __all__ = [
     "ScheduleResult",
     "ScheduleDivergence",
+    "ScheduleRecord",
     "PipelineScheduler",
     "schedule_on",
+    "add_schedule_observer",
+    "remove_schedule_observer",
 ]
 
 _INF = float("inf")
 #: stable pipe order for state snapshots and fast-forward bookkeeping
 _PIPES = tuple(Pipe)
+
+#: opt-in schedule observers (see :func:`add_schedule_observer`); empty in
+#: normal operation so the fast path pays nothing for the hook point
+_SCHEDULE_OBSERVERS: list = []
+
+
+@dataclass(frozen=True)
+class ScheduleRecord:
+    """One simulated schedule, as seen by a schedule observer.
+
+    ``issues`` is the complete issue-event log — one ``(dynamic_index,
+    cycle, pipe)`` tuple per dynamic instruction, in issue order — which
+    is everything an external invariant checker needs to re-derive
+    completions, retire order, window residency and per-pipe backlogs
+    (see :mod:`repro.validate.schedule`).  Recording the log disables
+    steady-state period detection for the observed schedule; results are
+    identical either way (the golden-equivalence property), only slower.
+    """
+
+    march: Microarch
+    window: int
+    stream: InstructionStream
+    n_iters: int
+    issues: tuple[tuple[int, float, Pipe], ...]
+    result: ScheduleResult
+
+    def timings(self) -> list[tuple[float, float, frozenset[Pipe]]]:
+        """Per body position ``(latency, rtput, pipes)`` under ``march``,
+        honoring per-instruction overrides — the same resolution the
+        scheduler itself used."""
+        out = []
+        for ins in self.stream.body:
+            t = self.march.timing(ins.op)
+            lat = (ins.latency_override
+                   if ins.latency_override is not None else t.latency)
+            rtp = (ins.rtput_override
+                   if ins.rtput_override is not None else t.rtput)
+            out.append((lat, rtp, t.pipes))
+        return out
+
+
+def add_schedule_observer(
+    observer: Callable[[ScheduleRecord], None]
+) -> None:
+    """Register *observer* to receive a :class:`ScheduleRecord` for every
+    schedule the :class:`PipelineScheduler` simulates.
+
+    Observation is opt-in instrumentation for invariant checking
+    (:mod:`repro.validate`): while any observer is installed, simulated
+    schedules record their full issue-event log (disabling period
+    detection — identical results, more work).  Cache hits served by
+    :mod:`repro.engine.cache` replay stored outcomes without simulating
+    and are therefore not observed.
+    """
+    _SCHEDULE_OBSERVERS.append(observer)
+
+
+def remove_schedule_observer(
+    observer: Callable[[ScheduleRecord], None]
+) -> None:
+    """Unregister a schedule observer added by :func:`add_schedule_observer`."""
+    _SCHEDULE_OBSERVERS.remove(observer)
 
 
 class ScheduleDivergence(RuntimeError):
@@ -120,6 +185,7 @@ class ScheduleResult:
 
     @property
     def cycles_per_element(self) -> float:
+        """Cycles per result element (the paper's Section IV unit)."""
         return self.cycles_per_iter / self.elements_per_iter
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
@@ -186,8 +252,15 @@ class PipelineScheduler:
         stream.validate()
         n_iters = self.WARMUP_ITERS + self.MEASURE_ITERS
         n_body = len(stream)
+        observers = tuple(_SCHEDULE_OBSERVERS)
+        events: list[tuple[int, float, Pipe]] = []
         cycle, iter_last_issue, pipe_busy_cycles = self._simulate(
-            stream, n_iters, extrapolate=self.extrapolate
+            stream, n_iters,
+            on_issue=(
+                (lambda d, c, p: events.append((d, c, p)))
+                if observers else None
+            ),
+            extrapolate=self.extrapolate,
         )
 
         first = self.WARMUP_ITERS
@@ -217,6 +290,13 @@ class PipelineScheduler:
             stream, n_iters, n_body * n_iters, makespan, cpi,
             pipe_busy_cycles,
         )
+        if observers:
+            record = ScheduleRecord(
+                march=self.march, window=self.window, stream=stream,
+                n_iters=n_iters, issues=tuple(events), result=result,
+            )
+            for observer in observers:
+                observer(record)
         return result, payload
 
     # ------------------------------------------------------------------

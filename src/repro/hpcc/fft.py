@@ -98,6 +98,7 @@ def fft_flops(n: int) -> float:
 
 @dataclass(frozen=True)
 class FftResult:
+    """Outcome of one FFT benchmark run (timing + max error vs numpy)."""
     n: int
     seconds: float
     gflops: float

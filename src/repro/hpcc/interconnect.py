@@ -101,6 +101,7 @@ MPI_STACKS: dict[str, MpiStack] = {
 
 
 def get_mpi_stack(key: str) -> MpiStack:
+    """Look up an MPI stack model by key (case-insensitive)."""
     try:
         return MPI_STACKS[key.lower()]
     except KeyError:

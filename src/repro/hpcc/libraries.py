@@ -115,6 +115,7 @@ LIBRARIES: dict[str, Library] = {
 
 
 def get_library(key: str) -> Library:
+    """Look up a math-library model by key (case-insensitive)."""
     try:
         return LIBRARIES[key.lower()]
     except KeyError:

@@ -46,6 +46,7 @@ class StreamResult:
     verified: bool
 
     def best(self) -> float:
+        """Best rate across the four STREAM kernels, in GB/s."""
         return max(self.rates_gbs.values())
 
 

@@ -52,6 +52,7 @@ class LadderRung:
     bound: str
 
     def as_row(self) -> dict:
+        """Plain-dict form used by the report tables."""
         return {
             "stage": self.stage,
             "name": self.name,

@@ -160,9 +160,11 @@ class InstructionStream:
         return len(self.body)
 
     def append(self, instr: Instruction) -> None:
+        """Append one instruction to the loop body."""
         self.body.append(instr)
 
     def extend(self, instrs: Iterable[Instruction]) -> None:
+        """Append a sequence of instructions to the loop body."""
         self.body.extend(instrs)
 
     def counts(self) -> dict[Op, int]:

@@ -320,6 +320,7 @@ class CacheSim:
         self.evictions = 0
 
     def reset_stats(self) -> None:
+        """Zero the hit/miss/eviction counters (contents kept)."""
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -371,5 +372,6 @@ class CacheSim:
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of accesses that hit (0.0 when untouched)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0

@@ -143,6 +143,7 @@ class Microarch:
         return clock * self.fp_pipes * self.lanes_f64 * 2.0
 
     def timing(self, op: Op) -> OpTiming:
+        """Timing-table entry for *op*; KeyError names unsupported ops."""
         try:
             return self.timings[op]
         except KeyError:
@@ -152,6 +153,7 @@ class Microarch:
             ) from None
 
     def supports(self, op: Op) -> bool:
+        """True when this core has a timing entry for *op*."""
         return op in self.timings
 
 

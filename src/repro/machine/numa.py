@@ -70,6 +70,7 @@ class CMGTopology:
 
     @property
     def total_cores(self) -> int:
+        """Compute cores across all domains."""
         return self.domains * self.cores_per_domain
 
     def active_domains(self, threads: int) -> int:

@@ -84,6 +84,7 @@ class System:
 
     @property
     def peak_gflops_node(self) -> float:
+        """Theoretical peak of a full node, in GFLOP/s."""
         return self.peak_gflops_core * self.cores
 
     @property

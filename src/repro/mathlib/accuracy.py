@@ -116,6 +116,7 @@ class AccuracyResult:
     mean_ulp: float
 
     def as_row(self) -> dict:
+        """Plain-dict form used by the report tables."""
         return {
             "function": self.function,
             "implementation": self.implementation,

@@ -177,6 +177,7 @@ class CGResult:
 
     @property
     def verified(self) -> bool:
+        """True when zeta matches the official class verification value."""
         ref = CG_VERIFY.get(self.klass)
         if ref is None:
             return False

@@ -44,6 +44,7 @@ class BenchmarkReport:
 
     @property
     def banner(self) -> str:
+        """NPB-style completion banner for the text report."""
         status = "SUCCESSFUL" if self.verified else "UNSUCCESSFUL"
         return (
             f" {self.benchmark.upper()} Benchmark Completed (class "

@@ -71,6 +71,7 @@ class EPResult:
 
     @property
     def gaussian_count(self) -> int:
+        """Number of accepted Gaussian pairs (the NPB 'counts')."""
         return self.accepted
 
 

@@ -91,6 +91,7 @@ class Randlc:
 
     @property
     def position(self) -> int:
+        """Index of the next value in the stream."""
         return self._k
 
     def skip(self, n: int) -> None:

@@ -87,6 +87,7 @@ class LUMini:
         return out
 
     def residual(self) -> float:
+        """RMS residual of the current iterate."""
         r = self.f - self.apply_operator(self.u)
         return float(np.sqrt(np.mean(r * r)))
 

@@ -175,14 +175,17 @@ class SPMini:
         return np.moveaxis(out, 2, axis)
 
     def residual(self) -> float:
+        """RMS residual of the current iterate."""
         r = self.forcing - self._apply_spatial_operator(self.u)
         return float(np.sqrt(np.mean(r * r)))
 
     def error(self) -> float:
+        """RMS distance from the manufactured target solution."""
         d = self.u - self.target
         return float(np.sqrt(np.mean(d * d)))
 
     def step(self) -> float:
+        """Advance one ADI step; returns the new residual."""
         rhs = self.dt * (self.forcing - self._apply_spatial_operator(self.u))
         for axis in range(3):
             rhs = self._sweep(rhs, axis)
@@ -190,5 +193,6 @@ class SPMini:
         return self.residual()
 
     def run(self, iters: int) -> list[float]:
+        """Run *iters* ADI steps; returns the residual history."""
         require_positive(iters, "iters")
         return [self.step() for _ in range(iters)]

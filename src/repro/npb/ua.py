@@ -74,12 +74,14 @@ class UAMini:
     # -- geometry helpers ----------------------------------------------------
     @staticmethod
     def cell_center(key: Key) -> tuple[float, float, float]:
+        """Center coordinates of one octree cell."""
         lvl, i, j, k = key
         h = 1.0 / (1 << lvl)
         return ((i + 0.5) * h, (j + 0.5) * h, (k + 0.5) * h)
 
     @staticmethod
     def cell_size(key: Key) -> float:
+        """Edge length of one octree cell at its refinement level."""
         return 1.0 / (1 << key[0])
 
     def source_center(self) -> tuple[float, float, float]:
@@ -190,6 +192,7 @@ class UAMini:
         return self.source_amp * np.exp(-d2 / (2 * 0.05**2))
 
     def total_heat(self) -> float:
+        """Volume-integrated heat over the adaptive mesh."""
         vols = np.asarray([self.cell_size(k) ** 3 for k in self.keys])
         return float(np.sum(vols * self.values))
 
@@ -223,8 +226,10 @@ class UAMini:
 
     @property
     def ncells(self) -> int:
+        """Number of leaf cells in the adaptive mesh."""
         return len(self.keys)
 
     @property
     def max_depth(self) -> int:
+        """Deepest refinement level present in the mesh."""
         return max(k[0] for k in self.keys)

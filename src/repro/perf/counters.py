@@ -46,7 +46,30 @@ __all__ = [
     "emit_unique",
     "is_profiling",
     "active_scopes",
+    "add_scope_observer",
+    "remove_scope_observer",
 ]
+
+#: opt-in scope-exit observers (see :func:`add_scope_observer`); empty in
+#: normal operation so profiling pays nothing for the hook point
+_SCOPE_OBSERVERS: list = []
+
+
+def add_scope_observer(observer) -> None:
+    """Register *observer* to receive each :class:`CounterSet` when its
+    :class:`ProfileScope` exits cleanly.
+
+    Used by :mod:`repro.validate` to run the counter-reconciliation
+    identities (issue-slot accounting, cache hit/miss sums) on every
+    completed scope without this module importing the validator.  Scopes
+    unwound by an exception are not observed.
+    """
+    _SCOPE_OBSERVERS.append(observer)
+
+
+def remove_scope_observer(observer) -> None:
+    """Unregister a scope observer added by :func:`add_scope_observer`."""
+    _SCOPE_OBSERVERS.remove(observer)
 
 
 class CounterSet(Mapping[str, float]):
@@ -76,6 +99,7 @@ class CounterSet(Mapping[str, float]):
             self.inc(name, value)
 
     def clear(self) -> None:
+        """Drop every counter."""
         self._values.clear()
 
     # -- mapping interface ---------------------------------------------
@@ -177,3 +201,6 @@ class ProfileScope:
             if scopes[i] is self.counters:
                 del scopes[i]
                 break
+        if _SCOPE_OBSERVERS and (not exc_info or exc_info[0] is None):
+            for observer in tuple(_SCOPE_OBSERVERS):
+                observer(self.counters)

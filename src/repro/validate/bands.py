@@ -1,0 +1,239 @@
+"""Re-score every paper expectation in :mod:`repro.bench.expected`.
+
+The CLI's band pass re-runs the figure generators and scores each entry
+of the expectation tables as in-band or out-of-band, mirroring the
+tier-1 regression assertions exactly (same tolerances, same relations) —
+so a pristine tree scores all-in-band and a drifted model pinpoints
+which figure moved.
+
+Each scored entry is a dict ``{"figure", "entry", "value", "band",
+"in_band", "note"}``.  Quantities the paper text only orders (the
+"fujitsu beats cray beats arm" relations) are encoded as 1.0/0.0 with
+band ``[1, 1]``; paper numbers the tests deliberately do not pin (the
+Section IV per-library cycle counts beyond GNU's, which the model
+reproduces only in ordering) are recorded with ``band: null`` and
+``in_band: null`` — informational, never failing.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.validate.report import PassResult, Violation
+
+__all__ = ["score_bands", "run_band_pass"]
+
+
+def _entry(figure: str, name: str, value: float,
+           band: tuple[float, float] | None, note: str = "") -> dict[str, Any]:
+    """One scored band entry (``band=None`` marks informational)."""
+    in_band = None if band is None else bool(band[0] <= value <= band[1])
+    return {
+        "figure": figure,
+        "entry": name,
+        "value": value,
+        "band": list(band) if band is not None else None,
+        "in_band": in_band,
+        "note": note,
+    }
+
+
+def _relation(figure: str, name: str, holds: bool, note: str) -> dict[str, Any]:
+    """An ordering assertion encoded as 1.0-in-[1,1]."""
+    return _entry(figure, name, 1.0 if holds else 0.0, (1.0, 1.0), note)
+
+
+def _fig12_entries() -> list[dict[str, Any]]:
+    from repro.bench.expected import FIG1_FIG2_RATIO_BANDS
+    from repro.bench.figures import fig1_loop_suite, fig2_math_suite
+
+    rows = fig1_loop_suite() + fig2_math_suite()
+
+    def ratio(loop: str, tc: str) -> float:
+        return next(r["rel_skylake"] for r in rows
+                    if r["loop"] == loop and r["toolchain"] == tc)
+
+    out = [
+        _entry("fig1-2", f"{loop}:fujitsu/skylake", ratio(loop, "fujitsu"),
+               FIG1_FIG2_RATIO_BANDS[loop],
+               "runtime ratio A64FX(fujitsu)/Skylake(intel)")
+        for loop in sorted(FIG1_FIG2_RATIO_BANDS)
+    ]
+    loops = sorted({r["loop"] for r in rows})
+    out.append(_relation(
+        "fig1-2", "fujitsu-best-on-a64fx",
+        all(ratio(l, "fujitsu") <= ratio(l, tc) * 1.02
+            for l in loops for tc in ("cray", "arm", "gnu")),
+        "fujitsu delivers the highest performance for all loops",
+    ))
+    out.append(_relation(
+        "fig1-2", "short_gather-coalescing",
+        ratio("short_gather", "fujitsu") < 0.75 * ratio("gather", "fujitsu"),
+        "128-byte-window coalescing makes short gather the closest loop",
+    ))
+    return out
+
+
+def _sec4_entries() -> list[dict[str, Any]]:
+    from repro.bench.expected import SEC4_EXP_CYCLES
+    from repro.bench.figures import sec4_exp_study
+
+    rows = {r["impl"]: r for r in sec4_exp_study(ulp_samples=50_000)}
+    gnu = rows["gnu library (scalar libm)"]["cycles_per_elem"]
+    fj = rows["fujitsu library"]["cycles_per_elem"]
+    cray = rows["cray library"]["cycles_per_elem"]
+    arm = rows["arm library"]["cycles_per_elem"]
+    vla = rows["fexpa-vla (paper kernel)"]["cycles_per_elem"]
+    paper = SEC4_EXP_CYCLES["gnu-serial"]
+    out = [
+        _entry("sec4", "gnu-serial cycles/elem", gnu,
+               (paper * 0.9, paper * 1.1),
+               f"paper reports {paper} cycles/element"),
+        _relation("sec4", "library-ordering", fj < cray < arm < gnu,
+                  "fujitsu < cray < arm < gnu cycles/element"),
+        _entry("sec4", "fexpa-vla cycles/elem", vla, (1.0, 2.6),
+               "the hand kernel lands in the ~2 cycles/element class"),
+        _relation("sec4", "unrolling-helps",
+                  rows["fexpa-unrolled-x2"]["cycles_per_elem"] < vla,
+                  "unrolling once decreases cycles/element"),
+        _relation("sec4", "estrin-beats-horner",
+                  vla < rows["fexpa-horner"]["cycles_per_elem"],
+                  "the Estrin form is slightly faster than Horner"),
+        _entry("sec4", "fexpa-vla max ulp",
+               rows["fexpa-vla (paper kernel)"]["max_ulp"], (0.0, 6.0),
+               "about 6 ulp precision"),
+        _relation("sec4", "refined-improves-ulp",
+                  rows["fexpa-refined (corrected last FMA)"]["max_ulp"]
+                  < rows["fexpa-vla (paper kernel)"]["max_ulp"],
+                  "correcting the last FMA tightens the ulp bound"),
+    ]
+    # the remaining Section IV paper numbers are reproduced in ordering
+    # only; record the model's values against them informationally
+    for impl, key in (("arm library", "arm"), ("cray library", "cray"),
+                      ("fujitsu library", "fujitsu")):
+        out.append(_entry(
+            "sec4", f"{key} cycles/elem",
+            rows[impl]["cycles_per_elem"], None,
+            f"paper reports {SEC4_EXP_CYCLES[key]} (ordering enforced above)",
+        ))
+    return out
+
+
+def _npb_entries() -> list[dict[str, Any]]:
+    from repro.bench.expected import (
+        FIG3_RATIO_BANDS, FIG5_EFFICIENCY_BANDS, FIG6_EFFICIENCY_BANDS,
+    )
+    from repro.compilers.toolchains import TOOLCHAINS
+    from repro.kernels.workload import parallel_run, serial_seconds
+    from repro.machine.systems import get_system
+    from repro.npb.workloads import NPB_WORKLOADS
+
+    ookami, skylake = get_system("ookami"), get_system("skylake")
+    out = []
+    for bench in sorted(FIG3_RATIO_BANDS):
+        work = NPB_WORKLOADS[bench]
+        best = min(serial_seconds(work, ookami, TOOLCHAINS[tc])
+                   for tc in ("fujitsu", "cray", "arm", "gnu"))
+        icc = serial_seconds(work, skylake, TOOLCHAINS["intel"])
+        out.append(_entry("fig3", f"{bench}:bestA64FX/icc", best / icc,
+                          FIG3_RATIO_BANDS[bench],
+                          "serial runtime ratio, best A64FX toolchain"))
+    for bench in sorted(FIG5_EFFICIENCY_BANDS):
+        run = parallel_run(NPB_WORKLOADS[bench], ookami,
+                           TOOLCHAINS["gnu"], 48)
+        out.append(_entry("fig5", f"{bench}:efficiency@48", run.efficiency,
+                          FIG5_EFFICIENCY_BANDS[bench],
+                          "A64FX+GCC parallel efficiency, 48 threads"))
+    for bench in sorted(FIG6_EFFICIENCY_BANDS):
+        run = parallel_run(NPB_WORKLOADS[bench], skylake,
+                           TOOLCHAINS["intel"], 36)
+        out.append(_entry("fig6", f"{bench}:efficiency@36", run.efficiency,
+                          FIG6_EFFICIENCY_BANDS[bench],
+                          "Skylake+icc parallel efficiency, 36 threads"))
+    return out
+
+
+def _hpcc_entries() -> list[dict[str, Any]]:
+    from repro.bench.expected import FIG8_PERCENT_OF_PEAK, HPCC_RATIOS
+    from repro.hpcc.dgemm import dgemm_rate_gflops
+    from repro.hpcc.fft import fft_rate_gflops
+    from repro.hpcc.hpl import hpl_rate_gflops
+
+    out = []
+    for (system, library), pct in sorted(FIG8_PERCENT_OF_PEAK.items()):
+        point = dgemm_rate_gflops(system, library)
+        out.append(_entry("fig8", f"{system}/{library}:%peak",
+                          point.percent_of_peak, (pct - 1.0, pct + 1.0),
+                          f"paper prints {pct}% of peak"))
+
+    def rel_band(target: float, rel: float) -> tuple[float, float]:
+        return (target * (1 - rel), target * (1 + rel))
+
+    fj = dgemm_rate_gflops("ookami", "fujitsu-blas").gflops_per_core
+    ob = dgemm_rate_gflops("ookami", "openblas").gflops_per_core
+    zen = dgemm_rate_gflops("bridges2", "blis-zen2").gflops_per_core
+    out.append(_entry(
+        "fig8", "dgemm fujitsu/openblas", fj / ob,
+        rel_band(HPCC_RATIOS["dgemm_fujitsu_vs_openblas"], 0.15),
+        "almost 14 times faster than non-optimized OpenBLAS"))
+    out.append(_entry(
+        "fig8", "dgemm a64fx/zen2 core", fj / zen,
+        rel_band(HPCC_RATIOS["dgemm_a64fx_vs_zen2_core"], 0.1),
+        "1.6 times faster than AMD Zen 2 cores"))
+    out.append(_entry(
+        "fig9", "hpl fujitsu/openblas",
+        hpl_rate_gflops("ookami", "fujitsu-blas")
+        / hpl_rate_gflops("ookami", "openblas"),
+        rel_band(HPCC_RATIOS["hpl_fujitsu_vs_openblas"], 0.2),
+        "nearly ten times faster than non-optimized OpenBLAS"))
+    out.append(_entry(
+        "fig9", "fft fujitsu/stock",
+        fft_rate_gflops("ookami", "fujitsu-fftw")
+        / fft_rate_gflops("ookami", "fftw"),
+        rel_band(HPCC_RATIOS["fft_fujitsu_vs_stock"], 0.1),
+        "4.2 times faster than the non-optimized FFTW"))
+    return out
+
+
+def _table3_entries() -> list[dict[str, Any]]:
+    from repro.bench.expected import TABLE3_EXPECTED
+    from repro.bench.figures import table3_systems
+
+    out = []
+    for row, exp in zip(table3_systems(), TABLE3_EXPECTED):
+        name = exp["system"]
+        out.append(_entry(
+            "table3", f"{name}:peak_gflops_core", row["peak_gflops_core"],
+            (exp["peak_core"] * (1 - 1e-3), exp["peak_core"] * (1 + 1e-3)),
+            "per-core peak derived from the machine model"))
+        out.append(_entry(
+            "table3", f"{name}:peak_gflops_node", row["peak_gflops_node"],
+            (exp["peak_node"] * (1 - 2e-3), exp["peak_node"] * (1 + 2e-3)),
+            "per-node peak derived from the machine model"))
+        out.append(_relation(
+            "table3", f"{name}:cores",
+            row["cores_per_node"] == exp["cores"],
+            f"paper lists {exp['cores']} cores/node"))
+    return out
+
+
+def score_bands() -> list[dict[str, Any]]:
+    """All scored entries, every expectation table covered."""
+    return (_fig12_entries() + _sec4_entries() + _npb_entries()
+            + _hpcc_entries() + _table3_entries())
+
+
+def run_band_pass() -> PassResult:
+    """Score the expectation tables; out-of-band entries are violations."""
+    entries = score_bands()
+    result = PassResult(name="bands", checked=len(entries))
+    result.data["entries"] = entries
+    for e in entries:
+        if e["in_band"] is False:
+            band = e["band"]
+            result.violations.append(Violation(
+                "bands.out_of_band", f"{e['figure']}:{e['entry']}",
+                f"value {e['value']} outside [{band[0]}, {band[1]}] "
+                f"({e['note']})",
+            ))
+    return result

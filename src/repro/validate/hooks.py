@@ -1,0 +1,102 @@
+"""Strict mode — run the validators inline at every call site.
+
+:func:`install_strict_hooks` registers three observers:
+
+* every compiled loop runs the pass-1 IR verifier
+  (:func:`repro.validate.ir.verify_compiled`);
+* every simulated schedule and every executor run goes through the
+  pass-2 invariant checker
+  (:class:`repro.validate.schedule.ScheduleInvariantChecker`);
+* every cleanly-exited :class:`~repro.perf.counters.ProfileScope` runs
+  the pass-3 counter identities
+  (:func:`repro.validate.reconcile.check_counters`).
+
+The first violation raises
+:class:`~repro.validate.report.ValidationError` at the offending call
+site — turning a silent model bug into a pinpointed traceback.  The
+test suite installs these hooks for the whole session when the
+environment variable ``REPRO_VALIDATE=1`` is set (see
+``tests/conftest.py``); CI runs the tier-1 subset that exercises the
+engine this way.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Iterator
+
+from repro.validate.report import ValidationError
+from repro.validate.schedule import ScheduleInvariantChecker
+
+__all__ = [
+    "install_strict_hooks",
+    "uninstall_strict_hooks",
+    "strict_hooks",
+    "strict_from_env",
+]
+
+_checker: ScheduleInvariantChecker | None = None
+
+
+def _on_compile(compiled) -> None:
+    """Compile observer: IR-verify every lowered loop, raise on breach."""
+    from repro.validate.ir import verify_compiled
+
+    found = verify_compiled(compiled)
+    if found:
+        raise ValidationError(found)
+
+
+def _on_scope_exit(counters) -> None:
+    """Scope observer: reconcile counter identities, raise on breach."""
+    from repro.validate.reconcile import check_counters
+
+    found = check_counters(counters)
+    if found:
+        raise ValidationError(found)
+
+
+def install_strict_hooks() -> None:
+    """Register the strict observers (idempotent)."""
+    global _checker
+    if _checker is not None:
+        return
+    from repro.compilers.codegen import add_compile_observer
+    from repro.perf.counters import add_scope_observer
+
+    _checker = ScheduleInvariantChecker(strict=True).install()
+    add_compile_observer(_on_compile)
+    add_scope_observer(_on_scope_exit)
+
+
+def uninstall_strict_hooks() -> None:
+    """Deregister the strict observers (idempotent)."""
+    global _checker
+    if _checker is None:
+        return
+    from repro.compilers.codegen import remove_compile_observer
+    from repro.perf.counters import remove_scope_observer
+
+    _checker.uninstall()
+    remove_compile_observer(_on_compile)
+    remove_scope_observer(_on_scope_exit)
+    _checker = None
+
+
+@contextlib.contextmanager
+def strict_hooks() -> Iterator[None]:
+    """Strict validation for the duration of a ``with`` block."""
+    install_strict_hooks()
+    try:
+        yield
+    finally:
+        uninstall_strict_hooks()
+
+
+def strict_from_env() -> bool:
+    """Install the strict hooks when ``REPRO_VALIDATE=1``; report if so."""
+    if os.environ.get("REPRO_VALIDATE") == "1":
+        install_strict_hooks()
+        return True
+    return False

@@ -1,0 +1,439 @@
+"""Pass 1 — IR verifier: loop well-formedness and lowering bookkeeping.
+
+:func:`verify_loop` checks an IR :class:`~repro.compilers.ir.Loop`
+*before* compilation: operand typing (the frozen dataclasses accept any
+object, so a :class:`~repro.compilers.ir.Cmp` smuggled into an operand
+position is constructible but type-illegal), math-call arity, index and
+mask legality, and the :class:`~repro.compilers.ir.ArrayInfo` table.
+
+:func:`verify_compiled` checks a :class:`~repro.compilers.codegen.CompiledLoop`
+*after* the vectorizer and code generator ran: stream dataflow, timing
+overrides, unroll-factor bookkeeping (``elements_per_iter == lanes x
+unroll``), agreement between each ``ArrayInfo`` and the emitted
+loads/stores (gather/scatter splitting, pair coalescing, per-copy CSE)
+and the derived :class:`~repro.machine.memory.MemoryStream` set.
+
+The expected instruction counts mirror the code generator's documented
+strategies — the point is that the two independent derivations must
+agree, so a refactor that silently changes one side trips the other.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.compilers.codegen import CompiledLoop, compile_loop
+from repro.compilers.ir import (
+    ArrayInfo,
+    BinOp,
+    Call,
+    Cmp,
+    Const,
+    Load,
+    Loop,
+    LoopIdx,
+    Reduce,
+    Store,
+    Var,
+)
+from repro.machine.isa import Op
+from repro.validate.report import PassResult, Violation
+
+__all__ = ["verify_loop", "verify_compiled", "run_ir_pass", "CALL_ARITY"]
+
+#: required argument count per math function (everything else is unary)
+CALL_ARITY = {"pow": 2}
+
+_EXPR_TYPES = (Const, Var, Load, BinOp, Call)
+
+
+# ---------------------------------------------------------------------------
+# IR-level checks
+# ---------------------------------------------------------------------------
+
+
+def verify_loop(loop: Loop) -> list[Violation]:
+    """Static well-formedness of one IR loop; returns violations."""
+    out: list[Violation] = []
+    where = f"loop {loop.name!r}"
+
+    for name in sorted(loop.referenced_arrays()):
+        info = loop.arrays.get(name)
+        if not isinstance(info, ArrayInfo):
+            out.append(Violation(
+                "ir.array.info", where,
+                f"array {name!r} is referenced without an ArrayInfo entry",
+            ))
+
+    for si, stmt in enumerate(loop.body):
+        swhere = f"{where}, body[{si}]"
+        if isinstance(stmt, Store):
+            _check_expr(stmt.value, f"{swhere} Store.value", out)
+            _check_index(stmt.index, f"{swhere} Store.index", out)
+            if stmt.mask is not None:
+                if not isinstance(stmt.mask, Cmp):
+                    out.append(Violation(
+                        "ir.mask.type", swhere,
+                        f"Store.mask must be a Cmp, got "
+                        f"{type(stmt.mask).__name__}",
+                    ))
+                else:
+                    _check_expr(stmt.mask.lhs, f"{swhere} mask.lhs", out)
+                    _check_expr(stmt.mask.rhs, f"{swhere} mask.rhs", out)
+        elif isinstance(stmt, Reduce):
+            _check_expr(stmt.value, f"{swhere} Reduce.value", out)
+            if not stmt.var:
+                out.append(Violation(
+                    "ir.reduce.var", swhere,
+                    "Reduce must name its accumulator variable",
+                ))
+        else:
+            out.append(Violation(
+                "ir.stmt.type", swhere,
+                f"statements must be Store or Reduce, got "
+                f"{type(stmt).__name__}",
+            ))
+    return out
+
+
+def _check_expr(e: object, where: str, out: list[Violation]) -> None:
+    """Recursive operand typing + arity checks for one expression tree."""
+    if isinstance(e, Cmp):
+        out.append(Violation(
+            "ir.expr.type", where,
+            "Cmp is only legal as a Store mask, not as an operand",
+        ))
+        return
+    if not isinstance(e, _EXPR_TYPES):
+        out.append(Violation(
+            "ir.expr.type", where,
+            f"expected an expression node, got {type(e).__name__}",
+        ))
+        return
+    if isinstance(e, BinOp):
+        _check_expr(e.lhs, f"{where}.lhs", out)
+        _check_expr(e.rhs, f"{where}.rhs", out)
+    elif isinstance(e, Call):
+        want = CALL_ARITY.get(e.fn, 1)
+        if len(e.args) != want:
+            out.append(Violation(
+                "ir.call.arity", where,
+                f"Call({e.fn!r}) takes {want} argument(s), got "
+                f"{len(e.args)}",
+            ))
+        for k, a in enumerate(e.args):
+            _check_expr(a, f"{where}.args[{k}]", out)
+    elif isinstance(e, Load):
+        _check_index(e.index, f"{where}.index", out)
+
+
+def _check_index(idx: object, where: str, out: list[Violation]) -> None:
+    """An index is the induction variable or one level of indirection."""
+    if isinstance(idx, LoopIdx):
+        return
+    if isinstance(idx, Load):
+        if not isinstance(idx.index, LoopIdx):
+            out.append(Violation(
+                "ir.load.index", where,
+                "index loads must be direct (one level of indirection); "
+                f"got a nested {type(idx.index).__name__} index",
+            ))
+        return
+    out.append(Violation(
+        "ir.load.index", where,
+        f"index must be LoopIdx or Load, got {type(idx).__name__}",
+    ))
+
+
+# ---------------------------------------------------------------------------
+# Lowered-stream checks
+# ---------------------------------------------------------------------------
+
+
+def verify_compiled(compiled: CompiledLoop) -> list[Violation]:
+    """Bookkeeping agreement between IR, stream and memory streams."""
+    out = verify_loop(compiled.loop)
+    loop = compiled.loop
+    tc = compiled.toolchain
+    march = compiled.march
+    stream = compiled.stream
+    where = stream.label or f"loop {loop.name!r}/{tc.name}"
+
+    try:
+        stream.validate()
+    except ValueError as exc:
+        out.append(Violation("lower.stream.dataflow", where, str(exc)))
+
+    for idx, ins in enumerate(stream.body):
+        for attr in ("latency_override", "rtput_override"):
+            v = getattr(ins, attr)
+            if v is not None and v < 0:
+                out.append(Violation(
+                    "lower.instr.override", where,
+                    f"instruction {idx} ({ins.tag or ins.op.value}) has a "
+                    f"negative {attr} ({v})",
+                ))
+
+    # unroll-factor bookkeeping: recompute the factors independently
+    vectorized = compiled.report.vectorized
+    unroll = tc.unroll
+    if vectorized and not loop.math_calls():
+        unroll = max(unroll, tc.small_loop_unroll)
+    lanes = march.lanes_f64 if vectorized else 1
+    expect_epi = lanes * unroll
+    if compiled.elements_per_iter != expect_epi:
+        out.append(Violation(
+            "lower.unroll.bookkeeping", where,
+            f"elements_per_iter {compiled.elements_per_iter} != lanes "
+            f"({lanes}) x unroll ({unroll}) = {expect_epi}",
+        ))
+    if stream.elements_per_iter != compiled.elements_per_iter:
+        out.append(Violation(
+            "lower.unroll.bookkeeping", where,
+            f"stream.elements_per_iter {stream.elements_per_iter} "
+            f"disagrees with CompiledLoop.elements_per_iter "
+            f"{compiled.elements_per_iter}",
+        ))
+
+    out += _check_mem_streams(compiled, where)
+    out += _check_access_counts(compiled, where, vectorized, unroll, lanes)
+    out += _check_mask_wiring(compiled, where, vectorized)
+
+    if not stream.body or stream.body[-1].op is not Op.BRANCH:
+        out.append(Violation(
+            "lower.tail.branch", where,
+            "lowered body must end with the loop-closing BRANCH",
+        ))
+    return out
+
+
+def _check_mem_streams(compiled: CompiledLoop, where: str) -> list[Violation]:
+    """ArrayInfo table vs the derived MemoryStream set, field by field."""
+    out: list[Violation] = []
+    loop = compiled.loop
+    referenced = sorted(loop.referenced_arrays())
+    by_name = {s.name: s for s in compiled.mem_streams}
+    if sorted(by_name) != referenced:
+        out.append(Violation(
+            "lower.memstream.set", where,
+            f"memory streams {sorted(by_name)} != referenced arrays "
+            f"{referenced}",
+        ))
+        return out
+    stored = {s.array for s in loop.body if isinstance(s, Store)}
+    for name in referenced:
+        info = loop.arrays[name]
+        ms = by_name[name]
+        expect_bytes = float(info.elem_size * compiled.elements_per_iter)
+        if ms.bytes_per_iter != expect_bytes:
+            out.append(Violation(
+                "lower.memstream.bytes", where,
+                f"stream {name!r} moves {ms.bytes_per_iter} B/iter, "
+                f"ArrayInfo implies {expect_bytes}",
+            ))
+        if ms.footprint != info.footprint:
+            out.append(Violation(
+                "lower.memstream.footprint", where,
+                f"stream {name!r} footprint {ms.footprint} != ArrayInfo "
+                f"footprint {info.footprint}",
+            ))
+        if ms.pattern != info.pattern:
+            out.append(Violation(
+                "lower.memstream.pattern", where,
+                f"stream {name!r} pattern {ms.pattern!r} != ArrayInfo "
+                f"pattern {info.pattern!r}",
+            ))
+        if ms.is_store != (name in stored):
+            out.append(Violation(
+                "lower.memstream.store_flag", where,
+                f"stream {name!r} is_store={ms.is_store} but the IR "
+                f"{'stores' if name in stored else 'never stores'} it",
+            ))
+    return out
+
+
+def _check_access_counts(
+    compiled: CompiledLoop, where: str, vectorized: bool,
+    unroll: int, lanes: int,
+) -> list[Violation]:
+    """Emitted load/store/gather/scatter counts vs the IR access shapes.
+
+    Re-derives, independently of the lowerer, how many memory
+    instructions each array must produce per lowered iteration: per-copy
+    CSE collapses equal expression nodes, gathers split into
+    ``lanes`` transactions (or ``lanes // 2`` under 128-byte-window pair
+    coalescing — loads only), scatters into ``lanes`` always.
+    """
+    out: list[Violation] = []
+    loop = compiled.loop
+    march = compiled.march
+    body = compiled.stream.body
+
+    # walk the trees the lowerer walks through _lower_expr: a gather is a
+    # leaf there (its index load is emitted directly, outside the CSE
+    # cache), so the index Load must not also count as a standalone load
+    gathers: set[Load] = set()
+    contig: set[Load] = set()
+
+    def walk(e) -> None:
+        if isinstance(e, Load):
+            (gathers if e.is_gather else contig).add(e)
+        elif isinstance(e, BinOp):
+            walk(e.lhs)
+            walk(e.rhs)
+        elif isinstance(e, Call):
+            for a in e.args:
+                walk(a)
+
+    for stmt in loop.body:
+        if isinstance(stmt, Store):
+            walk(stmt.value)
+            if stmt.mask is not None:
+                walk(stmt.mask.lhs)
+                walk(stmt.mask.rhs)
+        else:
+            walk(stmt.value)
+    scatter_stmts = [s for s in loop.body
+                     if isinstance(s, Store) and s.is_scatter]
+    plain_stores = [s for s in loop.body
+                    if isinstance(s, Store) and not s.is_scatter]
+
+    def uops(array: str, is_store: bool) -> int:
+        info = loop.arrays[array]
+        if (not is_store and info.pattern == "window128"
+                and march.gather_pair_coalescing):
+            return max(1, march.lanes_f64 // 2)
+        return march.lanes_f64
+
+    # gather transactions per array (tags name the array)
+    if vectorized:
+        for arr in sorted({g.array for g in gathers}):
+            n = sum(uops(g.array, False) for g in gathers if g.array == arr)
+            got = sum(
+                1 for ins in body
+                if ins.op is Op.GATHER_UOP and ins.tag.endswith(f" {arr}")
+            )
+            if got != unroll * n:
+                out.append(Violation(
+                    "lower.access.gather_uops", where,
+                    f"array {arr!r}: {got} gather transactions emitted, "
+                    f"expected unroll ({unroll}) x {n}",
+                ))
+        n_scat = sum(uops(s.array, True) for s in scatter_stmts)
+        got = sum(1 for ins in body if ins.op is Op.SCATTER_UOP)
+        if got != unroll * n_scat:
+            out.append(Violation(
+                "lower.access.scatter_uops", where,
+                f"{got} scatter transactions emitted, expected unroll "
+                f"({unroll}) x {n_scat}",
+            ))
+    else:
+        for arr in sorted({g.array for g in gathers}):
+            n = sum(1 for g in gathers if g.array == arr)
+            got = sum(
+                1 for ins in body
+                if ins.op is Op.SLOAD and ins.tag == f"gather {arr}"
+            )
+            if got != unroll * n:
+                out.append(Violation(
+                    "lower.access.gather_uops", where,
+                    f"array {arr!r}: {got} scalar indirect loads emitted, "
+                    f"expected unroll ({unroll}) x {n}",
+                ))
+
+    # contiguous loads: one CSE'd load per distinct contiguous Load expr,
+    # plus one (uncached) index load per gather expr / scatter statement
+    load_ops = (Op.VLOAD,) if vectorized else (Op.SLOAD,)
+    for arr in sorted(loop.referenced_arrays()):
+        n = (
+            sum(1 for e in contig if e.array == arr)
+            + sum(1 for g in gathers
+                  if isinstance(g.index, Load) and g.index.array == arr)
+            + sum(1 for s in scatter_stmts
+                  if isinstance(s.index, Load) and s.index.array == arr)
+        )
+        got = sum(
+            1 for ins in body
+            if ins.op in load_ops and ins.tag == f"load {arr}"
+        )
+        if got != unroll * n:
+            out.append(Violation(
+                "lower.access.loads", where,
+                f"array {arr!r}: {got} contiguous loads emitted, expected "
+                f"unroll ({unroll}) x {n}",
+            ))
+
+    # plain (non-scatter) stores: one per Store statement per copy
+    store_ops = (Op.VSTORE,) if vectorized else (Op.SSTORE,)
+    for arr in sorted({s.array for s in plain_stores}):
+        n = sum(1 for s in plain_stores if s.array == arr)
+        got = sum(
+            1 for ins in body
+            if ins.op in store_ops
+            and ins.tag in (f"store {arr}", f"store? {arr}")
+        )
+        if got != unroll * n:
+            out.append(Violation(
+                "lower.access.stores", where,
+                f"array {arr!r}: {got} stores emitted, expected unroll "
+                f"({unroll}) x {n}",
+            ))
+    return out
+
+
+def _check_mask_wiring(
+    compiled: CompiledLoop, where: str, vectorized: bool
+) -> list[Violation]:
+    """Every IR-masked store must consume the dest of a compare op."""
+    out: list[Violation] = []
+    if not compiled.loop.has_predicated_store():
+        return out
+    body = compiled.stream.body
+    cmp_op = Op.FCMP if vectorized else Op.SFP
+    cmp_dests = {ins.dest for ins in body if ins.op is cmp_op and ins.dest}
+    masked_arrays = {
+        s.array for s in compiled.loop.body
+        if isinstance(s, Store) and s.mask is not None and not s.is_scatter
+    }
+    for arr in sorted(masked_arrays):
+        stores = [ins for ins in body
+                  if ins.tag in (f"store {arr}", f"store? {arr}")]
+        for ins in stores:
+            if len(ins.srcs) < 2 or ins.srcs[-1] not in cmp_dests:
+                out.append(Violation(
+                    "lower.mask.wiring", where,
+                    f"masked store of {arr!r} does not consume a compare "
+                    f"result (srcs={ins.srcs})",
+                ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The batch pass
+# ---------------------------------------------------------------------------
+
+
+def run_ir_pass(loops: Iterable[str] | None = None) -> PassResult:
+    """Compile every suite loop under every toolchain and verify each.
+
+    Covers both the SVE toolchains (on the A64FX model) and the x86
+    toolchain (on Skylake), including scalar fallbacks where the
+    vectorizer rejects a loop — the verifier's expected counts must
+    agree with whatever path the code generator took.
+    """
+    from repro.compilers.toolchains import TOOLCHAINS
+    from repro.kernels.loops import LOOP_NAMES, MATH_LOOP_NAMES, build_loop
+    from repro.machine.microarch import A64FX, SKYLAKE_6140
+
+    names = tuple(loops) if loops is not None else (
+        LOOP_NAMES + MATH_LOOP_NAMES
+    )
+    result = PassResult(name="ir")
+    for name in names:
+        loop = build_loop(name)
+        for tc in TOOLCHAINS.values():
+            march = SKYLAKE_6140 if tc.target == "x86" else A64FX
+            compiled = compile_loop(loop, tc, march)
+            result.violations += verify_compiled(compiled)
+            result.checked += 1
+    return result

@@ -1,0 +1,140 @@
+"""Report types for the model-validation subsystem.
+
+A validation run produces a :class:`ValidationReport`: one
+:class:`PassResult` per pass (``ir``, ``schedule``, ``counters``,
+``fuzz``, and optionally ``bands``), each holding the number of units it
+checked and any :class:`Violation` records.  The report serializes to a
+versioned JSON document (:data:`VALIDATE_SCHEMA` = ``repro.validate/1``)
+— the machine-readable artifact behind ``python -m repro validate
+--json`` — and renders as a text summary for the terminal.
+
+Strict mode (:mod:`repro.validate.hooks`) surfaces the same violations
+as a :class:`ValidationError` raised at the offending call site instead
+of collecting them into a report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = [
+    "VALIDATE_SCHEMA",
+    "Violation",
+    "PassResult",
+    "ValidationReport",
+    "ValidationError",
+]
+
+#: schema tag of the JSON validation report (bump on breaking changes)
+VALIDATE_SCHEMA = "repro.validate/1"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, pinpointed.
+
+    ``rule`` is the dotted identifier of the invariant (stable, suitable
+    for grepping and for asserting in tests); ``where`` names the object
+    that broke it (a loop, a stream label, a counter name); ``detail``
+    states the observed and expected values.
+    """
+
+    rule: str
+    where: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] {self.where}: {self.detail}"
+
+    def to_json(self) -> dict[str, str]:
+        """Plain-dict form used inside the JSON report."""
+        return {"rule": self.rule, "where": self.where,
+                "detail": self.detail}
+
+
+@dataclass
+class PassResult:
+    """Outcome of one validation pass.
+
+    ``checked`` counts the units the pass examined (loops compiled,
+    schedules replayed, identities evaluated, fuzz seeds run, band
+    entries scored); ``data`` carries optional pass-specific payload
+    (the bands pass stores its per-entry scores there).
+    """
+
+    name: str
+    checked: int = 0
+    violations: list[Violation] = field(default_factory=list)
+    data: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when the pass found no violations."""
+        return not self.violations
+
+    def to_json(self) -> dict[str, Any]:
+        """Plain-dict form used inside the JSON report."""
+        doc: dict[str, Any] = {
+            "name": self.name,
+            "ok": self.ok,
+            "checked": self.checked,
+            "violations": [v.to_json() for v in self.violations],
+        }
+        if self.data:
+            doc["data"] = self.data
+        return doc
+
+
+@dataclass
+class ValidationReport:
+    """A full validation run: one :class:`PassResult` per pass."""
+
+    passes: list[PassResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every pass found no violations."""
+        return all(p.ok for p in self.passes)
+
+    def pass_named(self, name: str) -> PassResult:
+        """The pass called *name* (KeyError when absent)."""
+        for p in self.passes:
+            if p.name == name:
+                return p
+        raise KeyError(name)
+
+    def to_json(self) -> dict[str, Any]:
+        """The versioned ``repro.validate/1`` JSON document."""
+        return {
+            "schema": VALIDATE_SCHEMA,
+            "ok": self.ok,
+            "passes": [p.to_json() for p in self.passes],
+        }
+
+    def render(self) -> str:
+        """Human-readable summary (the default CLI output)."""
+        lines = [f"model validation ({VALIDATE_SCHEMA})", ""]
+        for p in self.passes:
+            status = "ok" if p.ok else f"{len(p.violations)} violation(s)"
+            lines.append(f"  {p.name:<10} {p.checked:>5} checked   {status}")
+            for v in p.violations:
+                lines.append(f"      {v}")
+        lines.append("")
+        lines.append("PASS" if self.ok else "FAIL")
+        return "\n".join(lines)
+
+
+class ValidationError(RuntimeError):
+    """An invariant breach raised at the call site (strict mode).
+
+    Carries the :class:`Violation` records so tests and callers can
+    assert on the exact rule that fired; the message lists every
+    violation with its pinpointed location.
+    """
+
+    def __init__(self, violations: Sequence[Violation]) -> None:
+        self.violations = tuple(violations)
+        lines = [f"{len(self.violations)} validation violation(s):"]
+        lines += [f"  {v}" for v in self.violations]
+        super().__init__("\n".join(lines))

@@ -1,0 +1,34 @@
+"""Run every validation pass and assemble the versioned report."""
+
+from __future__ import annotations
+
+from repro.validate.report import ValidationReport
+
+__all__ = ["validate_all"]
+
+
+def validate_all(seeds: int = 25, bands: bool = True) -> ValidationReport:
+    """Run passes 1-4 (and optionally the paper-band scoring).
+
+    Parameters
+    ----------
+    seeds:
+        Number of differential-fuzz seeds for pass 4.
+    bands:
+        Also re-score every paper expectation table (slowest pass —
+        ``--no-bands`` on the CLI skips it for quick checks).
+    """
+    from repro.validate.bands import run_band_pass
+    from repro.validate.fuzz import run_fuzz_pass
+    from repro.validate.ir import run_ir_pass
+    from repro.validate.reconcile import run_counter_pass
+    from repro.validate.schedule import run_schedule_pass
+
+    report = ValidationReport()
+    report.passes.append(run_ir_pass())
+    report.passes.append(run_schedule_pass())
+    report.passes.append(run_counter_pass())
+    report.passes.append(run_fuzz_pass(seeds=seeds))
+    if bands:
+        report.passes.append(run_band_pass())
+    return report

@@ -1,0 +1,21 @@
+"""Shared fixtures: opt-in strict model validation.
+
+Running the suite with ``REPRO_VALIDATE=1`` installs the strict
+validation hooks (see ``repro.validate.hooks``) for the whole session:
+every compiled loop is IR-verified, every simulated schedule and kernel
+run replays the machine invariants, and every cleanly-exited profiling
+scope reconciles its counter identities — the first breach raises
+``ValidationError`` inside the offending test.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _strict_validation():
+    from repro.validate.hooks import strict_from_env, uninstall_strict_hooks
+
+    installed = strict_from_env()
+    yield
+    if installed:
+        uninstall_strict_hooks()

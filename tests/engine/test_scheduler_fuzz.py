@@ -68,11 +68,12 @@ class TestSchedulerFuzz:
 
         Greedy issue is not strictly monotone in the window: a wider
         window can let a younger instruction steal a pipe slot from an
-        older critical one, costing a few percent.  The protected
+        older critical one (observed up to ~12% on adversarial mixes,
+        e.g. w=40 -> 3.125 vs w=104 -> 3.5 cyc/iter).  The protected
         property is that widening the window never causes a blow-up."""
         small = PipelineScheduler(A64FX, window=w).steady_state(stream)
         big = PipelineScheduler(A64FX, window=w + 64).steady_state(stream)
-        assert big.cycles_per_iter <= small.cycles_per_iter * 1.10
+        assert big.cycles_per_iter <= small.cycles_per_iter * 1.25
 
     @given(streams())
     @settings(max_examples=30, deadline=None)

@@ -8,6 +8,7 @@ code moves.
 import importlib
 import pathlib
 import re
+import shlex
 
 import pytest
 
@@ -77,6 +78,21 @@ class TestModuleReferences:
         assert "python -m repro" in text
         assert main(["list"]) == 0
 
+    def test_docs_module_paths_import(self):
+        """Every backticked `repro.x.y` path in README + docs/*.md must
+        be a real module or a real attribute of its parent module."""
+        for path in [ROOT / "README.md"] + _docs_files():
+            refs = set(re.findall(r"`(repro(?:\.\w+)+)`", path.read_text()))
+            for ref in sorted(refs):
+                try:
+                    importlib.import_module(ref)
+                except ModuleNotFoundError:
+                    parent, _, attr = ref.rpartition(".")
+                    mod = importlib.import_module(parent)
+                    assert hasattr(mod, attr), (
+                        f"{path.name} references {ref}"
+                    )
+
 
 def _docs_files():
     docs = sorted((ROOT / "docs").glob("*.md"))
@@ -84,13 +100,53 @@ def _docs_files():
     return docs
 
 
+def _fenced_lines(text):
+    """Lines inside ``` fences, with the fence's info tag."""
+    tag = None
+    for line in text.splitlines():
+        if line.startswith("```"):
+            tag = line[3:].strip() if tag is None else None
+        elif tag is not None:
+            yield tag, line
+
+
+def _quoted_cli_lines():
+    """Every ``python -m repro ...`` line inside a shell fence of
+    README.md or docs/*.md, as ``(source, line)`` pairs."""
+    out = []
+    for path in [ROOT / "README.md"] + _docs_files():
+        for tag, raw in _fenced_lines(path.read_text()):
+            if tag not in ("", "bash", "sh", "console"):
+                continue
+            line = raw.split("#")[0].strip().removeprefix("$ ")
+            # drop env prefixes / pipelines around the command itself
+            if "python -m repro" not in line:
+                continue
+            line = line[line.index("python -m repro"):]
+            line = line.split("|")[0].split(">")[0].strip()
+            out.append((path.name, line))
+    return out
+
+
 class TestDocsDirectory:
     """docs/*.md must stay executable and link-clean (enforced in CI)."""
 
-    @pytest.mark.parametrize("name", ["PROFILING.md", "ARCHITECTURE.md"])
+    @pytest.mark.parametrize("name", ["PROFILING.md", "ARCHITECTURE.md",
+                                      "PERFORMANCE.md", "VALIDATION.md"])
     def test_required_pages_exist(self, name):
         text = (ROOT / "docs" / name).read_text()
         assert len(text) > 2000, f"docs/{name} looks stubbed"
+
+    def test_index_links_every_page(self):
+        """docs/README.md is the directory index: every sibling page
+        must be linked from it."""
+        index = (ROOT / "docs" / "README.md").read_text()
+        for page in _docs_files():
+            if page.name == "README.md":
+                continue
+            assert f"({page.name})" in index, (
+                f"docs/README.md does not link {page.name}"
+            )
 
     @pytest.mark.parametrize(
         "path", _docs_files(), ids=lambda p: p.name
@@ -145,6 +201,28 @@ class TestDocsDirectory:
                 e == name or e.startswith(name + ".") for e in emitted
             )
             assert prefix_ok, f"PROFILING.md documents phantom counter {name}"
+
+
+class TestQuotedCliCommands:
+    """Fenced ``python -m repro ...`` lines must parse against the real
+    CLI — a renamed subcommand or retired flag fails the docs build."""
+
+    def test_docs_quote_cli_commands(self):
+        assert len(_quoted_cli_lines()) >= 10
+
+    @pytest.mark.parametrize(
+        "source,line", _quoted_cli_lines(),
+        ids=[f"{s}:{c}" for s, c in _quoted_cli_lines()],
+    )
+    def test_quoted_line_parses(self, source, line):
+        from repro.__main__ import parse_command
+
+        argv = shlex.split(line)
+        assert argv[:3] == ["python", "-m", "repro"], f"{source}: {line}"
+        try:
+            parse_command(argv[3:])  # raises ValueError on a stale line
+        except ValueError as exc:
+            pytest.fail(f"{source} quotes invalid command {line!r}: {exc}")
 
 
 class TestCalibrationInventory:

@@ -1,0 +1,99 @@
+"""Strict-mode hooks: clean code runs untouched, defects raise inline."""
+
+import dataclasses
+
+import pytest
+
+from repro.compilers.codegen import compile_loop
+from repro.compilers.toolchains import TOOLCHAINS
+from repro.engine.scheduler import PipelineScheduler, schedule_on
+from repro.kernels.loops import build_loop
+from repro.machine.microarch import A64FX
+from repro.perf.counters import ProfileScope
+from repro.validate.hooks import (
+    install_strict_hooks,
+    strict_from_env,
+    strict_hooks,
+    uninstall_strict_hooks,
+)
+from repro.validate.report import ValidationError
+
+
+class TestLifecycle:
+    def test_install_is_idempotent(self):
+        install_strict_hooks()
+        install_strict_hooks()
+        try:
+            compile_loop(build_loop("simple"), TOOLCHAINS["fujitsu"], A64FX)
+        finally:
+            uninstall_strict_hooks()
+            uninstall_strict_hooks()  # second uninstall is a no-op
+
+    def test_env_opt_in(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VALIDATE", raising=False)
+        assert strict_from_env() is False
+        monkeypatch.setenv("REPRO_VALIDATE", "1")
+        assert strict_from_env() is True
+        uninstall_strict_hooks()
+
+    def test_no_observers_leak_after_context(self):
+        from repro.compilers.codegen import _COMPILE_OBSERVERS
+        from repro.engine.scheduler import _SCHEDULE_OBSERVERS
+        from repro.perf.counters import _SCOPE_OBSERVERS
+
+        before = (len(_COMPILE_OBSERVERS), len(_SCHEDULE_OBSERVERS),
+                  len(_SCOPE_OBSERVERS))
+        with strict_hooks():
+            pass
+        after = (len(_COMPILE_OBSERVERS), len(_SCHEDULE_OBSERVERS),
+                 len(_SCOPE_OBSERVERS))
+        assert before == after
+
+
+class TestStrictBehaviour:
+    def test_clean_pipeline_passes_under_hooks(self):
+        with strict_hooks():
+            compiled = compile_loop(build_loop("gather"),
+                                    TOOLCHAINS["fujitsu"], A64FX)
+            with ProfileScope("hooks-clean"):
+                PipelineScheduler(A64FX).steady_state(compiled.stream)
+
+    def test_forged_stream_raises_at_schedule_time(self):
+        compiled = compile_loop(build_loop("simple"), TOOLCHAINS["fujitsu"],
+                                A64FX)
+        body = compiled.stream.body
+        body[0] = dataclasses.replace(body[0], rtput_override=-0.5)
+        with strict_hooks():
+            with pytest.raises(ValidationError) as err:
+                PipelineScheduler(A64FX).steady_state(compiled.stream)
+        assert any(v.rule == "sched.timing.nonneg"
+                   for v in err.value.violations)
+
+    def test_forged_scope_counters_raise_at_exit(self):
+        from repro.perf.counters import emit
+
+        with strict_hooks():
+            with pytest.raises(ValidationError) as err:
+                with ProfileScope("forged"):
+                    emit("cachesim.accesses", 10.0)
+                    emit("cachesim.hits", 3.0)
+                    emit("cachesim.misses", 3.0)  # 6 != 10
+        assert any(v.rule == "counters.cachesim.identity"
+                   for v in err.value.violations)
+
+    def test_scope_unwound_by_exception_is_not_checked(self):
+        with strict_hooks():
+            with pytest.raises(RuntimeError, match="boom"):
+                with ProfileScope("unwound") as counters:
+                    counters.inc("cachesim.accesses", 10.0)
+                    raise RuntimeError("boom")
+
+    def test_cache_hits_replay_validated_payloads(self):
+        # a schedule validated on the miss path re-emits its stored
+        # payload on hits; the scope-exit reconciliation must still hold
+        compiled = compile_loop(build_loop("exp"), TOOLCHAINS["cray"], A64FX)
+        with strict_hooks():
+            with ProfileScope("warm"):
+                schedule_on(A64FX, compiled.stream)
+            with ProfileScope("hit"):
+                schedule_on(A64FX, compiled.stream)

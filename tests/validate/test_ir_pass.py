@@ -1,0 +1,127 @@
+"""Pass 1 (IR verifier): pristine tree is clean, seeded defects fire."""
+
+import dataclasses
+
+import pytest
+
+from repro.compilers.codegen import compile_loop
+from repro.compilers.ir import (
+    ArrayInfo,
+    BinOp,
+    Call,
+    Cmp,
+    Const,
+    Load,
+    Loop,
+    LoopIdx,
+    Store,
+)
+from repro.compilers.toolchains import TOOLCHAINS
+from repro.kernels.loops import build_loop
+from repro.machine.microarch import A64FX
+from repro.validate.ir import run_ir_pass, verify_compiled, verify_loop
+
+
+def _rules(violations):
+    return {v.rule for v in violations}
+
+
+def _simple_loop(**overrides):
+    fields = dict(
+        name="t",
+        length=1024,
+        body=(Store("y", BinOp("*", Load("x"), Const(2.0))),),
+        arrays={
+            "x": ArrayInfo("x", footprint=8192.0),
+            "y": ArrayInfo("y", footprint=8192.0),
+        },
+    )
+    fields.update(overrides)
+    return Loop(**fields)
+
+
+class TestVerifyLoop:
+    def test_pristine_suite_is_clean(self):
+        result = run_ir_pass()
+        assert result.ok, [str(v) for v in result.violations]
+        assert result.checked == 55  # 11 loops x 5 toolchains
+
+    def test_clean_loop_passes(self):
+        assert verify_loop(_simple_loop()) == []
+
+    def test_one_arg_pow_fires_arity(self):
+        loop = _simple_loop(
+            body=(Store("y", Call("pow", (Load("x"),))),),
+        )
+        found = verify_loop(loop)
+        assert "ir.call.arity" in _rules(found)
+        assert any("pow" in v.detail for v in found)
+
+    def test_cmp_as_operand_fires_type_check(self):
+        # Cmp is only legal as a Store mask; the frozen dataclasses are
+        # happy to hold it as a BinOp operand
+        bad = BinOp("+", Cmp("<", Load("x"), Const(0.0)), Const(1.0))
+        loop = _simple_loop(body=(Store("y", bad),))
+        assert "ir.expr.type" in _rules(verify_loop(loop))
+
+    def test_missing_array_info_fires(self):
+        # the constructor rejects this up front, so forge it past the
+        # frozen dataclass the way a buggy transform would
+        loop = _simple_loop()
+        object.__setattr__(loop, "arrays", {"y": loop.arrays["y"]})
+        found = verify_loop(loop)
+        assert "ir.array.info" in _rules(found)
+        assert any("x" in v.detail or "x" in v.where for v in found)
+
+    def test_two_level_index_fires(self):
+        deep = Load("x", index=Load("idx", index=Load("idx2")))
+        loop = _simple_loop(
+            body=(Store("y", deep),),
+            arrays={
+                "x": ArrayInfo("x", footprint=8192.0, pattern="random"),
+                "y": ArrayInfo("y", footprint=8192.0),
+                "idx": ArrayInfo("idx", footprint=8192.0),
+                "idx2": ArrayInfo("idx2", footprint=8192.0),
+            },
+        )
+        assert "ir.load.index" in _rules(verify_loop(loop))
+
+
+class TestVerifyCompiled:
+    @pytest.fixture()
+    def compiled(self):
+        return compile_loop(build_loop("simple"), TOOLCHAINS["fujitsu"],
+                            A64FX)
+
+    def test_clean_compile_passes(self, compiled):
+        assert verify_compiled(compiled) == []
+
+    def test_tampered_elements_per_iter_fires(self, compiled):
+        compiled.stream.elements_per_iter += 1
+        found = verify_compiled(compiled)
+        assert "lower.unroll.bookkeeping" in _rules(found)
+
+    def test_forged_mem_stream_bytes_fires(self, compiled):
+        forged = tuple(
+            dataclasses.replace(s, bytes_per_iter=s.bytes_per_iter * 2)
+            for s in compiled.mem_streams
+        )
+        compiled.mem_streams = forged
+        assert "lower.memstream.bytes" in _rules(verify_compiled(compiled))
+
+    def test_dropped_mem_stream_fires(self, compiled):
+        compiled.mem_streams = compiled.mem_streams[:-1]
+        assert "lower.memstream.set" in _rules(verify_compiled(compiled))
+
+    def test_negative_latency_override_fires(self, compiled):
+        body = compiled.stream.body
+        body[0] = dataclasses.replace(body[0], latency_override=-1.0)
+        assert "lower.instr.override" in _rules(verify_compiled(compiled))
+
+    def test_deleted_load_fires_access_count(self, compiled):
+        body = compiled.stream.body
+        idx = next(i for i, ins in enumerate(body)
+                   if ins.tag.startswith("load "))
+        del body[idx]
+        found = verify_compiled(compiled)
+        assert "lower.access.loads" in _rules(found)

@@ -1,0 +1,91 @@
+"""Pass 3 (counter reconciliation): forged totals are detected."""
+
+from repro.perf.counters import CounterSet
+from repro.perf.profile import profile_kernel
+from repro.validate.reconcile import (
+    check_counters,
+    check_profile,
+    check_sweep_merge,
+    run_counter_pass,
+)
+
+
+def _rules(violations):
+    return {v.rule for v in violations}
+
+
+class TestPristine:
+    def test_counter_pass_clean(self):
+        result = run_counter_pass()
+        assert result.ok, [str(v) for v in result.violations]
+        assert result.checked == 7
+
+    def test_profile_reconciles(self):
+        assert check_profile(profile_kernel("gather", "fujitsu")) == []
+
+    def test_sweep_merge_exact(self):
+        assert check_sweep_merge() == []
+
+    def test_empty_counters_clean(self):
+        assert check_counters(CounterSet("empty")) == []
+
+
+class TestForgedTotals:
+    def _profiled(self):
+        return profile_kernel("simple", "fujitsu").counters
+
+    def test_forged_slot_total_fires(self):
+        c = self._profiled()
+        c.inc("pipeline.issue_slots.total", 100.0)
+        assert "counters.slots.identity" in _rules(check_counters(c))
+
+    def test_forged_instruction_count_fires_mix_sum(self):
+        c = self._profiled()
+        c.inc("pipeline.instructions", 7.0)
+        found = check_counters(c)
+        assert "counters.instr_mix.sum" in _rules(found)
+
+    def test_forged_cache_hits_fire_level_chain(self):
+        prof = profile_kernel("simple", "fujitsu")
+        prof.counters.inc("memory.levels.L1.misses", 64.0)
+        assert "counters.levels.chain" in _rules(check_profile(prof))
+
+    def test_forged_cachesim_hits_fire_identity(self):
+        c = CounterSet("forged")
+        c.inc("cachesim.accesses", 100.0)
+        c.inc("cachesim.hits", 90.0)
+        c.inc("cachesim.misses", 5.0)  # 95 != 100
+        assert "counters.cachesim.identity" in _rules(check_counters(c))
+
+    def test_evictions_above_misses_fire(self):
+        c = CounterSet("forged")
+        c.inc("cachesim.accesses", 10.0)
+        c.inc("cachesim.hits", 5.0)
+        c.inc("cachesim.misses", 5.0)
+        c.inc("cachesim.evictions", 6.0)
+        assert "counters.cachesim.evictions" in _rules(check_counters(c))
+
+    def test_broken_roofline_split_fires(self):
+        c = CounterSet("forged")
+        c.inc("exec.seconds", 2.0)
+        c.inc("exec.hidden_seconds", 0.5)
+        c.inc("exec.compute_seconds", 2.0)
+        c.inc("exec.memory_seconds", 1.0)  # 2.5 != 3.0
+        assert "counters.exec.split" in _rules(check_counters(c))
+
+    def test_forged_instr_mix_fires_recount(self):
+        prof = profile_kernel("simple", "fujitsu")
+        key = next(k for k in prof.counters
+                   if k.startswith("pipeline.instr_mix."))
+        prof.counters.inc(key, 3.0)
+        found = check_profile(prof)
+        assert "counters.instr_mix.recount" in _rules(found)
+
+    def test_violation_pinpoints_the_counter(self):
+        c = CounterSet("scope-x")
+        c.inc("cachesim.accesses", 1.0)
+        c.inc("cachesim.misses", 5.0)
+        (violation,) = check_counters(c, label="scope-x")
+        assert violation.rule == "counters.cachesim.identity"
+        assert violation.where == "scope-x"
+        assert "5" in violation.detail

@@ -1,0 +1,153 @@
+"""Pass 2 (scheduler invariants): tampered event logs are pinpointed."""
+
+import dataclasses
+
+import pytest
+
+from repro.compilers.codegen import compile_loop
+from repro.compilers.toolchains import TOOLCHAINS
+from repro.engine.executor import KernelExecutor
+from repro.engine.scheduler import PipelineScheduler
+from repro.kernels.loops import build_loop
+from repro.machine.microarch import A64FX
+from repro.machine.systems import get_system
+from repro.validate.report import ValidationError
+from repro.validate.schedule import (
+    ScheduleInvariantChecker,
+    check_kernel_run,
+    check_record,
+    run_schedule_pass,
+)
+
+
+def _rules(violations):
+    return {v.rule for v in violations}
+
+
+def _capture_record(loop_name="simple", toolchain="fujitsu"):
+    """Simulate one loop with an observing checker; return its record."""
+    compiled = compile_loop(build_loop(loop_name), TOOLCHAINS[toolchain],
+                            A64FX)
+    records = []
+    from repro.engine.scheduler import (
+        add_schedule_observer,
+        remove_schedule_observer,
+    )
+
+    add_schedule_observer(records.append)
+    try:
+        PipelineScheduler(A64FX).steady_state(compiled.stream)
+    finally:
+        remove_schedule_observer(records.append)
+    assert len(records) == 1
+    return records[0]
+
+
+class TestPristine:
+    def test_suite_schedules_and_runs_clean(self):
+        result = run_schedule_pass(loops=("simple", "gather", "exp"))
+        assert result.ok, [str(v) for v in result.violations]
+        assert result.checked == 3 * 5 * 2  # loops x toolchains x (sched+run)
+
+    def test_captured_record_is_clean(self):
+        assert check_record(_capture_record()) == []
+
+
+class TestTamperedEventLogs:
+    def test_swapped_cycles_fire_monotonicity(self):
+        record = _capture_record()
+        issues = list(record.issues)
+        # pick two events with different cycles and swap their order
+        i = next(i for i in range(1, len(issues))
+                 if issues[i][1] != issues[i - 1][1])
+        issues[i - 1], issues[i] = issues[i], issues[i - 1]
+        forged = dataclasses.replace(record, issues=tuple(issues))
+        assert "sched.cycle.monotone" in _rules(check_record(forged))
+
+    def test_duplicate_issue_fires_exactly_once(self):
+        record = _capture_record()
+        issues = list(record.issues)
+        dup = issues[3]
+        issues[4] = dup  # instruction 3 issues twice, one never issues
+        forged = dataclasses.replace(record, issues=tuple(issues))
+        assert "sched.issue.exactly_once" in _rules(check_record(forged))
+
+    def test_issue_width_overflow_fires(self):
+        record = _capture_record()
+        width = record.march.issue_width
+        cycle = record.issues[0][1]
+        issues = [(d, cycle, p) for d, (_, _c, p) in
+                  zip(range(width + 1), record.issues)]
+        issues += list(record.issues[width + 1:])
+        forged = dataclasses.replace(record, issues=tuple(issues))
+        assert "sched.issue.width" in _rules(check_record(forged))
+
+    def test_out_of_order_retire_fires_window(self):
+        record = _capture_record()
+        # pretend the window is 1: any instruction issued before its
+        # predecessor-but-one completes becomes an out-of-order retire
+        forged = dataclasses.replace(record, window=1)
+        assert "sched.retire.window" in _rules(check_record(forged))
+
+    def test_forged_result_cpi_fires_bookkeeping(self):
+        record = _capture_record()
+        result = dataclasses.replace(
+            record.result,
+            cycles_per_iter=record.result.cycles_per_iter * 1.5,
+        )
+        forged = dataclasses.replace(record, result=result)
+        assert "sched.result.cpi" in _rules(check_record(forged))
+
+    def test_illegal_pipe_fires(self):
+        from repro.machine.isa import Pipe
+
+        record = _capture_record()
+        d, cycle, pipe = record.issues[0]
+        timing = record.timings()[d % len(record.stream)]
+        illegal = next(p for p in Pipe if p not in timing[2])
+        issues = ((d, cycle, illegal),) + record.issues[1:]
+        forged = dataclasses.replace(record, issues=issues)
+        assert "sched.pipe.legal" in _rules(check_record(forged))
+
+
+class TestStrictEndToEnd:
+    def test_negative_latency_raises_in_strict_mode(self):
+        compiled = compile_loop(build_loop("simple"), TOOLCHAINS["fujitsu"],
+                                A64FX)
+        body = compiled.stream.body
+        body[0] = dataclasses.replace(body[0], latency_override=-2.0)
+        with ScheduleInvariantChecker(strict=True):
+            with pytest.raises(ValidationError) as err:
+                PipelineScheduler(A64FX).steady_state(compiled.stream)
+        assert any(v.rule == "sched.timing.nonneg"
+                   for v in err.value.violations)
+
+    def test_non_strict_accumulates(self):
+        compiled = compile_loop(build_loop("simple"), TOOLCHAINS["fujitsu"],
+                                A64FX)
+        body = compiled.stream.body
+        body[0] = dataclasses.replace(body[0], latency_override=-2.0)
+        with ScheduleInvariantChecker(strict=False) as checker:
+            PipelineScheduler(A64FX).steady_state(compiled.stream)
+        assert checker.schedules_checked == 1
+        assert "sched.timing.nonneg" in _rules(checker.violations)
+
+
+class TestKernelRunChecks:
+    def test_pristine_run_is_clean(self):
+        compiled = compile_loop(build_loop("simple"), TOOLCHAINS["fujitsu"],
+                                A64FX)
+        sched = PipelineScheduler(A64FX).steady_state(compiled.stream)
+        run = KernelExecutor(get_system("ookami")).run(
+            sched, compiled.mem_streams, compiled.n_iters)
+        assert check_kernel_run(run, sched, compiled.mem_streams) == []
+
+    def test_forged_seconds_fires_roofline(self):
+        compiled = compile_loop(build_loop("simple"), TOOLCHAINS["fujitsu"],
+                                A64FX)
+        sched = PipelineScheduler(A64FX).steady_state(compiled.stream)
+        run = KernelExecutor(get_system("ookami")).run(
+            sched, compiled.mem_streams, compiled.n_iters)
+        forged = dataclasses.replace(run, seconds=run.seconds * 2.0)
+        found = check_kernel_run(forged, sched, compiled.mem_streams)
+        assert "exec.roofline.max" in _rules(found)

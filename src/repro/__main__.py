@@ -8,22 +8,31 @@ Commands
     Regenerate one or more experiments as text tables (``run all`` for
     everything).
 ``asm <loop> <toolchain>``
-    Show the pseudo-assembly + schedule for a suite loop under one
-    toolchain (loops: simple/predicate/gather/scatter/short_gather/
-    short_scatter/recip/sqrt/exp/sin/pow).
+    Show the pseudo-assembly + schedule for a catalogued kernel under
+    one toolchain (suite loops simple/predicate/gather/scatter/
+    short_gather/short_scatter, math loops recip/sqrt/exp/sin/pow, and
+    the sparse/stencil workloads spmv_crs/spmv_sell/stencil2d/
+    stencil3d).
 ``pipeline <loop> <toolchain>``
     Render the pipeline diagram of the compiled loop's first iterations.
 ``profile <loop> [toolchain] [--system KEY] [--n LEN] [--json]``
-    Run a suite kernel under the PMU-style counter subsystem and print
-    an ECM-style breakdown (``--json`` for the machine-readable profile
-    document; see docs/PROFILING.md).
+    Run a catalogued kernel under the PMU-style counter subsystem and
+    print an ECM-style breakdown (``--json`` for the machine-readable
+    profile document; see docs/PROFILING.md).
+``ecm <kernel> [toolchain] [--system KEY] [--n LEN] [--json] [--compare]``
+    Predict a catalogued kernel analytically with the ECM model — no
+    simulation — and print the in-core bounds, per-boundary traffic and
+    composed runtime (``--compare`` also simulates and prints the
+    deviation; ``--json`` emits the ``repro.ecm/1`` document; see
+    docs/MODELING.md).
 ``verify``
     Run the real-numerics headline checks (NPB EP/CG class S official
     verification, HPL residual, FFT parity, Sedov exponent).
-``bench [--quick] [--out PATH]``
-    Time the simulation engine (cold seed scheduler, event-driven fast
-    path, warm schedule cache, parallel sweep) over the Fig. 1/2 kernel
-    set and write ``BENCH_engine.json`` (see docs/PERFORMANCE.md).
+``bench [--quick] [--tier engine|ecm|all] [--out PATH]``
+    Time the prediction tiers (cold seed scheduler, event-driven fast
+    path, warm schedule cache, parallel sweep, analytical ECM
+    evaluation) over the Fig. 1/2 kernel set and write
+    ``BENCH_engine.json`` (see docs/PERFORMANCE.md).
 ``cache [show|clear]``
     Inspect or drop the content-addressed schedule cache (clears the
     on-disk layer too when ``REPRO_CACHE_DIR`` is set).
@@ -69,17 +78,17 @@ def _cmd_run(args: list[str]) -> int:
 def _resolve_loop_toolchain(args: list[str]):
     from repro.compilers.codegen import compile_loop
     from repro.compilers.toolchains import get_toolchain
-    from repro.kernels.loops import LOOP_NAMES, MATH_LOOP_NAMES, build_loop
+    from repro.kernels.catalog import ALL_KERNEL_NAMES, build_kernel
     from repro.machine.microarch import A64FX, SKYLAKE_6140
 
     if len(args) != 2:
         print("usage: python -m repro asm|pipeline <loop> <toolchain>")
-        print(f"loops: {', '.join(LOOP_NAMES + MATH_LOOP_NAMES)}")
+        print(f"loops: {', '.join(ALL_KERNEL_NAMES)}")
         return None
     loop_name, tc_name = args
     tc = get_toolchain(tc_name)
     march = SKYLAKE_6140 if tc.target == "x86" else A64FX
-    return compile_loop(build_loop(loop_name), tc, march)
+    return compile_loop(build_kernel(loop_name), tc, march)
 
 
 def _cmd_asm(args: list[str]) -> int:
@@ -102,13 +111,16 @@ def _cmd_pipeline(args: list[str]) -> int:
     return 0
 
 
-def _cmd_profile(args: list[str]) -> int:
-    from repro.kernels.loops import LOOP_NAMES, MATH_LOOP_NAMES
-    from repro.perf.profile import profile_kernel
-    from repro.perf.report import profile_to_json_str
+def _parse_kernel_flags(cmd: str, args: list[str]):
+    """Shared ``<kernel> [toolchain] [--system KEY] [--n LEN]`` parsing
+    for the ``profile`` and ``ecm`` commands.
 
-    as_json = "--json" in args
-    args = [a for a in args if a != "--json"]
+    Returns ``(kernel, toolchain, system, n)`` or ``None`` after
+    printing a usage/error message (bare flags like ``--json`` must be
+    stripped by the caller first).
+    """
+    from repro.kernels.catalog import ALL_KERNEL_NAMES
+
     system: str | None = None
     n: int | None = None
     positional: list[str] = []
@@ -121,20 +133,33 @@ def _cmd_profile(args: list[str]) -> int:
             try:
                 n = int(args[i + 1])
             except ValueError:
-                print(f"profile failed: --n expects an integer, "
+                print(f"{cmd} failed: --n expects an integer, "
                       f"got {args[i + 1]!r}")
-                return 1
+                return None
             i += 2
         else:
             positional.append(args[i])
             i += 1
     if not positional or len(positional) > 2:
-        print("usage: python -m repro profile <loop> [toolchain] "
-              "[--system KEY] [--n LEN] [--json]")
-        print(f"loops: {', '.join(LOOP_NAMES + MATH_LOOP_NAMES)}")
-        return 1
-    kernel = positional[0]
+        print(f"usage: python -m repro {cmd} <kernel> [toolchain] "
+              f"[--system KEY] [--n LEN] [--json]")
+        print(f"kernels: {', '.join(ALL_KERNEL_NAMES)}")
+        return None
     toolchain = positional[1] if len(positional) == 2 else "fujitsu"
+    return positional[0], toolchain, system, n
+
+
+def _cmd_profile(args: list[str]) -> int:
+    from repro.perf.profile import profile_kernel
+    from repro.perf.report import profile_to_json_str
+
+    as_json = "--json" in args
+    parsed = _parse_kernel_flags(
+        "profile", [a for a in args if a != "--json"]
+    )
+    if parsed is None:
+        return 1
+    kernel, toolchain, system, n = parsed
     try:
         prof = profile_kernel(kernel, toolchain, system, n=n)
     except (KeyError, ValueError) as exc:
@@ -142,6 +167,48 @@ def _cmd_profile(args: list[str]) -> int:
         return 1
     print(profile_to_json_str(prof.to_json()) if as_json else prof.render())
     return 0
+
+
+def _cmd_ecm(args: list[str]) -> int:
+    import json
+
+    from repro.ecm import (
+        compare_kernel, predict_kernel, prediction_to_json,
+        render_comparison, render_prediction,
+    )
+
+    as_json = "--json" in args
+    compare = "--compare" in args
+    parsed = _parse_kernel_flags(
+        "ecm", [a for a in args if a not in ("--json", "--compare")]
+    )
+    if parsed is None:
+        return 1
+    kernel, toolchain, system, n = parsed
+    try:
+        if compare:
+            cmp = compare_kernel(kernel, toolchain, system, n=n)
+            pred = cmp.prediction
+        else:
+            cmp = None
+            pred = predict_kernel(kernel, toolchain, system, n=n)
+    except (KeyError, ValueError) as exc:
+        print(f"ecm failed: {exc}")
+        return 1
+    if as_json:
+        doc = prediction_to_json(pred)
+        if cmp is not None:
+            doc["engine_seconds"] = cmp.engine_seconds
+            doc["deviation"] = cmp.deviation
+            doc["tolerance"] = cmp.tolerance
+            doc["within_tolerance"] = cmp.within_tolerance
+        print(json.dumps(doc, indent=2))
+    else:
+        print(render_prediction(pred))
+        if cmp is not None:
+            print()
+            print(render_comparison(cmp))
+    return 0 if cmp is None or cmp.within_tolerance else 1
 
 
 def _cmd_verify() -> int:
@@ -282,6 +349,7 @@ COMMANDS: dict[str, tuple[bool, object]] = {
     "asm": (True, _cmd_asm),
     "pipeline": (True, _cmd_pipeline),
     "profile": (True, _cmd_profile),
+    "ecm": (True, _cmd_ecm),
     "verify": (False, _cmd_verify),
     "bench": (True, _cmd_bench),
     "cache": (True, _cmd_cache),
@@ -298,7 +366,7 @@ def parse_command(argv: list[str]) -> str | None:
     honest: ``tests/test_docs.py`` runs each one through here.
     """
     from repro.compilers.toolchains import TOOLCHAINS
-    from repro.kernels.loops import LOOP_NAMES, MATH_LOOP_NAMES
+    from repro.kernels.catalog import ALL_KERNEL_NAMES
 
     if not argv or argv[0] in ("-h", "--help", "help"):
         return None
@@ -317,11 +385,12 @@ def parse_command(argv: list[str]) -> str | None:
         if len(rest) != 2:
             raise ValueError(f"{cmd} expects <loop> <toolchain>")
         loop, tc = rest
-        if loop not in LOOP_NAMES + MATH_LOOP_NAMES:
+        if loop not in ALL_KERNEL_NAMES:
             raise ValueError(f"unknown loop {loop!r}")
         if tc.lower() not in TOOLCHAINS:
             raise ValueError(f"unknown toolchain {tc!r}")
-    elif cmd == "profile":
+    elif cmd in ("profile", "ecm"):
+        flags = ("--json",) if cmd == "profile" else ("--json", "--compare")
         positional = []
         i = 0
         while i < len(rest):
@@ -331,7 +400,7 @@ def parse_command(argv: list[str]) -> str | None:
                 if rest[i] == "--n":
                     int(rest[i + 1])
                 i += 2
-            elif rest[i] == "--json":
+            elif rest[i] in flags:
                 i += 1
             elif rest[i].startswith("-"):
                 raise ValueError(f"unknown flag {rest[i]!r}")
@@ -339,9 +408,9 @@ def parse_command(argv: list[str]) -> str | None:
                 positional.append(rest[i])
                 i += 1
         if not positional or len(positional) > 2:
-            raise ValueError("profile expects <loop> [toolchain]")
-        if positional[0] not in LOOP_NAMES + MATH_LOOP_NAMES:
-            raise ValueError(f"unknown loop {positional[0]!r}")
+            raise ValueError(f"{cmd} expects <kernel> [toolchain]")
+        if positional[0] not in ALL_KERNEL_NAMES:
+            raise ValueError(f"unknown kernel {positional[0]!r}")
         if len(positional) == 2 and positional[1].lower() not in TOOLCHAINS:
             raise ValueError(f"unknown toolchain {positional[1]!r}")
     elif cmd == "bench":
@@ -352,6 +421,14 @@ def parse_command(argv: list[str]) -> str | None:
             elif rest[i] == "--out":
                 if i + 1 >= len(rest):
                     raise ValueError("--out expects a path")
+                i += 2
+            elif rest[i] == "--tier":
+                if i + 1 >= len(rest):
+                    raise ValueError("--tier expects a value")
+                if rest[i + 1] not in ("engine", "ecm", "all"):
+                    raise ValueError(
+                        f"unknown tier {rest[i + 1]!r} "
+                        f"(expected engine, ecm or all)")
                 i += 2
             else:
                 raise ValueError(f"unknown bench argument {rest[i]!r}")
@@ -379,6 +456,8 @@ def main(argv: list[str]) -> int:
         return _cmd_pipeline(rest)
     if cmd == "profile":
         return _cmd_profile(rest)
+    if cmd == "ecm":
+        return _cmd_ecm(rest)
     if cmd == "verify":
         return _cmd_verify()
     if cmd == "bench":

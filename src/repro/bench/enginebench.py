@@ -15,14 +15,24 @@ set (every suite loop x all five toolchains) in four configurations:
     with the cache primed — the steady state of a figure-suite run;
 ``parallel``
     the warm sweep fanned out over :func:`repro.engine.sweep.run_sweep`
-    worker threads.
+    worker threads;
+``ecm_eval``
+    the analytical ECM tier (:func:`repro.ecm.model.predict_compiled`)
+    over the same precompiled points — no simulation at all, so its
+    speedup is quoted against ``cold_fast`` (the engine answering the
+    same per-point question from scratch), with a 100x acceptance
+    floor.
+
+``--tier engine`` times only the scheduler configurations, ``--tier
+ecm`` only the analytical tier (plus the ``cold_fast`` reference it is
+measured against); the default ``all`` runs both.
 
 Results are written as versioned JSON (``repro.bench/1``) to
 ``BENCH_engine.json`` so the performance trajectory is tracked in-repo;
 CI runs the quick variant and archives the document.  The run fails
 (exit 1) if the fast paths deviate from the seed scheduler by more than
 1e-9 relative, if the front-end slot identity breaks, or if the
-warm-cache speedup falls under the 5x acceptance floor (full mode).
+warm-cache 5x / ECM 100x speedup floors are missed (full mode).
 """
 
 from __future__ import annotations
@@ -34,7 +44,10 @@ from pathlib import Path
 
 BENCH_FORMAT = "repro.bench/1"
 SPEEDUP_FLOOR = 5.0
+ECM_SPEEDUP_FLOOR = 100.0
 EQUIV_RTOL = 1e-9
+
+TIERS = ("engine", "ecm", "all")
 
 _QUICK_LOOPS = ("simple", "gather", "sqrt", "exp")
 _QUICK_TCS = ("fujitsu", "gnu", "intel")
@@ -50,7 +63,7 @@ def _points(quick: bool) -> list[tuple[str, str]]:
 
 
 def _compiled(points: list[tuple[str, str]]):
-    """Pre-compile every point so only scheduling is on the clock."""
+    """Pre-compile every point so only prediction is on the clock."""
     from repro.compilers.codegen import compile_loop
     from repro.compilers.toolchains import get_toolchain
     from repro.kernels.loops import build_loop
@@ -60,8 +73,8 @@ def _compiled(points: list[tuple[str, str]]):
     for loop, tc_name in points:
         tc = get_toolchain(tc_name)
         march = SKYLAKE_6140 if tc.target == "x86" else A64FX
-        stream = compile_loop(build_loop(loop), tc, march).stream
-        out.append((loop, tc_name, march, stream))
+        full = compile_loop(build_loop(loop), tc, march)
+        out.append((loop, tc_name, march, full.stream, full))
     return out
 
 
@@ -79,7 +92,7 @@ def _check_equivalence(compiled) -> dict:
 
     worst = 0.0
     worst_point = None
-    for loop, tc_name, march, stream in compiled:
+    for loop, tc_name, march, stream, _full in compiled:
         ref = ReferenceScheduler(march).steady_state(stream)
         for result in (
             PipelineScheduler(march).steady_state(stream),
@@ -110,7 +123,7 @@ def _check_counter_identity(compiled) -> bool:
     from repro.engine.scheduler import PipelineScheduler
     from repro.perf.counters import ProfileScope
 
-    for _, _, march, stream in compiled:
+    for _, _, march, stream, _full in compiled:
         for run in (
             lambda: PipelineScheduler(march).steady_state(stream),
             lambda: cached_schedule(march, stream),  # hit: replayed payload
@@ -125,67 +138,124 @@ def _check_counter_identity(compiled) -> bool:
     return True
 
 
-def run_bench(quick: bool = False, workers: int | None = None) -> dict:
-    """Run every configuration and return the bench document."""
+def _time_ecm(compiled, reps: int = 3) -> float:
+    """Wall time of the analytical tier over every precompiled point.
+
+    One full sweep takes single-digit milliseconds, so this is a
+    micro-benchmark: one untimed warm-up pass, then the best of *reps*
+    timed sweeps (the scheduler configurations are long enough that a
+    single pass is already stable).
+    """
+    from repro.ecm.model import predict_compiled
+    from repro.machine.systems import get_system
+    from repro.perf.profile import default_system_for
+
+    systems = {
+        tc_name: get_system(default_system_for(tc_name))
+        for tc_name in {p[1] for p in compiled}
+    }
+    best = float("inf")
+    for rep in range(reps + 1):
+        t0 = time.perf_counter()
+        for _, tc_name, _, _, full in compiled:
+            predict_compiled(full, systems[tc_name])
+        if rep > 0:  # rep 0 is the warm-up
+            best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_bench(quick: bool = False, workers: int | None = None,
+              tier: str = "all") -> dict:
+    """Run every requested configuration and return the bench document."""
     from repro.engine._reference import ReferenceScheduler
     from repro.engine.cache import cached_schedule, get_cache
     from repro.engine.scheduler import PipelineScheduler
-    from repro.engine.sweep import run_sweep
 
+    if tier not in TIERS:
+        raise ValueError(f"tier must be one of {TIERS}, got {tier!r}")
     points = _points(quick)
     compiled = _compiled(points)
+    engine_tier = tier in ("engine", "all")
+    ecm_tier = tier in ("ecm", "all")
 
-    t0 = time.perf_counter()
-    for _, _, march, stream in compiled:
-        ReferenceScheduler(march).steady_state(stream)
-    t_seed = time.perf_counter() - t0
+    t_seed = t_warm = t_par = None
+    if engine_tier:
+        t0 = time.perf_counter()
+        for _, _, march, stream, _full in compiled:
+            ReferenceScheduler(march).steady_state(stream)
+        t_seed = time.perf_counter() - t0
 
+    # cold_fast is always timed: it is the engine configuration the
+    # analytical tier's speedup is quoted against
     t0 = time.perf_counter()
-    for _, _, march, stream in compiled:
+    for _, _, march, stream, _full in compiled:
         PipelineScheduler(march).steady_state(stream)
     t_fast = time.perf_counter() - t0
 
-    get_cache().clear()
-    for _, _, march, stream in compiled:  # prime
-        cached_schedule(march, stream)
-    t0 = time.perf_counter()
-    for _, _, march, stream in compiled:
-        cached_schedule(march, stream)
-    t_warm = time.perf_counter() - t0
+    if engine_tier:
+        from repro.engine.sweep import run_sweep
 
-    t0 = time.perf_counter()
-    run_sweep(points, mode="thread", max_workers=workers)
-    t_par = time.perf_counter() - t0
+        get_cache().clear()
+        for _, _, march, stream, _full in compiled:  # prime
+            cached_schedule(march, stream)
+        t0 = time.perf_counter()
+        for _, _, march, stream, _full in compiled:
+            cached_schedule(march, stream)
+        t_warm = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        run_sweep(points, mode="thread", max_workers=workers)
+        t_par = time.perf_counter() - t0
+
+    t_ecm = _time_ecm(compiled) if ecm_tier else None
 
     equivalence = _check_equivalence(compiled)
     identity_ok = _check_counter_identity(compiled)
 
-    speedup_warm = t_seed / t_warm if t_warm > 0 else float("inf")
+    def _round(t: float | None) -> float | None:
+        return round(t, 6) if t is not None else None
+
+    speedup_warm = (t_seed / t_warm if t_warm else float("inf")) \
+        if engine_tier else None
+    speedup_ecm = (t_fast / t_ecm if t_ecm else float("inf")) \
+        if ecm_tier else None
+    acceptance = {
+        "equivalence": equivalence,
+        "counter_identity_pass": identity_ok,
+    }
+    if engine_tier:
+        acceptance["warm_speedup_floor"] = SPEEDUP_FLOOR
+        acceptance["warm_speedup_pass"] = speedup_warm >= SPEEDUP_FLOOR
+    if ecm_tier:
+        acceptance["ecm_speedup_floor"] = ECM_SPEEDUP_FLOOR
+        acceptance["ecm_speedup_pass"] = speedup_ecm >= ECM_SPEEDUP_FLOOR
     doc = {
         "version": BENCH_FORMAT,
         "suite": "fig1+fig2 kernels x toolchains"
                  + (" (quick subset)" if quick else ""),
         "quick": quick,
+        "tier": tier,
         "points": len(points),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": sys.version.split()[0],
         "seconds": {
-            "cold_seed": round(t_seed, 6),
-            "cold_fast": round(t_fast, 6),
-            "warm_cache": round(t_warm, 6),
-            "parallel": round(t_par, 6),
+            "cold_seed": _round(t_seed),
+            "cold_fast": _round(t_fast),
+            "warm_cache": _round(t_warm),
+            "parallel": _round(t_par),
+            "ecm_eval": _round(t_ecm),
         },
         "speedup_vs_cold_seed": {
-            "cold_fast": round(t_seed / t_fast, 2) if t_fast else None,
-            "warm_cache": round(speedup_warm, 2),
-            "parallel": round(t_seed / t_par, 2) if t_par else None,
+            "cold_fast": round(t_seed / t_fast, 2)
+            if engine_tier and t_fast else None,
+            "warm_cache": round(speedup_warm, 2) if engine_tier else None,
+            "parallel": round(t_seed / t_par, 2)
+            if engine_tier and t_par else None,
         },
-        "acceptance": {
-            "warm_speedup_floor": SPEEDUP_FLOOR,
-            "warm_speedup_pass": speedup_warm >= SPEEDUP_FLOOR,
-            "equivalence": equivalence,
-            "counter_identity_pass": identity_ok,
+        "speedup_vs_cold_fast": {
+            "ecm_eval": round(speedup_ecm, 2) if ecm_tier else None,
         },
+        "acceptance": acceptance,
     }
     return doc
 
@@ -195,23 +265,42 @@ def render(doc: dict) -> str:
     secs = doc["seconds"]
     speed = doc["speedup_vs_cold_seed"]
     acc = doc["acceptance"]
-    lines = [
-        f"engine bench ({doc['suite']}, {doc['points']} points)",
-        f"  cold seed scheduler : {secs['cold_seed'] * 1e3:9.1f} ms",
+    lines = [f"engine bench ({doc['suite']}, {doc['points']} points)"]
+    if secs["cold_seed"] is not None:
+        lines.append(
+            f"  cold seed scheduler : {secs['cold_seed'] * 1e3:9.1f} ms")
+    lines.append(
         f"  cold fast path      : {secs['cold_fast'] * 1e3:9.1f} ms"
-        f"  ({speed['cold_fast']:.1f}x)",
-        f"  warm schedule cache : {secs['warm_cache'] * 1e3:9.1f} ms"
-        f"  ({speed['warm_cache']:.1f}x)",
-        f"  parallel sweep      : {secs['parallel'] * 1e3:9.1f} ms"
-        f"  ({speed['parallel']:.1f}x)",
+        + (f"  ({speed['cold_fast']:.1f}x)"
+           if speed["cold_fast"] is not None else ""))
+    if secs["warm_cache"] is not None:
+        lines.append(
+            f"  warm schedule cache : {secs['warm_cache'] * 1e3:9.1f} ms"
+            f"  ({speed['warm_cache']:.1f}x)")
+    if secs["parallel"] is not None:
+        lines.append(
+            f"  parallel sweep      : {secs['parallel'] * 1e3:9.1f} ms"
+            f"  ({speed['parallel']:.1f}x)")
+    if secs["ecm_eval"] is not None:
+        lines.append(
+            f"  analytical ecm tier : {secs['ecm_eval'] * 1e3:9.1f} ms"
+            f"  ({doc['speedup_vs_cold_fast']['ecm_eval']:.1f}x "
+            f"vs cold fast)")
+    lines += [
         f"  golden equivalence  : max rel dev "
         f"{acc['equivalence']['max_rel_deviation']:.2e} "
         f"({'PASS' if acc['equivalence']['pass'] else 'FAIL'})",
         f"  slot identity       : "
         f"{'PASS' if acc['counter_identity_pass'] else 'FAIL'}",
-        f"  warm speedup floor  : {acc['warm_speedup_floor']:.0f}x "
-        f"({'PASS' if acc['warm_speedup_pass'] else 'FAIL'})",
     ]
+    if "warm_speedup_pass" in acc:
+        lines.append(
+            f"  warm speedup floor  : {acc['warm_speedup_floor']:.0f}x "
+            f"({'PASS' if acc['warm_speedup_pass'] else 'FAIL'})")
+    if "ecm_speedup_pass" in acc:
+        lines.append(
+            f"  ecm speedup floor   : {acc['ecm_speedup_floor']:.0f}x "
+            f"({'PASS' if acc['ecm_speedup_pass'] else 'FAIL'})")
     return "\n".join(lines)
 
 
@@ -220,6 +309,7 @@ def main(argv: list[str]) -> int:
     quick = "--quick" in argv
     args = [a for a in argv if a != "--quick"]
     out = Path("BENCH_engine.json")
+    tier = "all"
     if "--out" in args:
         i = args.index("--out")
         if i + 1 >= len(args):
@@ -227,16 +317,25 @@ def main(argv: list[str]) -> int:
             return 1
         out = Path(args[i + 1])
         del args[i:i + 2]
+    if "--tier" in args:
+        i = args.index("--tier")
+        if i + 1 >= len(args) or args[i + 1] not in TIERS:
+            print(f"bench: --tier expects one of {', '.join(TIERS)}")
+            return 1
+        tier = args[i + 1]
+        del args[i:i + 2]
     if args:
         print(f"bench: unknown arguments {args}")
-        print("usage: python -m repro bench [--quick] [--out PATH]")
+        print("usage: python -m repro bench [--quick] "
+              "[--tier engine|ecm|all] [--out PATH]")
         return 1
-    doc = run_bench(quick=quick)
+    doc = run_bench(quick=quick, tier=tier)
     out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     print(render(doc))
     print(f"wrote {out}")
     acc = doc["acceptance"]
     ok = acc["equivalence"]["pass"] and acc["counter_identity_pass"]
     if not quick:
-        ok = ok and acc["warm_speedup_pass"]
+        ok = ok and acc.get("warm_speedup_pass", True)
+        ok = ok and acc.get("ecm_speedup_pass", True)
     return 0 if ok else 1

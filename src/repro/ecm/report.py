@@ -1,0 +1,76 @@
+"""Text rendering for ECM predictions (the ``repro ecm`` CLI output).
+
+The layout follows the ECM-style decomposition the profiling report
+already prints for *simulated* runs, so the two tiers read the same way
+side by side: in-core bounds first, then per-stream boundary traffic,
+then the composed prediction with the applied overlap rule spelled out.
+"""
+
+from __future__ import annotations
+
+from repro.ecm.model import EcmComparison, EcmPrediction
+
+__all__ = ["render_prediction", "render_comparison"]
+
+
+def render_prediction(pred: EcmPrediction) -> str:
+    """Multi-line human-readable breakdown of one ECM prediction."""
+    inc = pred.incore
+    lines = [
+        f"== ecm: {pred.kernel} | toolchain={pred.toolchain} "
+        f"| system={pred.system} ==",
+        "",
+        f"in-core ({inc.n_instrs} instrs/iter, "
+        f"{pred.elements_per_iter} elem/iter):",
+        f"  T_OL  (arith pipes)   {inc.t_ol:10.2f} cyc/iter",
+        f"  T_nOL (ld/st pipes)   {inc.t_nol:10.2f} cyc/iter",
+        f"  issue bound           {inc.issue_cycles:10.2f} cyc/iter",
+        f"  chain bound           {inc.chain_cycles:10.2f} cyc/iter",
+        f"  window bound          {inc.window_cycles:10.2f} cyc/iter",
+        f"  T_comp = max(...)     {inc.t_comp:10.2f} cyc/iter  "
+        f"(bound: {inc.bound}, quality x{pred.quality_factor:.2f})",
+        "",
+    ]
+    if pred.streams and any(s.boundaries for s in pred.streams):
+        lines.append("data transfers:")
+        for s in pred.streams:
+            if not s.boundaries:
+                lines.append(f"  {s.name:<10} L1-resident (in-core)")
+                continue
+            for b in s.boundaries:
+                lines.append(
+                    f"  {s.name:<10} {b.boundary:<12} "
+                    f"{b.line_bytes_per_iter:10.1f} B/iter  "
+                    f"{b.cycles_per_iter:10.2f} cyc/iter"
+                )
+            lines.append(
+                f"  {s.name:<10} T_data (served by {s.serving}) "
+                f"{s.cycles_per_iter:10.2f} cyc/iter"
+            )
+        lines.append("")
+    else:
+        lines.append("data transfers: all streams L1-resident (T_data = 0)")
+        lines.append("")
+    lines.extend([
+        f"composition  T = {pred.composition()}   "
+        f"[{'overlapping' if pred.mem_overlap else 'non-overlapping'} core]",
+        f"  T_comp               {pred.t_comp_cycles:10.2f} cyc/iter",
+        f"  sum(T_data)          {pred.t_data_cycles:10.2f} cyc/iter",
+        f"  T                    {pred.cycles_per_iter:10.2f} cyc/iter -> "
+        f"{pred.cycles_per_element:.3f} cyc/elem",
+        f"  predicted wall time  {pred.seconds * 1e6:10.2f} us "
+        f"({pred.n_iters:.0f} iters @ {pred.clock_ghz:.2f} GHz, "
+        f"bound: {pred.bound})",
+    ])
+    return "\n".join(lines)
+
+
+def render_comparison(cmp: EcmComparison) -> str:
+    """One-line ECM-vs-engine reconciliation summary."""
+    status = "OK" if cmp.within_tolerance else "EXCEEDS"
+    return (
+        f"ecm {cmp.prediction.seconds * 1e6:.2f} us vs engine "
+        f"{cmp.engine_seconds * 1e6:.2f} us: deviation "
+        f"{cmp.deviation * 100.0:+.1f}% (tolerance "
+        f"{cmp.tolerance * 100.0:.0f}%, {status})"
+    )

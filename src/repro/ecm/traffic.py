@@ -1,0 +1,145 @@
+"""Analytical ``T_data``: per-boundary cacheline traffic at documented bandwidths.
+
+For every memory stream of a compiled kernel this module answers two
+questions the ECM model needs:
+
+* **how many bytes cross each hierarchy boundary** — a stream served by
+  level ``k`` moves its lines across every boundary from ``k`` down to
+  L1 (inclusive caches); the byte count at a boundary is the *useful*
+  payload divided by the line utilization of the outer level's line size
+  (the same :meth:`~repro.machine.memory.MemoryHierarchy.line_utilization`
+  rule the bandwidth model applies, so a random 8-byte gather drags full
+  256-byte lines on A64FX);
+* **how many cycles those bytes cost** — inner boundaries are priced at
+  the outer level's documented ``bw_bytes_per_cycle``; the DRAM boundary
+  uses the same
+  :meth:`~repro.machine.memory.MemoryHierarchy.effective_bw_gbs` rule as
+  the executor (per-core prefetch/latency caps, bandwidth sharing,
+  write-allocate doubling for stores), converted to cycles at the core
+  clock.
+
+Per stream, ``T_data`` takes the **max** over its boundary terms rather
+than the sum: on the machines studied, inter-cache transfers overlap
+with the DRAM transfer (hardware prefetchers stream lines inward
+concurrently with outstanding fills), so the slowest boundary — in
+practice the outermost one — dominates.  This deliberately makes the
+per-stream data term identical to the executor's memory term; the
+ECM-vs-engine deviation measured by :mod:`repro.validate.reconcile` is
+then purely about in-core accuracy and composition
+(max-overlap vs additive), not about two competing bandwidth tables.
+The full per-boundary breakdown is kept for reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.machine.memory import MemoryHierarchy, MemoryStream
+
+__all__ = ["BoundaryTraffic", "StreamTraffic", "stream_traffic", "data_cycles"]
+
+
+@dataclass(frozen=True)
+class BoundaryTraffic:
+    """Traffic of one stream across one hierarchy boundary.
+
+    ``boundary`` names the two sides (``"L2<->L1"``, ``"DRAM<->L2"``);
+    ``line_bytes_per_iter`` is the transferred volume including the
+    wasted part of each line; ``cycles_per_iter`` prices it at the
+    boundary's bandwidth.
+    """
+
+    boundary: str
+    line_bytes_per_iter: float
+    cycles_per_iter: float
+
+
+@dataclass(frozen=True)
+class StreamTraffic:
+    """All boundary crossings of one memory stream.
+
+    ``cycles_per_iter`` is the stream's ``T_data`` contribution — the
+    max over its boundary terms (overlapping inter-level transfers).
+    ``serving`` names the level that holds the working set.
+    """
+
+    name: str
+    serving: str
+    boundaries: tuple[BoundaryTraffic, ...]
+
+    @property
+    def cycles_per_iter(self) -> float:
+        """The stream's data-transfer cycles per iteration."""
+        if not self.boundaries:
+            return 0.0
+        return max(b.cycles_per_iter for b in self.boundaries)
+
+
+def _level_name(hier: MemoryHierarchy, idx: int) -> str:
+    return hier.levels[idx].name if idx < len(hier.levels) else "DRAM"
+
+
+def stream_traffic(
+    stream: MemoryStream,
+    hier: MemoryHierarchy,
+    clock_ghz: float,
+    *,
+    active_cores_per_domain: int = 1,
+    placement_domains: int | None = None,
+) -> StreamTraffic:
+    """Boundary-by-boundary traffic of *stream* through *hier*.
+
+    A stream served by L1 crosses no boundary (its latency lives inside
+    the in-core schedule).  The outermost boundary is priced with the
+    executor's effective-bandwidth rule; inner boundaries use the
+    documented per-level bandwidths.
+    """
+    lvl = hier.serving_level(stream.footprint, active_cores_per_domain)
+    boundaries: list[BoundaryTraffic] = []
+    for k in range(1, lvl + 1):
+        outer_is_dram = k == len(hier.levels)
+        line = hier.line if outer_is_dram else hier.levels[k].line
+        util = hier.line_utilization(stream, line)
+        line_bytes = stream.bytes_per_iter / util
+        if k == lvl:
+            # outermost boundary: the executor's effective-bandwidth rule
+            # (already includes utilization, caps, sharing, write-allocate)
+            eff_gbs = hier.effective_bw_gbs(
+                stream, clock_ghz,
+                active_cores_per_domain=active_cores_per_domain,
+                placement_domains=placement_domains,
+            )
+            cycles = stream.bytes_per_iter * clock_ghz / eff_gbs
+        else:
+            bw = hier.levels[k].bw_bytes_per_cycle
+            cycles = line_bytes / bw
+        boundaries.append(BoundaryTraffic(
+            boundary=f"{_level_name(hier, k)}<->{_level_name(hier, k - 1)}",
+            line_bytes_per_iter=line_bytes,
+            cycles_per_iter=cycles,
+        ))
+    return StreamTraffic(
+        name=stream.name,
+        serving=_level_name(hier, lvl),
+        boundaries=tuple(boundaries),
+    )
+
+
+def data_cycles(
+    streams: Sequence[MemoryStream],
+    hier: MemoryHierarchy,
+    clock_ghz: float,
+    *,
+    active_cores_per_domain: int = 1,
+    placement_domains: int | None = None,
+) -> tuple[StreamTraffic, ...]:
+    """Per-stream ``T_data`` accounting for a compiled kernel's streams."""
+    return tuple(
+        stream_traffic(
+            s, hier, clock_ghz,
+            active_cores_per_domain=active_cores_per_domain,
+            placement_domains=placement_domains,
+        )
+        for s in streams
+    )

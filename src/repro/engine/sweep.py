@@ -34,7 +34,7 @@ from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro.perf.counters import ProfileScope, active_scopes
 
-__all__ = ["SweepPoint", "map_schedules", "run_sweep"]
+__all__ = ["SweepPoint", "TIERS", "map_schedules", "run_sweep"]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -42,13 +42,25 @@ R = TypeVar("R")
 MODES = ("serial", "thread", "process")
 
 
+#: prediction tiers a sweep point can run under
+TIERS = ("engine", "ecm")
+
+
 @dataclass(frozen=True)
 class SweepPoint:
-    """One schedule request, by name (picklable for process pools)."""
+    """One schedule request, by name (picklable for process pools).
+
+    ``tier`` selects the prediction tier: ``"engine"`` simulates the
+    steady-state schedule on the fast event-driven scheduler;
+    ``"ecm"`` evaluates the analytical ECM model
+    (:mod:`repro.ecm.model`) instead — no simulation, microseconds per
+    point.
+    """
 
     loop: str
     toolchain: str
     window: int | None = None
+    tier: str = "engine"
 
 
 def _captured_call(fn: Callable[[T], R], item: T) -> tuple[R, dict[str, float]]:
@@ -100,37 +112,69 @@ def map_schedules(
 
 
 # ----------------------------------------------------------------------
-def _normalize(point: "SweepPoint | Sequence") -> tuple[str, str, int | None]:
+def _normalize(
+    point: "SweepPoint | Sequence", tier: str | None,
+) -> tuple[str, str, int | None, str]:
     if isinstance(point, SweepPoint):
-        return (point.loop, point.toolchain, point.window)
+        return (point.loop, point.toolchain, point.window,
+                tier or point.tier)
     loop, toolchain, *rest = point
-    return (str(loop), str(toolchain), rest[0] if rest else None)
+    window = rest[0] if rest else None
+    point_tier = rest[1] if len(rest) > 1 else None
+    return (str(loop), str(toolchain), window,
+            tier or point_tier or "engine")
 
 
-def _schedule_point(spec: tuple[str, str, int | None]) -> dict:
-    """Compile + schedule one named sweep point (top-level: picklable)."""
+def _schedule_point(spec: tuple[str, str, int | None, str]) -> dict:
+    """Compile + predict one named sweep point (top-level: picklable).
+
+    The ``engine`` tier simulates through the cached fast scheduler;
+    the ``ecm`` tier evaluates the analytical model on the same
+    compiled loop, so the two rows are directly comparable.
+    """
     from repro.compilers.codegen import compile_loop
     from repro.compilers.toolchains import get_toolchain
-    from repro.engine.scheduler import schedule_on
-    from repro.kernels.loops import build_loop
+    from repro.kernels.catalog import build_kernel
     from repro.machine.microarch import A64FX, SKYLAKE_6140
 
-    loop, tc_name, window = spec
+    loop, tc_name, window, tier = spec
+    if tier not in TIERS:
+        raise ValueError(f"tier must be one of {TIERS}, got {tier!r}")
     tc = get_toolchain(tc_name)
     march = SKYLAKE_6140 if tc.target == "x86" else A64FX
-    compiled = compile_loop(build_loop(loop), tc, march)
-    sched = schedule_on(march, compiled.stream, window)
-    return {
+    compiled = compile_loop(build_kernel(loop), tc, march)
+    row = {
         "loop": loop,
         "toolchain": tc.name,
         "march": march.name,
         "window": window if window is not None else march.window,
+        "tier": tier,
+        "model_cycles_per_element": compiled.cycles_per_element,
+    }
+    if tier == "ecm":
+        from repro.ecm.model import predict_compiled
+        from repro.machine.systems import get_system
+        from repro.perf.profile import default_system_for
+
+        system = get_system(default_system_for(tc_name))
+        pred = predict_compiled(compiled, system, window=window)
+        row.update({
+            "cycles_per_iter": pred.cycles_per_iter,
+            "cycles_per_element": pred.cycles_per_element,
+            "ipc": pred.incore.n_instrs / pred.cycles_per_iter,
+            "bound": pred.bound,
+        })
+        return row
+    from repro.engine.scheduler import schedule_on
+
+    sched = schedule_on(march, compiled.stream, window)
+    row.update({
         "cycles_per_iter": sched.cycles_per_iter,
         "cycles_per_element": sched.cycles_per_element,
-        "model_cycles_per_element": compiled.cycles_per_element,
         "ipc": sched.ipc,
         "bound": sched.bound,
-    }
+    })
+    return row
 
 
 def run_sweep(
@@ -138,14 +182,17 @@ def run_sweep(
     *,
     mode: str = "thread",
     max_workers: int | None = None,
+    tier: str | None = None,
 ) -> list[dict]:
-    """Schedule every (loop, toolchain[, window]) point; one row each.
+    """Predict every (loop, toolchain[, window]) point; one row each.
 
-    Rows arrive in input order and carry the schedule statistics plus
+    Rows arrive in input order and carry the prediction statistics plus
     the codegen-adjusted ``model_cycles_per_element`` (the quantity the
-    paper's Section IV tables quote).
+    paper's Section IV tables quote).  ``tier`` overrides the tier of
+    every point at once (``--tier ecm`` on the CLIs lands here); per
+    -point tiers come from :attr:`SweepPoint.tier`.
     """
-    specs = [_normalize(p) for p in points]
+    specs = [_normalize(p, tier) for p in points]
     return map_schedules(
         _schedule_point, specs, mode=mode, max_workers=max_workers
     )

@@ -258,6 +258,28 @@ class MemoryHierarchy:
         """
         return 1.0 if pattern in ("contig", "stride") else 0.0
 
+    def line_utilization(self, stream: MemoryStream, line: int) -> float:
+        """Public form of the per-line payload-utilization rule.
+
+        Exposed so analytic consumers (the ECM tier in
+        :mod:`repro.ecm`) price cacheline traffic with exactly the same
+        spatial-locality rules the bandwidth model applies — contiguous
+        streams use whole lines, random accesses waste ``line -
+        elem_size`` bytes per transfer, 128-byte-window patterns keep
+        utilization near 1 on 256-byte lines.
+        """
+        return self._line_utilization(stream, line)
+
+    def single_core_dram_cap_gbs(self, pattern: AccessPattern) -> float:
+        """Public form of the per-core DRAM bandwidth cap, in GB/s.
+
+        Contiguous/strided streams ride the hardware prefetchers
+        (``stream_bw_core_gbs``); random and windowed patterns are
+        limited to ``mlp`` demand-miss line fills in flight against DRAM
+        latency.  Used by the ECM tier's ``T_data`` accounting.
+        """
+        return self._single_core_dram_cap(pattern)
+
     def _single_core_dram_cap(self, pattern: AccessPattern) -> float:
         """Per-core DRAM bandwidth cap, never the whole domain bandwidth.
 

@@ -105,6 +105,14 @@ class Microarch:
         window into one transaction (A64FX special case, paper Section III).
     fp_pipes:
         Number of FP/SIMD pipes (for peak-FLOP computations).
+    mem_overlap:
+        ECM composition rule for this core (Alappat et al., arXiv
+        2103.03013 / 2009.13903): ``True`` for cores that overlap in-core
+        arithmetic with all data transfers (the classic x86 rule,
+        ``T = max(T_OL, T_nOL + sum(T_data))``); ``False`` for the A64FX,
+        whose measured single-core behaviour shows essentially **no**
+        overlap between in-core work and transfers beyond L1
+        (``T = T_comp + sum(T_data)``).
     """
 
     name: str
@@ -118,6 +126,7 @@ class Microarch:
     gather_pair_coalescing: bool = False
     fp_pipes: int = 2
     smt: int = 1
+    mem_overlap: bool = True
 
     def __post_init__(self) -> None:
         require_positive(self.clock_ghz, "clock_ghz")
@@ -210,6 +219,7 @@ A64FX = Microarch(
     has_fexpa=True,
     gather_pair_coalescing=True,
     fp_pipes=2,
+    mem_overlap=False,  # non-overlapping ECM composition (Alappat et al.)
 )
 
 

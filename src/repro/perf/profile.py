@@ -163,9 +163,12 @@ def profile_kernel(
     Parameters
     ----------
     kernel:
-        A Section III suite loop name (``simple``/``predicate``/``gather``/
-        ``scatter``/``short_gather``/``short_scatter``) or a math loop
-        (``recip``/``sqrt``/``exp``/``sin``/``pow``).
+        Any catalogued kernel name
+        (:data:`repro.kernels.catalog.ALL_KERNEL_NAMES`): a Section III
+        suite loop (``simple``/``predicate``/``gather``/``scatter``/
+        ``short_gather``/``short_scatter``), a math loop (``recip``/
+        ``sqrt``/``exp``/``sin``/``pow``) or a sparse/stencil workload
+        (``spmv_crs``/``spmv_sell``/``stencil2d``/``stencil3d``).
     toolchain:
         Toolchain model to compile with (default Fujitsu).
     system:
@@ -181,13 +184,13 @@ def profile_kernel(
     from repro.compilers.toolchains import get_toolchain
     from repro.engine.executor import KernelExecutor
     from repro.engine.scheduler import PipelineScheduler
-    from repro.kernels.loops import build_loop
+    from repro.kernels.catalog import build_kernel
     from repro.machine.systems import get_system
 
     tc = get_toolchain(toolchain)
     system_key = system if system is not None else default_system_for(toolchain)
     sysobj = get_system(system_key)
-    loop = build_loop(kernel, n)
+    loop = build_kernel(kernel, n)
 
     scope = ProfileScope(label=f"profile:{kernel}")
     with scope as counters:

@@ -1,0 +1,206 @@
+"""Sparse-matrix storage models: row-length distributions, CRS, SELL-C-sigma.
+
+The performance of SpMV is governed almost entirely by the *storage
+layout*, not by the numerical values: how many nonzeros each row holds,
+how much padding the SIMD-friendly format introduces, and how local the
+column indices are.  This module models exactly that layer.  A
+:class:`SparseMatrix` is a deterministic row-length distribution (no
+values are materialised — the kernels only need byte counts and
+footprints); :meth:`SparseMatrix.crs` and :meth:`SparseMatrix.sell`
+derive the layout quantities the ECM papers use:
+
+* **CRS** (compressed row storage): ``nnz`` values + ``nnz`` column
+  indices + ``nrows+1`` row pointers, processed one row at a time.
+* **SELL-C-sigma** (Kreutzer et al.): rows are sorted by length inside
+  windows of ``sigma`` rows, grouped into chunks of ``C`` rows, and each
+  chunk is zero-padded to its longest row.  The *chunk occupancy*
+  ``beta = nnz / padded_nnz`` measures the padding overhead — the
+  SIMD-vectorised kernel streams ``padded_nnz`` elements, so its memory
+  traffic and trip count scale with ``1/beta``.
+
+Both layout dataclasses are consumed by :mod:`repro.spmv.kernels` when
+lowering SpMV to loop IR, and are directly inspectable from docs/tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import cached_property
+
+INDEX_BYTES = 4
+"""Column indices are 32-bit (the common choice below 2**31 columns)."""
+
+VALUE_BYTES = 8
+"""Matrix values and vector entries are IEEE double precision."""
+
+
+def _lcg(state: int) -> int:
+    """One step of a 64-bit linear congruential generator (MMIX constants)."""
+    return (state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+
+
+@dataclass(frozen=True)
+class SparseMatrix:
+    """A deterministic sparse-matrix *shape*: per-row nonzero counts.
+
+    Attributes:
+        name: short identifier used in kernel labels (``"hpcg"`` ...).
+        nrows: number of rows (= number of columns; matrices are square).
+        row_lengths: nonzeros in each row, as an immutable tuple.
+        structured: ``True`` when column indices follow a stencil-like
+            banded structure (good spatial locality in the ``x`` gather),
+            ``False`` for scattered/random columns.
+    """
+
+    name: str
+    nrows: int
+    row_lengths: tuple[int, ...]
+    structured: bool
+
+    @cached_property
+    def nnz(self) -> int:
+        """Total number of stored nonzeros."""
+        return sum(self.row_lengths)
+
+    @cached_property
+    def avg_row_length(self) -> float:
+        """Mean nonzeros per row."""
+        return self.nnz / self.nrows
+
+    def crs(self) -> "CrsLayout":
+        """Derive the CRS (compressed row storage) layout quantities."""
+        return CrsLayout(
+            matrix=self,
+            bytes_values=self.nnz * VALUE_BYTES,
+            bytes_colidx=self.nnz * INDEX_BYTES,
+            bytes_rowptr=(self.nrows + 1) * INDEX_BYTES,
+        )
+
+    def sell(self, chunk: int = 8, sigma: int = 1024) -> "SellLayout":
+        """Derive the SELL-C-sigma layout for chunk height *chunk*.
+
+        Rows are sorted by descending length inside consecutive windows
+        of *sigma* rows, grouped into chunks of *chunk* rows, and each
+        chunk padded to its longest member.  Returns the padded element
+        count and the occupancy ``beta``.
+        """
+        if chunk < 1 or sigma < 1:
+            raise ValueError("chunk and sigma must be >= 1")
+        padded = 0
+        lengths = list(self.row_lengths)
+        for start in range(0, self.nrows, sigma):
+            window = sorted(lengths[start:start + sigma], reverse=True)
+            for cstart in range(0, len(window), chunk):
+                rows = window[cstart:cstart + chunk]
+                padded += max(rows) * chunk if len(rows) == chunk else (
+                    max(rows) * len(rows))
+        return SellLayout(
+            matrix=self,
+            chunk=chunk,
+            sigma=sigma,
+            padded_nnz=padded,
+            beta=self.nnz / padded if padded else 1.0,
+        )
+
+
+@dataclass(frozen=True)
+class CrsLayout:
+    """Byte-level description of a matrix stored in CRS format."""
+
+    matrix: SparseMatrix
+    bytes_values: int
+    bytes_colidx: int
+    bytes_rowptr: int
+
+    @property
+    def bytes_total(self) -> int:
+        """Total storage footprint of the matrix data structures."""
+        return self.bytes_values + self.bytes_colidx + self.bytes_rowptr
+
+
+@dataclass(frozen=True)
+class SellLayout:
+    """Byte-level description of a matrix stored in SELL-C-sigma format.
+
+    ``beta`` is the chunk occupancy (``nnz / padded_nnz``); the streamed
+    value/index arrays hold ``padded_nnz`` entries, so lower ``beta``
+    means proportionally more memory traffic and loop iterations.
+    """
+
+    matrix: SparseMatrix
+    chunk: int
+    sigma: int
+    padded_nnz: int
+    beta: float
+
+    @property
+    def bytes_values(self) -> int:
+        """Padded value-array bytes."""
+        return self.padded_nnz * VALUE_BYTES
+
+    @property
+    def bytes_colidx(self) -> int:
+        """Padded column-index bytes."""
+        return self.padded_nnz * INDEX_BYTES
+
+
+def hpcg_like(nrows: int) -> SparseMatrix:
+    """A 27-point HPCG-style problem: banded, near-uniform row lengths.
+
+    Interior rows hold 27 nonzeros; rows touching the domain boundary
+    hold fewer.  We approximate the boundary fraction of a cubic grid
+    with side ``n = nrows**(1/3)``: a face point loses a 9-point plane.
+    The structure is banded, so the ``x`` gather enjoys stencil-like
+    spatial locality (``structured=True``).
+    """
+    side = max(2, round(nrows ** (1.0 / 3.0)))
+    interior = max(0, (side - 2)) ** 3 / side ** 3
+    lengths = []
+    for row in range(nrows):
+        # deterministic boundary assignment: the first (1-interior)
+        # fraction of a side-long period plays the boundary rows
+        lengths.append(27 if (row % side) / side < interior else 18)
+    return SparseMatrix(
+        name="hpcg", nrows=nrows, row_lengths=tuple(lengths),
+        structured=True,
+    )
+
+
+def random_matrix(nrows: int, avg_nnz_per_row: int = 16,
+                  seed: int = 7) -> SparseMatrix:
+    """A scattered matrix with LCG-drawn row lengths around the mean.
+
+    Row lengths are uniform on ``[1, 2*avg_nnz_per_row - 1]`` so the
+    mean is *avg_nnz_per_row*; column indices are assumed scattered
+    (``structured=False``), which maps the ``x`` gather to the
+    ``random`` access pattern in the memory model.
+    """
+    if avg_nnz_per_row < 1:
+        raise ValueError("avg_nnz_per_row must be >= 1")
+    span = 2 * avg_nnz_per_row - 1
+    lengths = []
+    state = (seed * 2654435761 + 1) % (1 << 64)
+    for _ in range(nrows):
+        state = _lcg(state)
+        lengths.append(1 + (state >> 33) % span)
+    return SparseMatrix(
+        name="random", nrows=nrows, row_lengths=tuple(lengths),
+        structured=False,
+    )
+
+
+def sell_beta(row_lengths: tuple[int, ...], chunk: int, sigma: int) -> float:
+    """Chunk occupancy ``beta`` for an arbitrary row-length tuple.
+
+    Convenience wrapper used by tests and docs; equivalent to building a
+    :class:`SparseMatrix` and reading ``sell(chunk, sigma).beta``.
+    """
+    mat = SparseMatrix(name="tmp", nrows=len(row_lengths),
+                       row_lengths=tuple(row_lengths), structured=False)
+    return mat.sell(chunk=chunk, sigma=sigma).beta
+
+
+def grid_points(n: int, dims: int) -> int:
+    """Side length of a ``dims``-dimensional grid with ~``n`` points."""
+    return max(4, math.ceil(n ** (1.0 / dims)))

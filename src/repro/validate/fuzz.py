@@ -18,6 +18,13 @@ exact counter payload of the original simulation.
 Every generated loop also passes through the pass-1 IR verifier, so a
 fuzz seed that produces malformed IR is reported as a generator bug
 rather than crashing the oracle.
+
+Each seed is additionally cross-checked against the *analytical* tier:
+the same compiled loop gets an ECM prediction
+(:func:`repro.ecm.model.predict_compiled`) and the ecm/engine runtime
+ratio must stay inside the documented envelope
+(:data:`ECM_FUZZ_RATIO_LOW` .. :data:`ECM_FUZZ_RATIO_HIGH`); a breach
+reports the offending seed.
 """
 
 from __future__ import annotations
@@ -26,7 +33,30 @@ import random
 
 from repro.validate.report import PassResult, Violation
 
-__all__ = ["random_loop", "check_seed", "run_fuzz_pass"]
+__all__ = [
+    "random_loop",
+    "check_seed",
+    "check_ecm_seed",
+    "run_fuzz_pass",
+    "ECM_FUZZ_RATIO_LOW",
+    "ECM_FUZZ_RATIO_HIGH",
+]
+
+#: envelope for ecm/engine seconds on fuzzed loops.  The upper edge
+#: rests on the composition ceiling: both tiers price memory streams
+#: with the same effective-bandwidth rule, so whenever the analytical
+#: ``T_comp`` stays at or below the simulated compute time,
+#: ``ecm <= T_comp' + T_data <= 2 * max(T_comp', T_data) = 2 * engine``
+#: — additive composition can at most double the roofline max, and
+#: random loops do land exactly on 2.0 when compute and memory tie
+#: (seeds 1050/1076 over 1000-1099).  The in-core window bound may
+#: overshoot the simulator by a few percent (see
+#: :mod:`repro.ecm.incore`), so the ceiling carries 10% headroom.  The
+#: lower edge is calibrated: the in-core bounds undershoot long
+#: dependence chains by at most ~25% across seeds 1000-1099, kept at
+#: 0.5 for headroom.
+ECM_FUZZ_RATIO_LOW = 0.5
+ECM_FUZZ_RATIO_HIGH = 2.0 * 1.10
 
 #: math functions every toolchain model can lower (scalar or vector)
 _FNS = ("recip", "sqrt", "exp", "sin", "pow")
@@ -199,7 +229,53 @@ def check_seed(seed: int) -> list[Violation]:
             f"cache hit replayed different counters: "
             f"{payload(hit)} vs {payload(miss)}",
         ))
+
+    # analytical-tier cross-check on the very same compiled loop
+    out += _ecm_envelope(compiled, tc, where)
     return out
+
+
+def _ecm_envelope(compiled, tc, where: str) -> list[Violation]:
+    """Check one compiled fuzz loop's ecm/engine ratio envelope."""
+    from repro.ecm.model import engine_seconds_for, predict_compiled
+    from repro.machine.systems import get_system
+
+    system = get_system("skylake" if tc.target == "x86" else "ookami")
+    pred = predict_compiled(compiled, system)
+    engine = engine_seconds_for(compiled, system)
+    ratio = pred.seconds / engine
+    if ECM_FUZZ_RATIO_LOW <= ratio <= ECM_FUZZ_RATIO_HIGH:
+        return []
+    return [Violation(
+        "fuzz.ecm.deviation", f"{where} tc={tc.name}",
+        f"ecm/engine ratio {ratio:.4f} outside "
+        f"[{ECM_FUZZ_RATIO_LOW}, {ECM_FUZZ_RATIO_HIGH}] "
+        f"(ecm {pred.seconds * 1e6:.3f} us vs engine "
+        f"{engine * 1e6:.3f} us, bound {pred.bound})",
+    )]
+
+
+def check_ecm_seed(seed: int) -> list[Violation]:
+    """ECM-only fuzz check for one seed (a :func:`check_seed` subset).
+
+    Rebuilds the seed's random loop and toolchain draw, compiles it, and
+    verifies the analytical prediction stays inside the ecm/engine ratio
+    envelope.  Malformed-IR seeds return no violations here; they are
+    reported as generator bugs by :func:`check_seed`.
+    """
+    from repro.compilers.codegen import compile_loop
+    from repro.compilers.toolchains import TOOLCHAINS
+    from repro.machine.microarch import A64FX, SKYLAKE_6140
+    from repro.validate.ir import verify_loop
+
+    rng = random.Random(seed)
+    loop = random_loop(rng, name=f"fuzz{seed}")
+    if verify_loop(loop):
+        return []
+    tc = rng.choice(sorted(TOOLCHAINS.values(), key=lambda t: t.name))
+    march = SKYLAKE_6140 if tc.target == "x86" else A64FX
+    compiled = compile_loop(loop, tc, march)
+    return _ecm_envelope(compiled, tc, f"seed={seed}")
 
 
 def run_fuzz_pass(seeds: int = 25, base_seed: int = 1000) -> PassResult:

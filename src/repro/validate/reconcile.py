@@ -23,6 +23,13 @@ another:
 bare :class:`~repro.perf.counters.CounterSet` (this is what strict mode
 runs on each scope exit); :func:`check_profile` adds the checks that
 need the profile's system and toolchain context.
+
+This module also hosts the **ECM reconciliation pass**:
+:func:`check_ecm` compares the analytical ECM tier
+(:mod:`repro.ecm.model`) against the fast engine for one kernel point
+and :func:`run_ecm_pass` sweeps every catalogued kernel under every
+toolchain, demanding the deviation stay inside the per-kernel bounds of
+:data:`repro.ecm.model.ECM_TOLERANCES`.
 """
 
 from __future__ import annotations
@@ -37,7 +44,9 @@ __all__ = [
     "check_counters",
     "check_profile",
     "check_sweep_merge",
+    "check_ecm",
     "run_counter_pass",
+    "run_ecm_pass",
 ]
 
 #: FP arithmetic ops for the instruction-mix flop consistency check
@@ -159,7 +168,7 @@ def check_profile(profile) -> list[Violation]:
     """
     from repro.compilers.codegen import compile_loop
     from repro.compilers.toolchains import get_toolchain
-    from repro.kernels.loops import build_loop
+    from repro.kernels.catalog import build_kernel
     from repro.machine.systems import get_system
 
     c = profile.counters
@@ -192,7 +201,7 @@ def check_profile(profile) -> list[Violation]:
     # instruction-mix recount: an independent compile of the same kernel
     # must predict every pipeline.instr_mix.* counter exactly
     compiled = compile_loop(
-        build_loop(profile.kernel),
+        build_kernel(profile.kernel),
         get_toolchain(profile.toolchain),
         system.cpu,
     )
@@ -274,6 +283,48 @@ def check_sweep_merge(points: int = 6) -> list[Violation]:
                 f"threaded total {b} != serial total {a}",
             ))
     return out
+
+
+def check_ecm(kernel: str, toolchain: str = "fujitsu", *,
+              n: int | None = None) -> list[Violation]:
+    """Reconcile the ECM prediction against the engine for one point.
+
+    Runs :func:`repro.ecm.model.compare_kernel` and reports a violation
+    when the relative deviation leaves the kernel's stated tolerance.
+    """
+    from repro.ecm.model import compare_kernel
+
+    cmp = compare_kernel(kernel, toolchain, n=n)
+    if cmp.within_tolerance:
+        return []
+    return [Violation(
+        "ecm.deviation", f"ecm:{kernel}/{toolchain}",
+        f"ecm {cmp.prediction.seconds * 1e6:.3f} us vs engine "
+        f"{cmp.engine_seconds * 1e6:.3f} us: deviation "
+        f"{cmp.deviation * 100.0:+.1f}% exceeds the stated "
+        f"{cmp.tolerance * 100.0:.0f}% bound (bound: "
+        f"{cmp.prediction.bound})",
+    )]
+
+
+def run_ecm_pass() -> PassResult:
+    """Reconcile the ECM tier over the full kernel x toolchain grid.
+
+    Every catalogued kernel (paper suite + SpMV/stencil workloads) is
+    compared under every toolchain at its default problem size — the
+    same grid the calibration of
+    :data:`repro.ecm.model.ECM_TOLERANCES` swept, so a model or machine
+    -table change that moves any point past its bound fails loudly.
+    """
+    from repro.compilers.toolchains import TOOLCHAINS
+    from repro.kernels.catalog import ALL_KERNEL_NAMES
+
+    result = PassResult(name="ecm")
+    for kernel in ALL_KERNEL_NAMES:
+        for toolchain in sorted(TOOLCHAINS):
+            result.violations += check_ecm(kernel, toolchain)
+            result.checked += 1
+    return result
 
 
 def run_counter_pass() -> PassResult:

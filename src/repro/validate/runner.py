@@ -8,7 +8,7 @@ __all__ = ["validate_all"]
 
 
 def validate_all(seeds: int = 25, bands: bool = True) -> ValidationReport:
-    """Run passes 1-4 (and optionally the paper-band scoring).
+    """Run passes 1-5 (and optionally the paper-band scoring).
 
     Parameters
     ----------
@@ -21,7 +21,7 @@ def validate_all(seeds: int = 25, bands: bool = True) -> ValidationReport:
     from repro.validate.bands import run_band_pass
     from repro.validate.fuzz import run_fuzz_pass
     from repro.validate.ir import run_ir_pass
-    from repro.validate.reconcile import run_counter_pass
+    from repro.validate.reconcile import run_counter_pass, run_ecm_pass
     from repro.validate.schedule import run_schedule_pass
 
     report = ValidationReport()
@@ -29,6 +29,7 @@ def validate_all(seeds: int = 25, bands: bool = True) -> ValidationReport:
     report.passes.append(run_schedule_pass())
     report.passes.append(run_counter_pass())
     report.passes.append(run_fuzz_pass(seeds=seeds))
+    report.passes.append(run_ecm_pass())
     if bands:
         report.passes.append(run_band_pass())
     return report

@@ -1,0 +1,85 @@
+"""Analytical in-core bounds: lower-bound property vs the simulator."""
+
+import pytest
+
+from repro.compilers.codegen import compile_loop
+from repro.compilers.toolchains import get_toolchain
+from repro.ecm.incore import analyze_stream
+from repro.engine.scheduler import PipelineScheduler
+from repro.kernels.catalog import ALL_KERNEL_NAMES, build_kernel
+from repro.machine.microarch import A64FX, SKYLAKE_6140
+
+
+def _compiled(kernel: str, tc_name: str):
+    tc = get_toolchain(tc_name)
+    march = SKYLAKE_6140 if tc.target == "x86" else A64FX
+    return compile_loop(build_kernel(kernel), tc, march), march
+
+
+class TestLowerBoundProperty:
+    @pytest.mark.parametrize("kernel", ALL_KERNEL_NAMES)
+    @pytest.mark.parametrize("tc_name", ["fujitsu", "intel"])
+    def test_t_comp_tracks_the_simulated_schedule_from_below(
+            self, kernel, tc_name):
+        """The issue/chain bounds are true lower bounds; the port and
+        window bounds may overshoot the simulator by a few percent (see
+        the module docstring), so the composed T_comp must stay within
+        10% above the simulated steady state on the whole catalog."""
+        compiled, march = _compiled(kernel, tc_name)
+        summary = analyze_stream(compiled.stream, march)
+        sched = PipelineScheduler(march).steady_state(compiled.stream)
+        assert summary.t_comp <= sched.cycles_per_iter * 1.10, (
+            f"{kernel}/{tc_name}: analytical {summary.t_comp} > "
+            f"1.10 x simulated {sched.cycles_per_iter}"
+        )
+
+
+class TestBoundStructure:
+    def test_issue_bound_is_instrs_over_width(self):
+        compiled, march = _compiled("simple", "fujitsu")
+        summary = analyze_stream(compiled.stream, march)
+        assert summary.issue_cycles == pytest.approx(
+            summary.n_instrs / march.issue_width)
+
+    def test_port_pressure_conserves_throughput(self):
+        """Greedy placement distributes exactly the total reciprocal
+        throughput over the pipes — nothing is lost or duplicated."""
+        compiled, march = _compiled("gather", "fujitsu")
+        summary = analyze_stream(compiled.stream, march)
+        total_rtp = 0.0
+        for ins in compiled.stream.body:
+            t = march.timing(ins.op)
+            total_rtp += (ins.rtput_override
+                          if ins.rtput_override is not None else t.rtput)
+        assert sum(summary.port_cycles.values()) == pytest.approx(total_rtp)
+
+    def test_window_shrinks_the_chainless_latency_penalty(self):
+        """A larger reorder window hides more of the critical path."""
+        compiled, march = _compiled("sin", "fujitsu")
+        small = analyze_stream(compiled.stream, march, window=32)
+        large = analyze_stream(compiled.stream, march, window=512)
+        assert large.window_cycles < small.window_cycles
+
+    def test_reduction_carries_a_chain_bound(self):
+        """SpMV's y accumulator is loop-carried, so the recurrence bound
+        must be strictly positive."""
+        compiled, march = _compiled("spmv_crs", "fujitsu")
+        summary = analyze_stream(compiled.stream, march)
+        assert summary.chain_cycles > 0.0
+
+    def test_named_bound_matches_the_max(self):
+        for kernel in ("simple", "sin", "spmv_sell"):
+            compiled, march = _compiled(kernel, "fujitsu")
+            summary = analyze_stream(compiled.stream, march)
+            assert summary.bound in (
+                "issue", "chain", "window",
+            ) or summary.bound.startswith("port:")
+            assert summary.t_comp == max(
+                summary.t_ol, summary.t_nol, summary.issue_cycles,
+                summary.chain_cycles, summary.window_cycles)
+
+    def test_empty_stream_rejected(self):
+        from repro.machine.isa import InstructionStream
+
+        with pytest.raises(ValueError):
+            analyze_stream(InstructionStream(body=[], label="empty"), A64FX)

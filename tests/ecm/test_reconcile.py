@@ -1,0 +1,77 @@
+"""ECM-vs-engine reconciliation: every kernel, bounded deviation."""
+
+import pytest
+
+from repro.compilers.toolchains import TOOLCHAINS
+from repro.ecm.model import compare_kernel, ecm_tolerance
+from repro.kernels.catalog import ALL_KERNEL_NAMES
+from repro.validate.fuzz import (
+    ECM_FUZZ_RATIO_HIGH,
+    ECM_FUZZ_RATIO_LOW,
+    check_ecm_seed,
+)
+from repro.validate.reconcile import check_ecm, run_ecm_pass
+
+
+class TestPerKernelDeviation:
+    @pytest.mark.parametrize("kernel", ALL_KERNEL_NAMES)
+    @pytest.mark.parametrize("toolchain", sorted(TOOLCHAINS))
+    def test_deviation_within_stated_tolerance(self, kernel, toolchain):
+        """The headline acceptance: on every Fig. 1/2 kernel and every
+        SpMV/stencil workload, under every toolchain, the analytical
+        prediction stays within the per-kernel bound of the engine."""
+        cmp = compare_kernel(kernel, toolchain)
+        assert cmp.within_tolerance, (
+            f"{kernel}/{toolchain}: deviation {cmp.deviation:+.1%} "
+            f"exceeds {cmp.tolerance:.0%}"
+        )
+
+    def test_deviation_is_a_real_comparison(self):
+        cmp = compare_kernel("spmv_sell", "fujitsu")
+        assert cmp.engine_seconds > 0
+        assert cmp.prediction.seconds > 0
+        assert cmp.tolerance == ecm_tolerance("spmv_sell")
+
+
+class TestValidationPass:
+    def test_run_ecm_pass_covers_the_full_grid(self):
+        result = run_ecm_pass()
+        assert result.name == "ecm"
+        assert result.checked == len(ALL_KERNEL_NAMES) * len(TOOLCHAINS)
+        assert result.ok, [str(v) for v in result.violations]
+
+    def test_check_ecm_reports_breaches_with_location(self):
+        # force an impossible tolerance through a tightened comparison
+        from repro.validate.reconcile import Violation  # noqa: F401
+        from unittest import mock
+
+        with mock.patch(
+            "repro.ecm.model.ECM_TOLERANCES", {"spmv_sell": 1e-9}
+        ):
+            violations = check_ecm("spmv_sell", "fujitsu")
+        assert len(violations) == 1
+        assert violations[0].rule == "ecm.deviation"
+        assert "spmv_sell" in violations[0].where
+
+    def test_validate_all_includes_the_ecm_pass(self):
+        from repro.validate.runner import validate_all
+
+        report = validate_all(seeds=2, bands=False)
+        assert "ecm" in [p.name for p in report.passes]
+
+
+class TestFuzzEnvelope:
+    def test_envelope_constants_frame_the_composition_ceiling(self):
+        # upper edge: additive composition is at most 2x the roofline
+        # max (shared memory pricing), plus bounded in-core headroom
+        assert 2.0 <= ECM_FUZZ_RATIO_HIGH <= 2.5
+        assert 0.0 < ECM_FUZZ_RATIO_LOW < 1.0
+
+    @pytest.mark.parametrize("seed", range(1000, 1020))
+    def test_shipped_seed_range_stays_inside_the_envelope(self, seed):
+        assert check_ecm_seed(seed) == []
+
+    def test_worst_case_seed_sits_exactly_on_the_edge(self):
+        """Seed 1076 reaches the theoretical +100% worst case (compute
+        and memory tie); the inclusive envelope must admit it."""
+        assert check_ecm_seed(1076) == []

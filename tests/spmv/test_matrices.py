@@ -1,0 +1,86 @@
+"""Storage-layout model: row-length distributions, CRS, SELL-C-sigma."""
+
+import pytest
+
+from repro.spmv.matrices import (
+    INDEX_BYTES,
+    VALUE_BYTES,
+    SparseMatrix,
+    grid_points,
+    hpcg_like,
+    random_matrix,
+    sell_beta,
+)
+
+
+class TestSparseMatrix:
+    def test_nnz_and_mean(self):
+        mat = SparseMatrix("t", 4, (3, 5, 2, 6), structured=False)
+        assert mat.nnz == 16
+        assert mat.avg_row_length == 4.0
+
+    def test_crs_byte_accounting(self):
+        mat = SparseMatrix("t", 4, (3, 5, 2, 6), structured=False)
+        crs = mat.crs()
+        assert crs.bytes_values == 16 * VALUE_BYTES
+        assert crs.bytes_colidx == 16 * INDEX_BYTES
+        assert crs.bytes_rowptr == 5 * INDEX_BYTES
+        assert crs.bytes_total == (
+            crs.bytes_values + crs.bytes_colidx + crs.bytes_rowptr
+        )
+
+    def test_sell_pads_each_chunk_to_its_longest_row(self):
+        # two chunks of 2: sorted lengths (6,5) and (3,2)
+        mat = SparseMatrix("t", 4, (3, 5, 2, 6), structured=False)
+        layout = mat.sell(chunk=2, sigma=4)
+        assert layout.padded_nnz == 6 * 2 + 3 * 2
+        assert layout.beta == pytest.approx(16 / 18)
+
+    def test_sigma_sorting_reduces_padding(self):
+        # alternating short/long rows: with sigma == chunk the sort
+        # cannot move rows between chunks, so every chunk pads to 27;
+        # a window over all rows groups like with like
+        lengths = tuple(27 if i % 2 else 2 for i in range(64))
+        assert sell_beta(lengths, chunk=8, sigma=64) > \
+            sell_beta(lengths, chunk=8, sigma=8)
+
+    def test_beta_bounds(self):
+        for sigma in (1, 8, 512):
+            beta = sell_beta(tuple(range(1, 65)), chunk=8, sigma=sigma)
+            assert 0.0 < beta <= 1.0
+
+    def test_uniform_rows_have_no_padding(self):
+        assert sell_beta((5,) * 32, chunk=8, sigma=32) == 1.0
+
+    def test_sell_rejects_bad_parameters(self):
+        mat = SparseMatrix("t", 2, (1, 2), structured=False)
+        with pytest.raises(ValueError):
+            mat.sell(chunk=0)
+        with pytest.raises(ValueError):
+            mat.sell(sigma=0)
+
+
+class TestGenerators:
+    def test_hpcg_like_row_lengths(self):
+        mat = hpcg_like(512)
+        assert mat.structured
+        assert mat.nrows == 512
+        assert set(mat.row_lengths) <= {18, 27}
+        assert 18.0 <= mat.avg_row_length <= 27.0
+
+    def test_random_matrix_is_deterministic_and_hits_the_mean(self):
+        a = random_matrix(4096, avg_nnz_per_row=16, seed=7)
+        b = random_matrix(4096, avg_nnz_per_row=16, seed=7)
+        assert a.row_lengths == b.row_lengths
+        assert not a.structured
+        assert a.avg_row_length == pytest.approx(16.0, rel=0.05)
+        assert min(a.row_lengths) >= 1
+
+    def test_random_matrix_rejects_bad_mean(self):
+        with pytest.raises(ValueError):
+            random_matrix(16, avg_nnz_per_row=0)
+
+    def test_grid_points(self):
+        assert grid_points(1 << 24, 2) == 4096
+        assert grid_points(1 << 24, 3) == 256
+        assert grid_points(1, 3) == 4  # floor

@@ -62,7 +62,7 @@ class TestParseCommand:
     def test_every_registered_command_is_dispatchable(self):
         # the registry and main()'s dispatch must not drift apart
         assert set(COMMANDS) == {
-            "list", "run", "asm", "pipeline", "profile", "verify",
+            "list", "run", "asm", "pipeline", "profile", "ecm", "verify",
             "bench", "cache", "validate",
         }
 
@@ -119,7 +119,7 @@ class TestValidateCli:
         assert doc["schema"] == "repro.validate/1"
         assert doc["ok"] is True
         assert [p["name"] for p in doc["passes"]] == [
-            "ir", "schedule", "counters", "fuzz"]
+            "ir", "schedule", "counters", "fuzz", "ecm"]
         assert all(p["ok"] for p in doc["passes"])
 
     def test_bad_flag_exits_nonzero(self, capsys):

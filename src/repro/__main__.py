@@ -30,9 +30,10 @@ Commands
     verification, HPL residual, FFT parity, Sedov exponent).
 ``bench [--quick] [--tier engine|ecm|all] [--out PATH]``
     Time the prediction tiers (cold seed scheduler, event-driven fast
-    path, warm schedule cache, parallel sweep, analytical ECM
-    evaluation) over the Fig. 1/2 kernel set and write
-    ``BENCH_engine.json`` (see docs/PERFORMANCE.md).
+    path, batched SoA engine, warm schedule cache, parallel sweep,
+    analytical ECM evaluation) over the Fig. 1/2 kernel set and write
+    ``BENCH_engine.json``; the full run exits non-zero if equivalence
+    or a speedup floor regresses (see docs/PERFORMANCE.md).
 ``cache [show|clear]``
     Inspect or drop the content-addressed schedule cache (clears the
     on-disk layer too when ``REPRO_CACHE_DIR`` is set).

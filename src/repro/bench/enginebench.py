@@ -10,6 +10,12 @@ set (every suite loop x all five toolchains) in four configurations:
 ``cold_fast``
     the event-driven scheduler with steady-state extrapolation, empty
     cache;
+``batched_cold``
+    the whole suite as one structure-of-arrays batch
+    (:func:`repro.engine.batch.schedule_batch`, caches and precompiled
+    tables cleared first) — content-identical points deduplicate and the
+    int-indexed lanes replace the scalar heap walk; 10x acceptance
+    floor over ``cold_seed``;
 ``warm_cache``
     the same sweep again through :func:`repro.engine.cache.cached_schedule`
     with the cache primed — the steady state of a figure-suite run;
@@ -29,10 +35,12 @@ measured against); the default ``all`` runs both.
 
 Results are written as versioned JSON (``repro.bench/1``) to
 ``BENCH_engine.json`` so the performance trajectory is tracked in-repo;
-CI runs the quick variant and archives the document.  The run fails
-(exit 1) if the fast paths deviate from the seed scheduler by more than
-1e-9 relative, if the front-end slot identity breaks, or if the
-warm-cache 5x / ECM 100x speedup floors are missed (full mode).
+CI runs the full variant and archives the document.  The run fails
+(exit 1) if the fast paths (batched included) deviate from the seed
+scheduler by more than 1e-9 relative — counter payloads must match the
+scalar path byte-for-byte — if the front-end slot identity breaks, or
+if the warm-cache 5x / batched 10x / ECM 100x speedup floors are
+missed (full mode).
 """
 
 from __future__ import annotations
@@ -44,6 +52,7 @@ from pathlib import Path
 
 BENCH_FORMAT = "repro.bench/1"
 SPEEDUP_FLOOR = 5.0
+BATCH_SPEEDUP_FLOOR = 10.0
 ECM_SPEEDUP_FLOOR = 100.0
 EQUIV_RTOL = 1e-9
 
@@ -85,18 +94,32 @@ def _rel_dev(a: float, b: float) -> float:
 
 
 def _check_equivalence(compiled) -> dict:
-    """Fast-path results vs the seed scheduler, point by point."""
+    """Fast-path results vs the seed scheduler, point by point.
+
+    Covers the event-driven path, the cache replay, and the batched SoA
+    engine; the batched counter payload must additionally equal the
+    scalar path's byte-for-byte (a mismatch counts as full deviation).
+    """
     from repro.engine._reference import ReferenceScheduler
+    from repro.engine.batch import schedule_batch
     from repro.engine.cache import cached_schedule
     from repro.engine.scheduler import PipelineScheduler
+    from repro.perf.counters import ProfileScope
 
     worst = 0.0
     worst_point = None
     for loop, tc_name, march, stream, _full in compiled:
         ref = ReferenceScheduler(march).steady_state(stream)
+        with ProfileScope("scalar") as scalar_counters:
+            fast = PipelineScheduler(march).steady_state(stream)
+        with ProfileScope("batched") as batch_counters:
+            batched = schedule_batch([(march, stream)], cache=False)[0]
+        if scalar_counters.as_dict() != batch_counters.as_dict():
+            worst, worst_point = 1.0, (loop, tc_name)
         for result in (
-            PipelineScheduler(march).steady_state(stream),
+            fast,
             cached_schedule(march, stream),
+            batched,
         ):
             dev = max(
                 _rel_dev(result.cycles_per_iter, ref.cycles_per_iter),
@@ -123,10 +146,13 @@ def _check_counter_identity(compiled) -> bool:
     from repro.engine.scheduler import PipelineScheduler
     from repro.perf.counters import ProfileScope
 
+    from repro.engine.batch import schedule_batch
+
     for _, _, march, stream, _full in compiled:
         for run in (
             lambda: PipelineScheduler(march).steady_state(stream),
             lambda: cached_schedule(march, stream),  # hit: replayed payload
+            lambda: schedule_batch([(march, stream)], cache=False),
         ):
             with ProfileScope("identity") as counters:
                 run()
@@ -169,7 +195,7 @@ def run_bench(quick: bool = False, workers: int | None = None,
     """Run every requested configuration and return the bench document."""
     from repro.engine._reference import ReferenceScheduler
     from repro.engine.cache import cached_schedule, get_cache
-    from repro.engine.scheduler import PipelineScheduler
+    from repro.engine.scheduler import PipelineScheduler, clear_memos
 
     if tier not in TIERS:
         raise ValueError(f"tier must be one of {TIERS}, got {tier!r}")
@@ -178,7 +204,7 @@ def run_bench(quick: bool = False, workers: int | None = None,
     engine_tier = tier in ("engine", "all")
     ecm_tier = tier in ("ecm", "all")
 
-    t_seed = t_warm = t_par = None
+    t_seed = t_batched = t_warm = t_par = None
     if engine_tier:
         t0 = time.perf_counter()
         for _, _, march, stream, _full in compiled:
@@ -186,14 +212,24 @@ def run_bench(quick: bool = False, workers: int | None = None,
         t_seed = time.perf_counter() - t0
 
     # cold_fast is always timed: it is the engine configuration the
-    # analytical tier's speedup is quoted against
+    # analytical tier's speedup is quoted against.  Memoized tables are
+    # dropped first so table warm-up cannot flatter the cold number.
+    clear_memos()
     t0 = time.perf_counter()
     for _, _, march, stream, _full in compiled:
         PipelineScheduler(march).steady_state(stream)
     t_fast = time.perf_counter() - t0
 
     if engine_tier:
+        from repro.engine.batch import clear_tables, schedule_batch
         from repro.engine.sweep import run_sweep
+
+        reqs = [(march, stream) for _, _, march, stream, _full in compiled]
+        clear_memos()
+        clear_tables()
+        t0 = time.perf_counter()
+        schedule_batch(reqs, cache=False)
+        t_batched = time.perf_counter() - t0
 
         get_cache().clear()
         for _, _, march, stream, _full in compiled:  # prime
@@ -203,8 +239,9 @@ def run_bench(quick: bool = False, workers: int | None = None,
             cached_schedule(march, stream)
         t_warm = time.perf_counter() - t0
 
+        # the thread fan-out path, batching off (batched has its own row)
         t0 = time.perf_counter()
-        run_sweep(points, mode="thread", max_workers=workers)
+        run_sweep(points, mode="thread", max_workers=workers, batch=False)
         t_par = time.perf_counter() - t0
 
     t_ecm = _time_ecm(compiled) if ecm_tier else None
@@ -217,6 +254,8 @@ def run_bench(quick: bool = False, workers: int | None = None,
 
     speedup_warm = (t_seed / t_warm if t_warm else float("inf")) \
         if engine_tier else None
+    speedup_batched = (t_seed / t_batched if t_batched else float("inf")) \
+        if engine_tier else None
     speedup_ecm = (t_fast / t_ecm if t_ecm else float("inf")) \
         if ecm_tier else None
     acceptance = {
@@ -226,9 +265,19 @@ def run_bench(quick: bool = False, workers: int | None = None,
     if engine_tier:
         acceptance["warm_speedup_floor"] = SPEEDUP_FLOOR
         acceptance["warm_speedup_pass"] = speedup_warm >= SPEEDUP_FLOOR
+        acceptance["batched_speedup_floor"] = BATCH_SPEEDUP_FLOOR
+        acceptance["batched_speedup_pass"] = (
+            speedup_batched >= BATCH_SPEEDUP_FLOOR
+        )
     if ecm_tier:
         acceptance["ecm_speedup_floor"] = ECM_SPEEDUP_FLOOR
         acceptance["ecm_speedup_pass"] = speedup_ecm >= ECM_SPEEDUP_FLOOR
+
+    def _vs_fast(t: float | None) -> float | None:
+        # every tier is comparable against the cold fast path, in quick
+        # mode too (satellite of the batched-engine work)
+        return round(t_fast / t, 2) if t and t_fast else None
+
     doc = {
         "version": BENCH_FORMAT,
         "suite": "fig1+fig2 kernels x toolchains"
@@ -241,6 +290,7 @@ def run_bench(quick: bool = False, workers: int | None = None,
         "seconds": {
             "cold_seed": _round(t_seed),
             "cold_fast": _round(t_fast),
+            "batched_cold": _round(t_batched),
             "warm_cache": _round(t_warm),
             "parallel": _round(t_par),
             "ecm_eval": _round(t_ecm),
@@ -248,12 +298,17 @@ def run_bench(quick: bool = False, workers: int | None = None,
         "speedup_vs_cold_seed": {
             "cold_fast": round(t_seed / t_fast, 2)
             if engine_tier and t_fast else None,
+            "batched_cold": round(speedup_batched, 2)
+            if engine_tier else None,
             "warm_cache": round(speedup_warm, 2) if engine_tier else None,
             "parallel": round(t_seed / t_par, 2)
             if engine_tier and t_par else None,
         },
         "speedup_vs_cold_fast": {
-            "ecm_eval": round(speedup_ecm, 2) if ecm_tier else None,
+            "batched_cold": _vs_fast(t_batched),
+            "warm_cache": _vs_fast(t_warm),
+            "parallel": _vs_fast(t_par),
+            "ecm_eval": _vs_fast(t_ecm),
         },
         "acceptance": acceptance,
     }
@@ -273,6 +328,10 @@ def render(doc: dict) -> str:
         f"  cold fast path      : {secs['cold_fast'] * 1e3:9.1f} ms"
         + (f"  ({speed['cold_fast']:.1f}x)"
            if speed["cold_fast"] is not None else ""))
+    if secs.get("batched_cold") is not None:
+        lines.append(
+            f"  batched soa engine  : {secs['batched_cold'] * 1e3:9.1f} ms"
+            f"  ({speed['batched_cold']:.1f}x)")
     if secs["warm_cache"] is not None:
         lines.append(
             f"  warm schedule cache : {secs['warm_cache'] * 1e3:9.1f} ms"
@@ -297,6 +356,10 @@ def render(doc: dict) -> str:
         lines.append(
             f"  warm speedup floor  : {acc['warm_speedup_floor']:.0f}x "
             f"({'PASS' if acc['warm_speedup_pass'] else 'FAIL'})")
+    if "batched_speedup_pass" in acc:
+        lines.append(
+            f"  batch speedup floor : {acc['batched_speedup_floor']:.0f}x "
+            f"({'PASS' if acc['batched_speedup_pass'] else 'FAIL'})")
     if "ecm_speedup_pass" in acc:
         lines.append(
             f"  ecm speedup floor   : {acc['ecm_speedup_floor']:.0f}x "
@@ -337,5 +400,6 @@ def main(argv: list[str]) -> int:
     ok = acc["equivalence"]["pass"] and acc["counter_identity_pass"]
     if not quick:
         ok = ok and acc.get("warm_speedup_pass", True)
+        ok = ok and acc.get("batched_speedup_pass", True)
         ok = ok and acc.get("ecm_speedup_pass", True)
     return 0 if ok else 1

@@ -6,6 +6,11 @@ single-kernel execution, and the OpenMP-like threading model.
   steady-state cycles/iteration (the quantity behind every
   "cycles per element" number in the paper); event-driven with
   steady-state period extrapolation.
+* :mod:`repro.engine.batch` — batched structure-of-arrays scheduling:
+  many (march, stream, window) points deduplicated and simulated as one
+  int-indexed array program, bit-identical to the scalar path
+  (``schedule_batch``); sweeps of ≥ ``BATCH_MIN_POINTS`` engine points
+  ride on it automatically.
 * :mod:`repro.engine.cache` — content-addressed schedule cache
   (in-process LRU plus an opt-in on-disk JSON layer) keyed on march and
   stream fingerprints.
@@ -31,6 +36,7 @@ from repro.engine.scheduler import (
     ScheduleResult,
     schedule_on,
 )
+from repro.engine.batch import schedule_batch
 from repro.engine.cache import ScheduleCache
 from repro.engine.sweep import SweepPoint, map_schedules, run_sweep
 from repro.engine.roofline import Roofline
@@ -42,6 +48,7 @@ __all__ = [
     "ScheduleDivergence",
     "ScheduleResult",
     "schedule_on",
+    "schedule_batch",
     "ScheduleCache",
     "SweepPoint",
     "map_schedules",

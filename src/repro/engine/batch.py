@@ -1,0 +1,725 @@
+"""Batched structure-of-arrays scheduling engine.
+
+Sweeping the paper's figures means scheduling many independent
+(stream, toolchain, machine) points; the event-driven scheduler
+(:mod:`repro.engine.scheduler`) simulates them one at a time through
+enum-keyed dicts and a single ready heap.  This module schedules a whole
+batch as one array program:
+
+* **precompiled int-indexed tables** — per (march, body) the latencies,
+  reciprocal throughputs, pipe-candidate sets and dataflow edges are
+  resolved once into flat integer-indexed lists (:class:`_StreamTables`,
+  LRU-cached), so the inner loop never hashes an enum or re-derives a
+  dependency edge;
+* **content-addressed deduplication** — requests with identical
+  (march, stream, window) fingerprints simulate once and fan results
+  back out per request (different toolchains frequently emit identical
+  streams for the same loop);
+* **array-stepped lanes** — each unique point is a `_Lane` advanced in
+  bounded super-steps under a numpy active mask; lanes whose
+  steady-state period detection fires fast-forward and retire from the
+  batch early, so one slow lane never serializes the rest;
+* **class-partitioned ready heaps** — ready instructions are grouped by
+  pipe-candidate class; once a class has no pipe free this cycle it is
+  skipped wholesale instead of re-popping and re-blocking each member
+  (the dominant cost of the scalar path on pipe-bound kernels);
+* **vectorized finalization** — steady-state statistics for all lanes
+  (cycles/iter, occupancy, makespan) are computed with numpy in one
+  shot.
+
+Exactness contract: the batched path issues the *identical* dynamic
+instruction sequence as :class:`~repro.engine.scheduler.PipelineScheduler`
+— same issue cycles, same pipe choices (the pipe-candidate order of each
+class is captured from the very frozensets the scalar ``_best_pipe``
+iterates), same period detection keys and fast-forward shifts — and
+therefore bit-identical :class:`~repro.engine.scheduler.ScheduleResult`
+fields and ``pipeline.*`` counter payloads
+(``tests/engine/test_batch.py`` enforces this against both the
+event-driven path and the frozen seed oracle in
+:mod:`repro.engine._reference`).
+
+The schedule cache (:mod:`repro.engine.cache`) sits in front exactly as
+it does for ``schedule_on``: batch requests look up, store and re-emit
+the same entries and ``schedule_cache.hits``/``misses`` counters a
+sequential run would.  Deduplicated duplicate requests behave like
+cache hits (replayed, not re-simulated, hence not re-observed by
+schedule observers).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import replace
+from heapq import heapify, heappop, heappush
+from typing import Sequence
+
+import numpy as np
+
+from repro.engine.scheduler import (
+    _PIPES,
+    _SCHEDULE_OBSERVERS,
+    PipelineScheduler,
+    ScheduleDivergence,
+    ScheduleRecord,
+    ScheduleResult,
+    _dataflow_of,
+    _timings_for,
+    counter_payload,
+)
+from repro.machine.isa import Instruction, InstructionStream
+from repro.machine.microarch import Microarch
+from repro.perf.counters import emit, is_profiling
+
+__all__ = ["schedule_batch", "clear_tables"]
+
+_INF = float("inf")
+_N_PIPES = len(_PIPES)
+_PIPE_INDEX = {p: i for i, p in enumerate(_PIPES)}
+
+#: cycle-loop passes one lane runs per super-step round before the
+#: driver rotates to the next active lane
+_STEP_BUDGET = 512
+
+
+class _StreamTables:
+    """Precompiled int-indexed tables for one (march, loop body).
+
+    ``lat``/``rtp`` are per-body-position effective latency and
+    reciprocal throughput (overrides resolved).  Positions are grouped
+    into *pipe-candidate classes*: ``cls_of[pos]`` names the class and
+    ``class_pipes[c]`` is the candidate pipe-id tuple, captured in the
+    iteration order of the same frozenset the scalar scheduler's
+    ``_best_pipe`` walks — so tie-breaking between equally-free pipes is
+    bit-identical.  ``deps``/``consumers`` come from the memoized static
+    dataflow.
+    """
+
+    __slots__ = ("lat", "rtp", "cls_of", "class_pipes", "deps", "consumers")
+
+    def __init__(self, march: Microarch,
+                 body: tuple[Instruction, ...]) -> None:
+        timings = _timings_for(march, body)
+        self.deps, self.consumers = _dataflow_of(body)
+        self.lat = [t[0] for t in timings]
+        self.rtp = [t[1] for t in timings]
+        class_ids: dict[tuple[int, ...], int] = {}
+        cls_of: list[int] = []
+        class_pipes: list[tuple[int, ...]] = []
+        for _lat, _rtp, pipes in timings:
+            key = tuple(_PIPE_INDEX[p] for p in pipes)
+            c = class_ids.get(key)
+            if c is None:
+                c = len(class_pipes)
+                class_ids[key] = c
+                class_pipes.append(key)
+            cls_of.append(c)
+        self.cls_of = cls_of
+        self.class_pipes = tuple(class_pipes)
+
+
+#: LRU of precompiled tables, keyed by ``id(march)`` with the march
+#: pinned in the value so the id cannot be recycled while the entry lives
+_TABLES: OrderedDict[
+    tuple[int, tuple[Instruction, ...]], tuple[Microarch, _StreamTables]
+] = OrderedDict()
+_TABLES_CAP = 512
+_TABLES_LOCK = threading.Lock()
+
+
+def _tables_for(march: Microarch,
+                body: tuple[Instruction, ...]) -> _StreamTables:
+    """Fetch (or build) the precompiled tables for (march, body)."""
+    key = (id(march), body)
+    with _TABLES_LOCK:
+        hit = _TABLES.get(key)
+        if hit is not None:
+            _TABLES.move_to_end(key)
+            return hit[1]
+    tables = _StreamTables(march, body)
+    with _TABLES_LOCK:
+        _TABLES[key] = (march, tables)
+        _TABLES.move_to_end(key)
+        while len(_TABLES) > _TABLES_CAP:
+            _TABLES.popitem(last=False)
+    return tables
+
+
+def clear_tables() -> None:
+    """Drop the precompiled batch tables (cold-path benchmarks).
+
+    Pure cache: clearing changes nothing but the time the next batch
+    takes to rebuild its tables.  ``benchmarks/engine_bench.py`` calls
+    this (plus :func:`repro.engine.scheduler.clear_memos`) before cold
+    timings so memo warm-up cannot flatter them.
+    """
+    with _TABLES_LOCK:
+        _TABLES.clear()
+
+
+# ----------------------------------------------------------------------
+def _state_key(cycle, retire, rob_limit, n_body, issued, completion,
+               pending, ready_acc, pipe_free):
+    """Int-pipe port of ``PipelineScheduler._state_key`` (same tuples)."""
+    parts: list = [retire % n_body, rob_limit - retire]
+    past: list[float] = []
+    for pf in pipe_free:
+        if pf <= cycle:
+            past.append(pf)
+    rank = {v: -1.0 - i for i, v in enumerate(sorted(set(past)))}
+    for pf in pipe_free:
+        parts.append(pf - cycle if pf > cycle else rank[pf])
+    for d in range(retire, rob_limit):
+        if issued[d]:
+            c = completion[d]
+            parts.append((1, c - cycle if c > cycle else 0.0))
+        else:
+            r = ready_acc[d]
+            parts.append((0, pending[d], r - cycle if r > cycle else 0.0))
+    return tuple(parts)
+
+
+def _fast_forward(prior, k_iter, cycle, n_body, total, window, retire,
+                  rob_limit, issued, completion, pending, ready_acc,
+                  pipe_free, pipe_busy, pipe_touch, iter_last_issue,
+                  waiting, heaps):
+    """Int-pipe port of ``PipelineScheduler._fast_forward``.
+
+    Identical arithmetic and shift discipline; the only structural
+    difference is that the ready set lives in per-class heaps, which are
+    shifted in place (a uniform +S shift preserves the heap property).
+    """
+    j_iter, c_j, busy_j = prior
+    p = k_iter - j_iter
+    D = cycle - c_j
+    if p <= 0 or D <= 0.0:
+        return None
+    r0 = retire % n_body
+    limit_iter = (total - window - r0) // n_body - 1
+    q = (limit_iter - k_iter) // p
+    if q <= 0:
+        return None
+    m = q * p
+    S = m * n_body
+    T = q * D
+    lo, hi = retire, rob_limit
+    for d in range(hi - 1, lo - 1, -1):
+        nd = d + S
+        issued[nd] = issued[d]
+        c = completion[d]
+        completion[nd] = c + T if c > cycle else c
+        pending[nd] = pending[d]
+        r = ready_acc[d]
+        ready_acc[nd] = r + T if r > cycle else r
+    for d in range(lo, lo + S):
+        issued[d] = 1
+        completion[d] = 0.0
+    waiting[:] = [(r + T if r > cycle else r, d + S) for r, d in waiting]
+    heapify(waiting)
+    for h in heaps:
+        if h:
+            h[:] = [d + S for d in h]
+    for i in range(_N_PIPES):
+        if pipe_touch[i] >= c_j:
+            pipe_free[i] += T
+            pipe_touch[i] += T
+        pipe_busy[i] += q * (pipe_busy[i] - busy_j[i])
+    hi_it = (hi - 1) // n_body
+    for it in range(hi_it, k_iter - 1, -1):
+        v = iter_last_issue[it]
+        iter_last_issue[it + m] = v + T if v > 0.0 else 0.0
+    return retire + S, hi + S, cycle + T, S
+
+
+class _Lane:
+    """One (march, stream, window) point being simulated in the batch.
+
+    Carries the full in-flight simulation state of the scalar
+    ``_simulate`` loop, with pipes as integers (position in
+    ``scheduler._PIPES``) and the ready heap partitioned by
+    pipe-candidate class.  ``step`` advances up to a bounded number of
+    cycle-loop passes so the batch driver can interleave lanes.
+    """
+
+    __slots__ = (
+        "march", "stream", "window", "tables", "n_body", "total",
+        "n_iters", "warmup", "issue_width", "completion", "issued",
+        "pending", "ready_acc", "pipe_free", "pipe_busy", "pipe_touch",
+        "iter_last_issue", "waiting", "heaps", "retire", "entered",
+        "cycle", "remaining", "detect", "snapshots", "last_snap_iter",
+        "events",
+    )
+
+    def __init__(self, march: Microarch, stream: InstructionStream,
+                 window: int, tables: _StreamTables, record: bool,
+                 n_iters: int) -> None:
+        self.march = march
+        self.stream = stream
+        self.window = window
+        self.tables = tables
+        n_body = len(stream)
+        total = n_body * n_iters
+        self.n_body = n_body
+        self.total = total
+        self.n_iters = n_iters
+        self.warmup = PipelineScheduler.WARMUP_ITERS
+        self.issue_width = march.issue_width
+        self.completion = [_INF] * total
+        self.issued = bytearray(total)
+        self.pending = [0] * total
+        self.ready_acc = [0.0] * total
+        self.pipe_free = [0.0] * _N_PIPES
+        self.pipe_busy = [0.0] * _N_PIPES
+        self.pipe_touch = [-_INF] * _N_PIPES
+        self.iter_last_issue = [0.0] * n_iters
+        self.waiting: list[tuple[float, int]] = []
+        self.heaps: list[list[int]] = [[] for _ in tables.class_pipes]
+        self.retire = 0
+        self.entered = 0
+        self.cycle = 0.0
+        self.remaining = total
+        # recording (for schedule observers) disables period detection so
+        # every issue event is captured — identical results, more work
+        self.events: list | None = [] if record else None
+        self.detect = (not record) and n_iters > self.warmup
+        self.snapshots: dict = {}
+        self.last_snap_iter = 0
+
+    # ------------------------------------------------------------------
+    def step(self, budget: int) -> bool:
+        """Run up to *budget* cycle-loop passes; True once fully retired.
+
+        Bit-exact port of ``PipelineScheduler._simulate``: retire scan,
+        window admission, period detection/fast-forward, waiting→ready
+        promotion, then the greedy issue loop — pipe-candidate classes
+        replace the single ready heap (a class with no pipe free this
+        cycle is excluded wholesale; pipes only get busier within a
+        cycle, so its members could never issue anyway).
+        """
+        tables = self.tables
+        deps = tables.deps
+        consumers = tables.consumers
+        lats = tables.lat
+        rtps = tables.rtp
+        cls_of = tables.cls_of
+        class_pipes = tables.class_pipes
+        n_cls = len(class_pipes)
+        n_body = self.n_body
+        total = self.total
+        window = self.window
+        issue_width = self.issue_width
+        completion = self.completion
+        issued = self.issued
+        pending = self.pending
+        ready_acc = self.ready_acc
+        pipe_free = self.pipe_free
+        pipe_busy = self.pipe_busy
+        pipe_touch = self.pipe_touch
+        iter_last_issue = self.iter_last_issue
+        waiting = self.waiting
+        heaps = self.heaps
+        retire = self.retire
+        entered = self.entered
+        cycle = self.cycle
+        remaining = self.remaining
+        detect = self.detect
+        snapshots = self.snapshots
+        last_snap_iter = self.last_snap_iter
+        events = self.events
+        warmup = self.warmup
+        max_cycles = PipelineScheduler.MAX_CYCLES
+        passes = 0
+
+        while remaining and cycle < max_cycles and passes < budget:
+            passes += 1
+            while (retire < total and issued[retire]
+                   and completion[retire] <= cycle):
+                retire += 1
+            rob_limit = retire + window
+            if rob_limit > total:
+                rob_limit = total
+
+            # admit newly visible instructions into the window
+            while entered < rob_limit:
+                d = entered
+                it, pos = divmod(d, n_body)
+                pend = 0
+                racc = 0.0
+                for ppos, delta in deps[pos]:
+                    sit = it - delta
+                    if sit < 0:
+                        continue
+                    s = sit * n_body + ppos
+                    if issued[s]:
+                        c = completion[s]
+                        if c > racc:
+                            racc = c
+                    else:
+                        pend += 1
+                pending[d] = pend
+                ready_acc[d] = racc
+                if pend == 0:
+                    if racc <= cycle:
+                        heappush(heaps[cls_of[pos]], d)
+                    else:
+                        heappush(waiting, (racc, d))
+                entered += 1
+
+            if detect:
+                retire_iter = retire // n_body
+                if retire_iter > last_snap_iter:
+                    last_snap_iter = retire_iter
+                    key = _state_key(
+                        cycle, retire, rob_limit, n_body, issued,
+                        completion, pending, ready_acc, pipe_free,
+                    )
+                    prior = snapshots.get(key)
+                    if prior is None:
+                        snapshots[key] = (retire_iter, cycle, pipe_busy[:])
+                    elif retire_iter >= warmup:
+                        skipped = _fast_forward(
+                            prior, retire_iter, cycle, n_body, total,
+                            window, retire, rob_limit, issued, completion,
+                            pending, ready_acc, pipe_free, pipe_busy,
+                            pipe_touch, iter_last_issue, waiting, heaps,
+                        )
+                        if skipped is not None:
+                            retire, entered, cycle, dS = skipped
+                            remaining -= dS
+                            detect = False
+                            continue
+
+            # promote instructions whose ready time has arrived
+            while waiting and waiting[0][0] <= cycle:
+                d = heappop(waiting)[1]
+                heappush(heaps[cls_of[d % n_body]], d)
+
+            # classify non-empty classes: can anything of this class
+            # issue this cycle?  (pre-filter only — the authoritative
+            # check runs with current pipe state at selection time)
+            limit = cycle + 1.0
+            free_cls: list[int] = []
+            blocked_cls: list[int] = []
+            for c in range(n_cls):
+                if heaps[c]:
+                    for p in class_pipes[c]:
+                        if pipe_free[p] < limit:
+                            free_cls.append(c)
+                            break
+                    else:
+                        blocked_cls.append(c)
+
+            issued_now = 0
+            progressed = False
+            while free_cls and issued_now < issue_width:
+                # oldest ready instruction among non-blocked classes
+                best_c = free_cls[0]
+                best_d = heaps[best_c][0]
+                for c in free_cls[1:]:
+                    hd = heaps[c][0]
+                    if hd < best_d:
+                        best_d = hd
+                        best_c = c
+                # smallest-backlog free pipe; first-in-order wins ties,
+                # matching the scalar _best_pipe walk of the frozenset
+                best_p = -1
+                best_f = limit
+                for p in class_pipes[best_c]:
+                    f = pipe_free[p]
+                    if f < best_f:
+                        best_f = f
+                        best_p = p
+                if best_p < 0:
+                    free_cls.remove(best_c)
+                    blocked_cls.append(best_c)
+                    continue
+                h = heaps[best_c]
+                heappop(h)
+                if not h:
+                    free_cls.remove(best_c)
+                d = best_d
+                it, pos = divmod(d, n_body)
+                issued[d] = 1
+                comp = cycle + lats[pos]
+                completion[d] = comp
+                rtp = rtps[pos]
+                pf = pipe_free[best_p]
+                pipe_free[best_p] = (pf if pf > cycle else cycle) + rtp
+                pipe_busy[best_p] += rtp
+                pipe_touch[best_p] = cycle
+                issued_now += 1
+                remaining -= 1
+                if cycle > iter_last_issue[it]:
+                    iter_last_issue[it] = cycle
+                progressed = True
+                if events is not None:
+                    events.append((d, cycle, _PIPES[best_p]))
+                # wake consumers: pending drops, ready time accumulates
+                for jpos, delta in consumers[pos]:
+                    cons = (it + delta) * n_body + jpos
+                    if cons >= entered or issued[cons]:
+                        continue
+                    if comp > ready_acc[cons]:
+                        ready_acc[cons] = comp
+                    pending[cons] -= 1
+                    if pending[cons] == 0:
+                        r = ready_acc[cons]
+                        if r <= cycle:
+                            cc = cls_of[jpos]
+                            heappush(heaps[cc], cons)
+                            if cc not in free_cls and cc not in blocked_cls:
+                                for p in class_pipes[cc]:
+                                    if pipe_free[p] < limit:
+                                        free_cls.append(cc)
+                                        break
+                                else:
+                                    blocked_cls.append(cc)
+                        else:
+                            heappush(waiting, (r, cons))
+
+            if progressed:
+                cycle += 1.0
+            else:
+                # stall horizon: next cycle anything can change
+                pts = [0.0] * n_cls
+                for c in range(n_cls):
+                    mn = _INF
+                    for p in class_pipes[c]:
+                        f = pipe_free[p]
+                        if f < mn:
+                            mn = f
+                    pts[c] = mn - 1.0
+                horizon = _INF
+                for c in range(n_cls):
+                    pt = pts[c]
+                    for d in heaps[c]:
+                        r = ready_acc[d]
+                        t = pt if pt > r else r
+                        if t < horizon:
+                            horizon = t
+                for r, d in waiting:
+                    pt = pts[cls_of[d % n_body]]
+                    t = pt if pt > r else r
+                    if t < horizon:
+                        horizon = t
+                if retire < rob_limit and issued[retire]:
+                    c = completion[retire]
+                    if c < horizon:
+                        horizon = c
+                floor = cycle + 1.0
+                if horizon == _INF:
+                    horizon = floor
+                cycle = horizon if horizon > floor else floor
+
+        self.retire = retire
+        self.entered = entered
+        self.cycle = cycle
+        self.remaining = remaining
+        self.detect = detect
+        self.last_snap_iter = last_snap_iter
+        if remaining and cycle >= max_cycles:
+            stuck = retire
+            while stuck < total and issued[stuck]:
+                stuck += 1
+            raise ScheduleDivergence(self.stream, window, stuck, n_body)
+        return remaining == 0
+
+
+# ----------------------------------------------------------------------
+def _run_lanes(lanes: list[_Lane]) -> None:
+    """Advance all lanes to completion in bounded super-steps.
+
+    A numpy bool mask tracks which lanes are still active; each round
+    gives every active lane ``_STEP_BUDGET`` cycle-loop passes.  Lanes
+    whose period detection fires fast-forward and drop out early, so the
+    mask shrinks fast and a slow (non-periodic) lane never serializes
+    the converged ones behind it.
+    """
+    if not lanes:
+        return
+    active = np.ones(len(lanes), dtype=bool)
+    while True:
+        idxs = np.flatnonzero(active)
+        if idxs.size == 0:
+            return
+        for i in idxs:
+            if lanes[i].step(_STEP_BUDGET):
+                active[i] = False
+
+
+def _finalize(lanes: list[_Lane]) -> list[tuple[ScheduleResult, dict]]:
+    """Vectorized steady-state statistics for all retired lanes.
+
+    One numpy pass computes every lane's cycles/iter (with the front-end
+    bound), makespan and pipe occupancy; the arithmetic matches the
+    scalar ``_outcome`` operation-for-operation, so the float64 results
+    are bit-identical and the payloads byte-identical.
+    """
+    if not lanes:
+        return []
+    n_iters = lanes[0].n_iters
+    first = lanes[0].warmup
+    last = n_iters - 1
+    cycle_arr = np.array([ln.cycle for ln in lanes], dtype=np.float64)
+    nbody = np.array([ln.n_body for ln in lanes], dtype=np.float64)
+    width = np.array([ln.issue_width for ln in lanes], dtype=np.float64)
+    busy = np.array([ln.pipe_busy for ln in lanes], dtype=np.float64)
+    ili = np.array([ln.iter_last_issue for ln in lanes], dtype=np.float64)
+    span = ili[:, last] - ili[:, first - 1]
+    cpi = span / float(last - first + 1)
+    cpi = np.maximum(cpi, nbody / width)  # front-end bound
+    makespan = np.maximum(cycle_arr, 1.0)
+    occ = np.minimum(1.0, busy / makespan[:, None])
+    out: list[tuple[ScheduleResult, dict]] = []
+    for i, lane in enumerate(lanes):
+        cpi_i = float(cpi[i])
+        mk = float(makespan[i])
+        nb = lane.n_body
+        occupancy = {p: float(occ[i, j]) for j, p in enumerate(_PIPES)}
+        bound = PipelineScheduler._classify_bound(cpi_i, nb, occupancy)
+        result = ScheduleResult(
+            cycles_per_iter=cpi_i,
+            elements_per_iter=lane.stream.elements_per_iter,
+            instructions_per_iter=nb,
+            ipc=nb / cpi_i if cpi_i else _INF,
+            pipe_occupancy=occupancy,
+            bound=bound,
+            label=lane.stream.label,
+        )
+        busy_map = {p: float(busy[i, j]) for j, p in enumerate(_PIPES)}
+        payload = counter_payload(
+            lane.march, lane.stream, n_iters, nb * n_iters, mk, cpi_i,
+            busy_map,
+        )
+        out.append((result, payload))
+    return out
+
+
+# ----------------------------------------------------------------------
+def schedule_batch(
+    requests: Sequence[tuple],
+    *,
+    cache: bool = True,
+) -> list[ScheduleResult]:
+    """Schedule many ``(march, stream[, window])`` points as one batch.
+
+    Returns one :class:`~repro.engine.scheduler.ScheduleResult` per
+    request, in request order — each bit-identical to what
+    ``schedule_on(march, stream, window, cache=cache)`` would return,
+    including the ``pipeline.*`` counter payload and
+    ``schedule_cache.hits``/``misses`` emissions under an active
+    :class:`~repro.perf.counters.ProfileScope` and the hit/miss
+    statistics of the process-wide schedule cache.
+
+    Content-identical requests are deduplicated: the point simulates
+    once and duplicates replay the stored outcome (relabeled per
+    request), exactly like cache hits — and, like cache hits, replays
+    are not re-observed by schedule observers.
+    """
+    from repro.engine.cache import (
+        _Entry,
+        enabled,
+        get_cache,
+        march_fingerprint,
+        stream_fingerprint,
+    )
+
+    if not requests:
+        return []
+    marches: list[Microarch] = []
+    streams: list[InstructionStream] = []
+    windows: list[int] = []
+    for req in requests:
+        march, stream, *rest = req
+        window = rest[0] if rest and rest[0] is not None else march.window
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if len(stream) == 0:
+            raise ValueError("cannot schedule an empty instruction stream")
+        stream.validate()
+        marches.append(march)
+        streams.append(stream)
+        windows.append(window)
+
+    mfp_memo: dict[tuple[int, int], str] = {}
+    keys: list[tuple[str, str]] = []
+    for march, stream, window in zip(marches, streams, windows):
+        mk = (id(march), window)
+        mfp = mfp_memo.get(mk)
+        if mfp is None:
+            mfp = march_fingerprint(march, window)
+            mfp_memo[mk] = mfp
+        keys.append((mfp, stream_fingerprint(stream)))
+
+    cache_obj = get_cache() if (cache and enabled()) else None
+    first_seen: dict[tuple[str, str], int] = {}
+    entries: dict[tuple[str, str], _Entry] = {}
+    job_keys: list[tuple[str, str]] = []
+    for i, key in enumerate(keys):
+        if key in first_seen:
+            continue
+        first_seen[key] = i
+        if cache_obj is not None:
+            entry = cache_obj.lookup(key)
+            if entry is not None:
+                entries[key] = entry
+                continue
+        job_keys.append(key)
+
+    record = bool(_SCHEDULE_OBSERVERS)
+    n_iters = (PipelineScheduler.WARMUP_ITERS
+               + PipelineScheduler.MEASURE_ITERS)
+    lanes = []
+    for key in job_keys:
+        i = first_seen[key]
+        lanes.append(_Lane(
+            marches[i], streams[i], windows[i],
+            _tables_for(marches[i], tuple(streams[i].body)),
+            record, n_iters,
+        ))
+    _run_lanes(lanes)
+    sim_out = _finalize(lanes)
+
+    simulated: dict[tuple[str, str], tuple[ScheduleResult, dict]] = {}
+    for key, lane, (result, payload) in zip(job_keys, lanes, sim_out):
+        simulated[key] = (result, payload)
+        if cache_obj is not None:
+            entry = _Entry(result=replace(result, label=""),
+                           counters=payload)
+            cache_obj.store(key, entry)
+            entries[key] = entry
+    if record:
+        observers = tuple(_SCHEDULE_OBSERVERS)
+        for lane, (result, _payload) in zip(lanes, sim_out):
+            rec = ScheduleRecord(
+                march=lane.march, window=lane.window, stream=lane.stream,
+                n_iters=n_iters, issues=tuple(lane.events), result=result,
+            )
+            for observer in observers:
+                observer(rec)
+
+    profiling = is_profiling()
+    results: list[ScheduleResult] = []
+    for i, key in enumerate(keys):
+        if cache_obj is not None:
+            if i == first_seen[key]:
+                entry = entries[key]
+                fresh = key in simulated
+            else:
+                # duplicates hit the cache like a sequential run would,
+                # so hit statistics stay identical
+                entry = cache_obj.lookup(key) or entries[key]
+                fresh = False
+            if profiling:
+                emit("schedule_cache.misses" if fresh
+                     else "schedule_cache.hits", 1.0)
+                for name, value in entry.counters.items():
+                    emit(name, value)
+            results.append(replace(entry.result, label=streams[i].label))
+        else:
+            result, payload = simulated[key]
+            if profiling:
+                for name, value in payload.items():
+                    emit(name, value)
+            results.append(replace(result, label=streams[i].label))
+    return results

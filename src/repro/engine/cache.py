@@ -53,6 +53,7 @@ __all__ = [
     "ScheduleCache",
     "cached_schedule",
     "configure",
+    "enabled",
     "get_cache",
     "march_fingerprint",
     "stream_fingerprint",
@@ -295,6 +296,16 @@ def _enabled() -> bool:
     return os.environ.get("REPRO_SCHEDULE_CACHE", "").lower() not in (
         "off", "0", "no", "false",
     )
+
+
+def enabled() -> bool:
+    """True when schedule caching is active (``REPRO_SCHEDULE_CACHE``).
+
+    Public so other cache-fronting layers (the batched engine in
+    :mod:`repro.engine.batch`) honor the same kill switch as
+    :func:`cached_schedule`.
+    """
+    return _enabled()
 
 
 def cached_schedule(march: Microarch, stream: InstructionStream,

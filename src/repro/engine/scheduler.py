@@ -50,7 +50,10 @@ dynamic instruction-mix histogram.  The fast paths (and cache hits via
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
+from functools import lru_cache
 from heapq import heapify, heappop, heappush
 from typing import Callable, Mapping
 
@@ -66,6 +69,8 @@ __all__ = [
     "schedule_on",
     "add_schedule_observer",
     "remove_schedule_observer",
+    "counter_payload",
+    "clear_memos",
 ]
 
 _INF = float("inf")
@@ -133,6 +138,101 @@ def remove_schedule_observer(
 ) -> None:
     """Unregister a schedule observer added by :func:`add_schedule_observer`."""
     _SCHEDULE_OBSERVERS.remove(observer)
+
+
+@lru_cache(maxsize=1024)
+def _dataflow_of(
+    body: tuple[Instruction, ...],
+) -> tuple[
+    tuple[tuple[tuple[int, int], ...], ...],
+    tuple[tuple[tuple[int, int], ...], ...],
+]:
+    """Memoized static dataflow of one loop body (content-keyed).
+
+    :class:`~repro.machine.isa.Instruction` is frozen/hashable, so the
+    body tuple itself is the key: repeated scheduling of the same loop
+    (every sweep, every toolchain emitting an identical stream) stops
+    re-deriving dependency edges.  See
+    :meth:`PipelineScheduler._static_dataflow` for the semantics.
+    """
+    n_body = len(body)
+    last_def: dict[str, int] = {}
+    final_def: dict[str, int] = {}
+    for j, ins in enumerate(body):
+        if ins.dest:
+            final_def[ins.dest] = j
+    deps: list[tuple[tuple[int, int], ...]] = []
+    for j, ins in enumerate(body):
+        resolved: list[tuple[int, int]] = []
+        for src in ins.srcs:
+            if ins.carried and src == ins.dest:
+                prev = final_def.get(src)
+                if prev is not None:
+                    resolved.append((prev, 1))
+            elif src in last_def:
+                resolved.append((last_def[src], 0))
+            elif src in final_def:
+                resolved.append((final_def[src], 1))
+            # else: loop input, ready at cycle 0
+        deps.append(tuple(resolved))
+        if ins.dest:
+            last_def[ins.dest] = j
+    consumers: list[list[tuple[int, int]]] = [[] for _ in range(n_body)]
+    for j, resolved in enumerate(deps):
+        for pos, delta in resolved:
+            consumers[pos].append((j, delta))
+    return tuple(deps), tuple(tuple(c) for c in consumers)
+
+
+#: memoized per-(march, body) resolved timing rows.  Keyed by
+#: ``id(march)`` with the march pinned in the value so the id cannot be
+#: recycled while the entry lives; bounded LRU, guarded for the threaded
+#: sweep runner.
+_TIMINGS_MEMO: OrderedDict[
+    tuple[int, tuple[Instruction, ...]],
+    tuple[Microarch, tuple[tuple[float, float, frozenset[Pipe]], ...]],
+] = OrderedDict()
+_TIMINGS_MEMO_CAP = 1024
+_MEMO_LOCK = threading.Lock()
+
+
+def _timings_for(
+    march: Microarch, body: tuple[Instruction, ...]
+) -> tuple[tuple[float, float, frozenset[Pipe]], ...]:
+    """Per body position ``(latency, rtput, pipes)`` under *march*,
+    honoring per-instruction overrides; memoized per (march, body)."""
+    key = (id(march), body)
+    with _MEMO_LOCK:
+        hit = _TIMINGS_MEMO.get(key)
+        if hit is not None:
+            _TIMINGS_MEMO.move_to_end(key)
+            return hit[1]
+    rows = []
+    for ins in body:
+        t = march.timing(ins.op)
+        lat = (ins.latency_override
+               if ins.latency_override is not None else t.latency)
+        rtp = (ins.rtput_override
+               if ins.rtput_override is not None else t.rtput)
+        rows.append((lat, rtp, t.pipes))
+    resolved = tuple(rows)
+    with _MEMO_LOCK:
+        _TIMINGS_MEMO[key] = (march, resolved)
+        _TIMINGS_MEMO.move_to_end(key)
+        while len(_TIMINGS_MEMO) > _TIMINGS_MEMO_CAP:
+            _TIMINGS_MEMO.popitem(last=False)
+    return resolved
+
+
+def clear_memos() -> None:
+    """Drop the memoized dataflow/timing tables (cold-path benchmarks).
+
+    The memos are pure caches — clearing them changes nothing but the
+    time the next schedule takes to rebuild its tables.
+    """
+    _dataflow_of.cache_clear()
+    with _MEMO_LOCK:
+        _TIMINGS_MEMO.clear()
 
 
 class ScheduleDivergence(RuntimeError):
@@ -319,8 +419,9 @@ class PipelineScheduler:
         total = n_body * n_iters
         window = self.window
         issue_width = self.march.issue_width
-        timings = [self._timing_of(ins) for ins in body]
-        static_deps, static_consumers = self._static_dataflow(body)
+        body_key = tuple(body)
+        timings = _timings_for(self.march, body_key)
+        static_deps, static_consumers = _dataflow_of(body_key)
 
         completion = [_INF] * total
         issued = bytearray(total)
@@ -664,30 +765,14 @@ class PipelineScheduler:
         instruction consumes one, and the remainder are stall slots
         (empty issue slots — dependence, pipe-busy, or window stalls).
         """
-        slot_total = self.march.issue_width * makespan
-        payload = {
-            "pipeline.schedules": 1.0,
-            "pipeline.iterations": float(n_iters),
-            "pipeline.instructions": float(total),
-            "pipeline.makespan_cycles": makespan,
-            "pipeline.steady_cycles": cpi * n_iters,
-            "pipeline.issue_slots.total": slot_total,
-            "pipeline.issue_slots.used": float(total),
-            "pipeline.issue_slots.stalled": slot_total - total,
-        }
-        for pipe, busy in pipe_busy_cycles.items():
-            if busy:
-                payload[f"pipeline.pipe_busy.{pipe.value}"] = busy
-        for op, count in stream.counts().items():
-            payload[f"pipeline.instr_mix.{op.value}"] = float(count * n_iters)
-        return payload
+        return counter_payload(
+            self.march, stream, n_iters, total, makespan, cpi,
+            pipe_busy_cycles,
+        )
 
     # ------------------------------------------------------------------
     def _timing_of(self, ins: Instruction) -> tuple[float, float, frozenset[Pipe]]:
-        t = self.march.timing(ins.op)
-        lat = ins.latency_override if ins.latency_override is not None else t.latency
-        rtp = ins.rtput_override if ins.rtput_override is not None else t.rtput
-        return (lat, rtp, t.pipes)
+        return _timings_for(self.march, (ins,))[0]
 
     @staticmethod
     def _best_pipe(
@@ -712,34 +797,9 @@ class PipelineScheduler:
         """Per body position: producers as (position, iteration delta),
         and the inverse consumer map.  Deltas are 0 (same iteration) or
         1 (previous iteration's value: loop-carried, or defined later in
-        the body)."""
-        n_body = len(body)
-        last_def: dict[str, int] = {}
-        final_def: dict[str, int] = {}
-        for j, ins in enumerate(body):
-            if ins.dest:
-                final_def[ins.dest] = j
-        deps: list[tuple[tuple[int, int], ...]] = []
-        for j, ins in enumerate(body):
-            resolved: list[tuple[int, int]] = []
-            for src in ins.srcs:
-                if ins.carried and src == ins.dest:
-                    prev = final_def.get(src)
-                    if prev is not None:
-                        resolved.append((prev, 1))
-                elif src in last_def:
-                    resolved.append((last_def[src], 0))
-                elif src in final_def:
-                    resolved.append((final_def[src], 1))
-                # else: loop input, ready at cycle 0
-            deps.append(tuple(resolved))
-            if ins.dest:
-                last_def[ins.dest] = j
-        consumers: list[list[tuple[int, int]]] = [[] for _ in range(n_body)]
-        for j, resolved in enumerate(deps):
-            for pos, delta in resolved:
-                consumers[pos].append((j, delta))
-        return deps, [tuple(c) for c in consumers]
+        the body).  Memoized per body content in :func:`_dataflow_of`."""
+        deps, consumers = _dataflow_of(tuple(body))
+        return list(deps), list(consumers)
 
     @staticmethod
     def _classify_bound(
@@ -751,6 +811,43 @@ class PipelineScheduler:
         if n_body / cpi > 3.5:
             return "issue"
         return "latency"
+
+
+def counter_payload(
+    march: Microarch,
+    stream: InstructionStream,
+    n_iters: int,
+    total: int,
+    makespan: float,
+    cpi: float,
+    pipe_busy_cycles: Mapping[Pipe, float],
+) -> dict[str, float]:
+    """The ``pipeline.*`` PMU counters for one simulated schedule.
+
+    Shared by the event-driven scheduler and the batched SoA engine
+    (:mod:`repro.engine.batch`) so both paths emit — and the schedule
+    cache replays — byte-identical payloads.  The front-end slot
+    identity ``issue_slots.total == used + stalled`` is exact by
+    construction: every simulated cycle offers ``issue_width`` slots,
+    each dynamic instruction consumes one, and the remainder stall.
+    """
+    slot_total = march.issue_width * makespan
+    payload = {
+        "pipeline.schedules": 1.0,
+        "pipeline.iterations": float(n_iters),
+        "pipeline.instructions": float(total),
+        "pipeline.makespan_cycles": makespan,
+        "pipeline.steady_cycles": cpi * n_iters,
+        "pipeline.issue_slots.total": slot_total,
+        "pipeline.issue_slots.used": float(total),
+        "pipeline.issue_slots.stalled": slot_total - total,
+    }
+    for pipe, busy in pipe_busy_cycles.items():
+        if busy:
+            payload[f"pipeline.pipe_busy.{pipe.value}"] = busy
+    for op, count in stream.counts().items():
+        payload[f"pipeline.instr_mix.{op.value}"] = float(count * n_iters)
+    return payload
 
 
 def schedule_on(march: Microarch, stream: InstructionStream,

@@ -23,10 +23,20 @@ Modes: ``"serial"`` (in-process, live emission), ``"thread"`` (default;
 shares the in-process schedule cache, fine for the GIL-light scheduler
 inner loop), ``"process"`` (true parallelism; combine with
 ``REPRO_CACHE_DIR`` so workers share schedules via the disk cache).
+
+Batched scheduling: when a sweep carries at least
+:data:`BATCH_MIN_POINTS` engine-tier points, :func:`run_sweep` routes
+them through the structure-of-arrays batch engine
+(:mod:`repro.engine.batch`) instead of scheduling point-by-point —
+identical rows, counters and cache statistics, one deduplicated array
+program instead of N scalar simulations.  ``batch=False`` (or
+``REPRO_BATCH_SCHEDULE=off``) forces the per-point path; single points
+and small sweeps keep the event-driven scheduler automatically.
 """
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from itertools import repeat
@@ -34,7 +44,13 @@ from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro.perf.counters import ProfileScope, active_scopes
 
-__all__ = ["SweepPoint", "TIERS", "map_schedules", "run_sweep"]
+__all__ = [
+    "BATCH_MIN_POINTS",
+    "SweepPoint",
+    "TIERS",
+    "map_schedules",
+    "run_sweep",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -44,6 +60,18 @@ MODES = ("serial", "thread", "process")
 
 #: prediction tiers a sweep point can run under
 TIERS = ("engine", "ecm")
+
+#: minimum engine-tier points before :func:`run_sweep` routes through
+#: the batched SoA engine (below this, per-point scheduling is cheaper
+#: than assembling a batch)
+BATCH_MIN_POINTS = 8
+
+
+def _batch_enabled() -> bool:
+    """Default batching policy (``REPRO_BATCH_SCHEDULE`` kill switch)."""
+    return os.environ.get("REPRO_BATCH_SCHEDULE", "").lower() not in (
+        "off", "0", "no", "false",
+    )
 
 
 @dataclass(frozen=True)
@@ -177,12 +205,83 @@ def _schedule_point(spec: tuple[str, str, int | None, str]) -> dict:
     return row
 
 
+def _run_sweep_batched(
+    specs: list[tuple[str, str, int | None, str]],
+    *,
+    mode: str,
+    max_workers: int | None,
+) -> list[dict]:
+    """Batched sweep: engine-tier points go through one SoA batch.
+
+    Each engine point contributes two schedule requests — the default
+    -window schedule behind ``CompiledLoop.cycles_per_element`` and the
+    explicitly windowed one — matching the per-point path request for
+    request, so cache statistics and ``ProfileScope`` totals stay
+    bit-identical.  The default-window result pre-seeds the compiled
+    loop's cached ``schedule`` property; ECM-tier points in a mixed
+    sweep fall back to :func:`map_schedules`.
+    """
+    from repro.compilers.codegen import compile_loop
+    from repro.compilers.toolchains import get_toolchain
+    from repro.engine.batch import schedule_batch
+    from repro.kernels.catalog import build_kernel
+    from repro.machine.microarch import A64FX, SKYLAKE_6140
+
+    rows: list[dict | None] = [None] * len(specs)
+    requests: list[tuple] = []
+    pending: list[tuple[int, object, object, int | None]] = []
+    ecm_idx: list[int] = []
+    for i, (loop, tc_name, window, point_tier) in enumerate(specs):
+        if point_tier not in TIERS:
+            raise ValueError(
+                f"tier must be one of {TIERS}, got {point_tier!r}"
+            )
+        if point_tier == "ecm":
+            ecm_idx.append(i)
+            continue
+        tc = get_toolchain(tc_name)
+        march = SKYLAKE_6140 if tc.target == "x86" else A64FX
+        compiled = compile_loop(build_kernel(loop), tc, march)
+        requests.append((march, compiled.stream))
+        requests.append((march, compiled.stream, window))
+        pending.append((i, compiled, march, window))
+
+    results = schedule_batch(requests)
+    for k, (i, compiled, march, window) in enumerate(pending):
+        default_sched = results[2 * k]
+        sched = results[2 * k + 1]
+        # pre-seed the cached property so cycles_per_element reuses the
+        # batch result instead of re-entering the scalar scheduler
+        compiled.__dict__["schedule"] = default_sched
+        rows[i] = {
+            "loop": specs[i][0],
+            "toolchain": compiled.toolchain.name,
+            "march": march.name,
+            "window": window if window is not None else march.window,
+            "tier": "engine",
+            "model_cycles_per_element": compiled.cycles_per_element,
+            "cycles_per_iter": sched.cycles_per_iter,
+            "cycles_per_element": sched.cycles_per_element,
+            "ipc": sched.ipc,
+            "bound": sched.bound,
+        }
+    if ecm_idx:
+        ecm_rows = map_schedules(
+            _schedule_point, [specs[i] for i in ecm_idx],
+            mode=mode, max_workers=max_workers,
+        )
+        for i, row in zip(ecm_idx, ecm_rows):
+            rows[i] = row
+    return rows  # type: ignore[return-value]
+
+
 def run_sweep(
     points: Iterable["SweepPoint | Sequence"],
     *,
     mode: str = "thread",
     max_workers: int | None = None,
     tier: str | None = None,
+    batch: bool | None = None,
 ) -> list[dict]:
     """Predict every (loop, toolchain[, window]) point; one row each.
 
@@ -191,8 +290,23 @@ def run_sweep(
     paper's Section IV tables quote).  ``tier`` overrides the tier of
     every point at once (``--tier ecm`` on the CLIs lands here); per
     -point tiers come from :attr:`SweepPoint.tier`.
+
+    ``batch`` controls the batched SoA engine: ``None`` (default) uses
+    it when at least :data:`BATCH_MIN_POINTS` engine-tier points are
+    pending (unless ``REPRO_BATCH_SCHEDULE=off``), ``True`` forces it,
+    ``False`` keeps the per-point event-driven path.  Rows, counters
+    and cache statistics are identical either way.
     """
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
     specs = [_normalize(p, tier) for p in points]
+    n_engine = sum(1 for s in specs if s[3] == "engine")
+    use_batch = _batch_enabled() if batch is None else batch
+    if use_batch and (n_engine >= BATCH_MIN_POINTS or
+                      (batch is True and n_engine > 0)):
+        return _run_sweep_batched(
+            specs, mode=mode, max_workers=max_workers
+        )
     return map_schedules(
         _schedule_point, specs, mode=mode, max_workers=max_workers
     )

@@ -8,7 +8,9 @@ invisible*.  This pass generates randomized-but-well-formed IR loops,
 compiles each under a randomly drawn toolchain, and demands that
 
 * the fast scheduler with period detection,
-* the fast scheduler with detection disabled (full simulation), and
+* the fast scheduler with detection disabled (full simulation),
+* the batched SoA engine (:func:`repro.engine.batch.schedule_batch`),
+  including its ``pipeline.*`` counter payload, and
 * the reference scheduler
 
 return bit-identical :class:`~repro.engine.scheduler.ScheduleResult`
@@ -173,6 +175,7 @@ def check_seed(seed: int) -> list[Violation]:
     from repro.compilers.codegen import compile_loop
     from repro.compilers.toolchains import TOOLCHAINS
     from repro.engine._reference import ReferenceScheduler
+    from repro.engine.batch import schedule_batch
     from repro.engine.scheduler import PipelineScheduler, schedule_on
     from repro.machine.microarch import A64FX, SKYLAKE_6140
     from repro.perf.counters import ProfileScope
@@ -194,10 +197,17 @@ def check_seed(seed: int) -> list[Violation]:
     stream = compiled.stream
 
     out: list[Violation] = []
-    fast = PipelineScheduler(march).steady_state(stream)
+    with ProfileScope(f"fuzz:{seed}:scalar") as scalar_counters:
+        fast = PipelineScheduler(march).steady_state(stream)
     full = PipelineScheduler(march, extrapolate=False).steady_state(stream)
     golden = ReferenceScheduler(march).steady_state(stream)
-    for label, other in (("extrapolate=False", full), ("reference", golden)):
+    with ProfileScope(f"fuzz:{seed}:batch") as batch_counters:
+        batched = schedule_batch([(march, stream)], cache=False)[0]
+    for label, other in (
+        ("extrapolate=False", full),
+        ("reference", golden),
+        ("batched", batched),
+    ):
         a, b = _result_fields(fast), _result_fields(other)
         diff = _results_equal(a, b)
         if diff:
@@ -206,6 +216,12 @@ def check_seed(seed: int) -> list[Violation]:
                 f"fast scheduler disagrees with {label} on "
                 f"{sorted(diff)}: {a} vs {b}",
             ))
+    if scalar_counters.as_dict() != batch_counters.as_dict():
+        out.append(Violation(
+            "fuzz.batch.counters", f"{where} tc={tc.name}",
+            f"batched engine emitted different counters: "
+            f"{batch_counters.as_dict()} vs {scalar_counters.as_dict()}",
+        ))
 
     # cache-hit replay: result and counter payload must be identical
     with ProfileScope(f"fuzz:{seed}:miss") as miss:

@@ -28,15 +28,18 @@ Commands
 ``verify``
     Run the real-numerics headline checks (NPB EP/CG class S official
     verification, HPL residual, FFT parity, Sedov exponent).
-``bench [--quick] [--tier engine|ecm|all] [--out PATH]``
+``bench [--quick] [--tier engine|ecm|grid|all] [--out PATH]``
     Time the prediction tiers (cold seed scheduler, event-driven fast
     path, batched SoA engine, warm schedule cache, parallel sweep,
-    analytical ECM evaluation) over the Fig. 1/2 kernel set and write
-    ``BENCH_engine.json``; the full run exits non-zero if equivalence
-    or a speedup floor regresses (see docs/PERFORMANCE.md).
+    analytical ECM evaluation, and the ``grid`` tier's >=512-point
+    mixed-tier sweep with sharded batches and vectorized ECM) over the
+    Fig. 1/2 kernel set and write ``BENCH_engine.json``; the full run
+    exits non-zero if equivalence or a speedup floor regresses (see
+    docs/PERFORMANCE.md).
 ``cache [show|clear]``
-    Inspect or drop the content-addressed schedule cache (clears the
-    on-disk layer too when ``REPRO_CACHE_DIR`` is set).
+    Inspect or drop the content-addressed schedule and compile caches
+    (clears the schedule cache's on-disk layer too when
+    ``REPRO_CACHE_DIR`` is set).
 ``validate [--seeds N] [--no-bands] [--json] [--out PATH]``
     Run the model-validation passes (IR verifier, scheduler invariants,
     counter reconciliation, differential fuzz vs the golden reference,
@@ -266,21 +269,30 @@ def _cmd_bench(args: list[str]) -> int:
 
 
 def _cmd_cache(args: list[str]) -> int:
+    from repro.compilers.cache import get_compile_cache
     from repro.engine.cache import get_cache
 
     action = args[0] if args else "show"
     cache = get_cache()
+    compile_cache = get_compile_cache()
     if action == "clear":
         dropped = cache.clear(disk=True)
+        compiled_dropped = compile_cache.clear()
         print(f"schedule cache cleared ({dropped} entries dropped)")
+        print(f"compile cache cleared ({compiled_dropped} entries dropped)")
         return 0
     if action == "show":
         stats = cache.stats()
         print("schedule cache:")
-        for name in ("entries", "capacity", "hits", "misses", "disk_hits"):
-            print(f"  {name:<10} {int(stats[name])}")
+        for name in ("entries", "capacity", "hits", "misses",
+                     "disk_hits", "disk_misses", "disk_writes"):
+            print(f"  {name:<11} {int(stats[name])}")
         disk = cache.disk_dir or "(memory only; set REPRO_CACHE_DIR to persist)"
-        print(f"  disk dir   {disk}")
+        print(f"  disk dir    {disk}")
+        cstats = compile_cache.stats()
+        print("compile cache:")
+        for name in ("entries", "capacity", "hits", "misses"):
+            print(f"  {name:<11} {int(cstats[name])}")
         return 0
     print(f"unknown cache action {action!r}; "
           "usage: python -m repro cache [show|clear]")
@@ -426,10 +438,10 @@ def parse_command(argv: list[str]) -> str | None:
             elif rest[i] == "--tier":
                 if i + 1 >= len(rest):
                     raise ValueError("--tier expects a value")
-                if rest[i + 1] not in ("engine", "ecm", "all"):
+                if rest[i + 1] not in ("engine", "ecm", "grid", "all"):
                     raise ValueError(
                         f"unknown tier {rest[i + 1]!r} "
-                        f"(expected engine, ecm or all)")
+                        f"(expected engine, ecm, grid or all)")
                 i += 2
             else:
                 raise ValueError(f"unknown bench argument {rest[i]!r}")

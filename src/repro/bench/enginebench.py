@@ -31,7 +31,15 @@ set (every suite loop x all five toolchains) in four configurations:
 
 ``--tier engine`` times only the scheduler configurations, ``--tier
 ecm`` only the analytical tier (plus the ``cold_fast`` reference it is
-measured against); the default ``all`` runs both.
+measured against); ``--tier grid`` times the grid-scale sweep paths —
+a >=512-point mixed-tier (engine + ecm) window grid through
+:func:`repro.engine.sweep.run_sweep` with points/sec, the sharded batch
+(:func:`repro.engine.shard.schedule_batch_sharded`) against the serial
+batch (2x floor, enforced when >= :data:`GRID_MIN_CORES` cores are
+available), and the ECM sweep stage through the vectorized batch
+(:func:`repro.ecm.batch.predict_batch`) against the per-point fallback
+it replaced (5x floor) — plus a full batched-vs-per-point row equality
+check; the default ``all`` runs everything.
 
 Results are written as versioned JSON (``repro.bench/1``) to
 ``BENCH_engine.json`` so the performance trajectory is tracked in-repo;
@@ -46,6 +54,7 @@ missed (full mode).
 from __future__ import annotations
 
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -56,7 +65,23 @@ BATCH_SPEEDUP_FLOOR = 10.0
 ECM_SPEEDUP_FLOOR = 100.0
 EQUIV_RTOL = 1e-9
 
-TIERS = ("engine", "ecm", "all")
+#: sharded batch must beat the serial batch by this factor per point...
+GRID_SHARD_FLOOR = 2.0
+#: ...but only where the machine can actually parallelize
+GRID_MIN_CORES = 4
+#: vectorized ECM batch must beat per-point analytical evaluation
+GRID_ECM_FLOOR = 5.0
+#: a grid run must carry at least this many mixed-tier points
+GRID_MIN_POINTS = 512
+
+TIERS = ("engine", "ecm", "grid", "all")
+
+#: window axes of the grid tier: the engine axis simulates fewer, wider
+#: points; the analytical axis is window-dense — sweeping the reorder
+#: window is what the closed-form tier is for, and each extra window
+#: costs the batch almost nothing
+_GRID_ENGINE_WINDOWS = (None, 8, 24, 48)
+_GRID_ECM_WINDOWS = (None, 2, 4, 8, 16, 24, 32, 48, 64, 96)
 
 _QUICK_LOOPS = ("simple", "gather", "sqrt", "exp")
 _QUICK_TCS = ("fujitsu", "gnu", "intel")
@@ -190,6 +215,162 @@ def _time_ecm(compiled, reps: int = 3) -> float:
     return best
 
 
+def _grid_points() -> list[tuple[str, str, int | None, str]]:
+    """The >=512-point mixed-tier grid: loops x toolchains x windows."""
+    from repro.compilers.toolchains import TOOLCHAINS
+    from repro.kernels.loops import LOOP_NAMES, MATH_LOOP_NAMES
+
+    points: list[tuple[str, str, int | None, str]] = []
+    for loop in LOOP_NAMES + MATH_LOOP_NAMES:
+        for tc in TOOLCHAINS:
+            for win in _GRID_ENGINE_WINDOWS:
+                points.append((loop, tc, win, "engine"))
+            for win in _GRID_ECM_WINDOWS:
+                points.append((loop, tc, win, "ecm"))
+    assert len(points) >= GRID_MIN_POINTS
+    return points
+
+
+def _grid_reset() -> None:
+    """Drop every cache/memo layer the grid paths can warm."""
+    from repro.compilers.cache import get_compile_cache
+    from repro.ecm.batch import clear_ecm_memos
+    from repro.engine.batch import clear_tables
+    from repro.engine.cache import get_cache
+    from repro.engine.scheduler import clear_memos
+
+    get_cache().clear()
+    get_compile_cache().clear()
+    clear_memos()
+    clear_tables()
+    clear_ecm_memos()
+
+
+def _run_grid(workers: int | None) -> dict:
+    """Time the grid-scale sweep paths; returns the ``grid`` document.
+
+    Three measurements over the same >=512-point mixed-tier grid:
+
+    * the end-to-end batched sweep (``run_sweep(..., mode="process")``),
+      quoted as points/sec;
+    * the sharded batch vs the serial batch over the grid's unique
+      engine requests (identical results asserted; the
+      :data:`GRID_SHARD_FLOOR` is enforced only with at least
+      :data:`GRID_MIN_CORES` cores — a 1-core runner records the ratio
+      but cannot fail it);
+    * the grid's ECM sweep stage through the vectorized batch path vs
+      the per-point fallback it replaced (``batch=False``: one compile
+      + one analytical prediction per point), schedules already primed
+      as they are mid-sweep, compile cache and ECM memos cold
+      (:data:`GRID_ECM_FLOOR`), rows compared for exact equality.
+
+    Finally the batched sweep rows are checked equal to the per-point
+    path's over the full grid.
+    """
+    from repro.compilers.cache import cached_compile
+    from repro.compilers.toolchains import TOOLCHAINS, get_toolchain
+    from repro.engine.batch import clear_tables, schedule_batch
+    from repro.engine.scheduler import clear_memos
+    from repro.engine.shard import schedule_batch_sharded
+    from repro.engine.sweep import run_sweep
+    from repro.kernels.catalog import build_kernel
+    from repro.kernels.loops import LOOP_NAMES, MATH_LOOP_NAMES
+    from repro.machine.microarch import A64FX, SKYLAKE_6140
+
+    points = _grid_points()
+    cores = os.cpu_count() or 1
+
+    # -- end-to-end batched sweep, cold ---------------------------------
+    _grid_reset()
+    t0 = time.perf_counter()
+    rows = run_sweep(points, mode="process", max_workers=workers)
+    t_sweep = time.perf_counter() - t0
+
+    # -- sharded vs serial batch over the unique engine requests --------
+    combos = []
+    for loop in LOOP_NAMES + MATH_LOOP_NAMES:
+        for tc_name in TOOLCHAINS:
+            tc = get_toolchain(tc_name)
+            march = SKYLAKE_6140 if tc.target == "x86" else A64FX
+            combos.append((loop, tc_name,
+                           cached_compile(build_kernel(loop), tc, march)))
+    reqs = [(c.march, c.stream, win)
+            for _, _, c in combos for win in _GRID_ENGINE_WINDOWS]
+    clear_memos()
+    clear_tables()
+    t0 = time.perf_counter()
+    serial_results = schedule_batch(reqs, cache=False)
+    t_serial = time.perf_counter() - t0
+    clear_memos()
+    clear_tables()
+    t0 = time.perf_counter()
+    sharded_results = schedule_batch_sharded(
+        reqs, cache=False, max_workers=workers or cores)
+    t_sharded = time.perf_counter() - t0
+    shard_exact = serial_results == sharded_results
+    shard_speedup = t_serial / t_sharded if t_sharded else float("inf")
+    shard_enforced = cores >= GRID_MIN_CORES
+
+    # -- ECM sweep stage: vectorized batch vs the per-point fallback ----
+    # timed as the stage occurs inside a grid sweep: the schedule cache
+    # stays primed from the runs above (the engine axis already
+    # simulated these streams), so what is compared is exactly the
+    # per-ECM-point work the vectorized path replaced — batch=False is
+    # the pre-batching fallback (one compile + one analytical prediction
+    # per point), batch=True compiles through the content-addressed
+    # cache and composes every prediction in one array program.  Compile
+    # cache and ECM memos start cold on both sides; rows must match
+    # exactly.
+    from repro.compilers.cache import get_compile_cache
+    from repro.ecm.batch import clear_ecm_memos
+
+    ecm_points = [p for p in points if p[3] == "ecm"]
+    get_compile_cache().clear()
+    clear_ecm_memos()
+    t0 = time.perf_counter()
+    pp_ecm_rows = run_sweep(ecm_points, mode="serial", batch=False)
+    t_pp = time.perf_counter() - t0
+    get_compile_cache().clear()
+    clear_ecm_memos()
+    t0 = time.perf_counter()
+    vec_ecm_rows = run_sweep(ecm_points, mode="serial", batch=True)
+    t_vec = time.perf_counter() - t0
+    ecm_exact = pp_ecm_rows == vec_ecm_rows
+    ecm_speedup = t_pp / t_vec if t_vec else float("inf")
+
+    # -- full-grid row equality: batched sweep vs per-point path --------
+    pp_rows = run_sweep(points, mode="serial", batch=False)
+    rows_exact = rows == pp_rows
+
+    return {
+        "points": len(points),
+        "cores": cores,
+        "sweep_seconds": round(t_sweep, 6),
+        "points_per_sec": round(len(points) / t_sweep, 1),
+        "shard": {
+            "unique_requests": len(reqs),
+            "serial_seconds": round(t_serial, 6),
+            "sharded_seconds": round(t_sharded, 6),
+            "speedup": round(shard_speedup, 2),
+            "floor": GRID_SHARD_FLOOR,
+            "enforced": shard_enforced,
+            "exact": shard_exact,
+            "pass": shard_exact
+            and (not shard_enforced or shard_speedup >= GRID_SHARD_FLOOR),
+        },
+        "ecm_batch": {
+            "points": len(ecm_points),
+            "per_point_seconds": round(t_pp, 6),
+            "batched_seconds": round(t_vec, 6),
+            "speedup": round(ecm_speedup, 2),
+            "floor": GRID_ECM_FLOOR,
+            "exact": ecm_exact,
+            "pass": ecm_exact and ecm_speedup >= GRID_ECM_FLOOR,
+        },
+        "equivalence_pass": rows_exact,
+    }
+
+
 def run_bench(quick: bool = False, workers: int | None = None,
               tier: str = "all") -> dict:
     """Run every requested configuration and return the bench document."""
@@ -203,6 +384,7 @@ def run_bench(quick: bool = False, workers: int | None = None,
     compiled = _compiled(points)
     engine_tier = tier in ("engine", "all")
     ecm_tier = tier in ("ecm", "all")
+    grid_tier = tier in ("grid", "all")
 
     t_seed = t_batched = t_warm = t_par = None
     if engine_tier:
@@ -245,6 +427,7 @@ def run_bench(quick: bool = False, workers: int | None = None,
         t_par = time.perf_counter() - t0
 
     t_ecm = _time_ecm(compiled) if ecm_tier else None
+    grid = _run_grid(workers) if grid_tier else None
 
     equivalence = _check_equivalence(compiled)
     identity_ok = _check_counter_identity(compiled)
@@ -272,6 +455,12 @@ def run_bench(quick: bool = False, workers: int | None = None,
     if ecm_tier:
         acceptance["ecm_speedup_floor"] = ECM_SPEEDUP_FLOOR
         acceptance["ecm_speedup_pass"] = speedup_ecm >= ECM_SPEEDUP_FLOOR
+    if grid is not None:
+        acceptance["grid_shard_floor"] = GRID_SHARD_FLOOR
+        acceptance["grid_shard_pass"] = grid["shard"]["pass"]
+        acceptance["grid_ecm_floor"] = GRID_ECM_FLOOR
+        acceptance["grid_ecm_pass"] = grid["ecm_batch"]["pass"]
+        acceptance["grid_equivalence_pass"] = grid["equivalence_pass"]
 
     def _vs_fast(t: float | None) -> float | None:
         # every tier is comparable against the cold fast path, in quick
@@ -312,6 +501,8 @@ def run_bench(quick: bool = False, workers: int | None = None,
         },
         "acceptance": acceptance,
     }
+    if grid is not None:
+        doc["grid"] = grid
     return doc
 
 
@@ -345,6 +536,19 @@ def render(doc: dict) -> str:
             f"  analytical ecm tier : {secs['ecm_eval'] * 1e3:9.1f} ms"
             f"  ({doc['speedup_vs_cold_fast']['ecm_eval']:.1f}x "
             f"vs cold fast)")
+    grid = doc.get("grid")
+    if grid is not None:
+        shard = grid["shard"]
+        ecmb = grid["ecm_batch"]
+        lines += [
+            f"  grid sweep          : {grid['sweep_seconds'] * 1e3:9.1f} ms"
+            f"  ({grid['points']} pts, {grid['points_per_sec']:.0f} pts/s)",
+            f"  grid sharded batch  : {shard['sharded_seconds'] * 1e3:9.1f} ms"
+            f"  ({shard['speedup']:.1f}x vs serial batch, "
+            f"{grid['cores']} core{'s' if grid['cores'] != 1 else ''})",
+            f"  grid ecm batch      : {ecmb['batched_seconds'] * 1e3:9.1f} ms"
+            f"  ({ecmb['speedup']:.1f}x vs per-point)",
+        ]
     lines += [
         f"  golden equivalence  : max rel dev "
         f"{acc['equivalence']['max_rel_deviation']:.2e} "
@@ -364,6 +568,21 @@ def render(doc: dict) -> str:
         lines.append(
             f"  ecm speedup floor   : {acc['ecm_speedup_floor']:.0f}x "
             f"({'PASS' if acc['ecm_speedup_pass'] else 'FAIL'})")
+    if "grid_shard_pass" in acc:
+        enforced = doc["grid"]["shard"]["enforced"]
+        lines.append(
+            f"  grid shard floor    : {acc['grid_shard_floor']:.0f}x "
+            + (f"({'PASS' if acc['grid_shard_pass'] else 'FAIL'})"
+               if enforced else
+               f"(recorded; needs >= {GRID_MIN_CORES} cores to enforce)"))
+    if "grid_ecm_pass" in acc:
+        lines.append(
+            f"  grid ecm floor      : {acc['grid_ecm_floor']:.0f}x "
+            f"({'PASS' if acc['grid_ecm_pass'] else 'FAIL'})")
+    if "grid_equivalence_pass" in acc:
+        lines.append(
+            f"  grid equivalence    : "
+            f"{'PASS' if acc['grid_equivalence_pass'] else 'FAIL'}")
     return "\n".join(lines)
 
 
@@ -390,7 +609,7 @@ def main(argv: list[str]) -> int:
     if args:
         print(f"bench: unknown arguments {args}")
         print("usage: python -m repro bench [--quick] "
-              "[--tier engine|ecm|all] [--out PATH]")
+              "[--tier engine|ecm|grid|all] [--out PATH]")
         return 1
     doc = run_bench(quick=quick, tier=tier)
     out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
@@ -398,8 +617,11 @@ def main(argv: list[str]) -> int:
     print(f"wrote {out}")
     acc = doc["acceptance"]
     ok = acc["equivalence"]["pass"] and acc["counter_identity_pass"]
+    ok = ok and acc.get("grid_equivalence_pass", True)
     if not quick:
         ok = ok and acc.get("warm_speedup_pass", True)
         ok = ok and acc.get("batched_speedup_pass", True)
         ok = ok and acc.get("ecm_speedup_pass", True)
+        ok = ok and acc.get("grid_shard_pass", True)
+        ok = ok and acc.get("grid_ecm_pass", True)
     return 0 if ok else 1

@@ -134,21 +134,36 @@ def _resolved_timings(stream: InstructionStream, march: Microarch):
     return out
 
 
-def analyze_stream(
-    stream: InstructionStream,
-    march: Microarch,
-    window: int | None = None,
-) -> InCoreSummary:
-    """Compute the four analytical in-core bounds for *stream* on *march*.
+class _StreamBase:
+    """Window-independent part of the in-core analysis for one stream.
 
-    ``window`` overrides the reorder-window size (same meaning as the
-    :class:`~repro.engine.scheduler.PipelineScheduler` parameter).
+    Everything in :func:`analyze_stream` except the window bound is a
+    pure function of (stream body, march); :mod:`repro.ecm.batch`
+    memoizes this object per (march, body) and re-derives only the
+    ``window_cycles`` term per point, which is what makes vectorized
+    ECM batches cheap without changing a single float.
     """
+
+    __slots__ = ("load", "t_ol", "t_nol", "issue_cycles", "chain_cycles",
+                 "crit_path", "n")
+
+    def __init__(self, load, t_ol, t_nol, issue_cycles, chain_cycles,
+                 crit_path, n) -> None:
+        self.load = load
+        self.t_ol = t_ol
+        self.t_nol = t_nol
+        self.issue_cycles = issue_cycles
+        self.chain_cycles = chain_cycles
+        self.crit_path = crit_path
+        self.n = n
+
+
+def _stream_base(stream: InstructionStream, march: Microarch) -> _StreamBase:
+    """All window-independent in-core bounds for *stream* on *march*."""
     body = stream.body
     if not body:
         raise ValueError("cannot analyze an empty instruction stream")
     n = len(body)
-    win = march.window if window is None else window
     timings = _resolved_timings(stream, march)
     deps, _consumers = PipelineScheduler._static_dataflow(body)
 
@@ -181,10 +196,6 @@ def analyze_stream(
         finish[k] = ready + timings[k][0]
     crit_path = max(finish)
 
-    # --- window bound ---------------------------------------------------
-    # at most (win + n) / n iterations in flight; each takes >= crit_path
-    window_cycles = crit_path * n / (win + n)
-
     # --- loop-carried recurrence bound ---------------------------------
     # for each cross-iteration edge producer p -> consumer i, the
     # initiation interval is at least the total latency around the cycle:
@@ -213,12 +224,34 @@ def analyze_stream(
             if candidate > chain_cycles:
                 chain_cycles = candidate
 
+    return _StreamBase(load, t_ol, t_nol, issue_cycles, chain_cycles,
+                       crit_path, n)
+
+
+def _summarize(base: _StreamBase, win: int) -> InCoreSummary:
+    """Fold the window bound into a base analysis (shared with batches)."""
+    # at most (win + n) / n iterations in flight; each takes >= crit_path
+    window_cycles = base.crit_path * base.n / (win + base.n)
     return InCoreSummary(
-        t_ol=t_ol,
-        t_nol=t_nol,
-        issue_cycles=issue_cycles,
-        chain_cycles=chain_cycles,
+        t_ol=base.t_ol,
+        t_nol=base.t_nol,
+        issue_cycles=base.issue_cycles,
+        chain_cycles=base.chain_cycles,
         window_cycles=window_cycles,
-        port_cycles={p: load[i] for i, p in enumerate(_PIPES)},
-        n_instrs=n,
+        port_cycles={p: base.load[i] for i, p in enumerate(_PIPES)},
+        n_instrs=base.n,
     )
+
+
+def analyze_stream(
+    stream: InstructionStream,
+    march: Microarch,
+    window: int | None = None,
+) -> InCoreSummary:
+    """Compute the four analytical in-core bounds for *stream* on *march*.
+
+    ``window`` overrides the reorder-window size (same meaning as the
+    :class:`~repro.engine.scheduler.PipelineScheduler` parameter).
+    """
+    win = march.window if window is None else window
+    return _summarize(_stream_base(stream, march), win)

@@ -25,7 +25,7 @@ from repro.machine.isa import Instruction, InstructionStream, Pipe
 from repro.machine.microarch import Microarch
 from repro.perf.counters import emit, is_profiling
 
-from repro.engine.scheduler import ScheduleResult
+from repro.engine.scheduler import ScheduleResult, _canon_pipes
 
 __all__ = ["ReferenceScheduler"]
 
@@ -160,15 +160,19 @@ class ReferenceScheduler:
             emit(f"pipeline.instr_mix.{op.value}", float(count * n_iters))
 
     # ------------------------------------------------------------------
-    def _timing_of(self, ins: Instruction) -> tuple[float, float, frozenset[Pipe]]:
+    def _timing_of(
+        self, ins: Instruction
+    ) -> tuple[float, float, tuple[Pipe, ...]]:
         t = self.march.timing(ins.op)
         lat = ins.latency_override if ins.latency_override is not None else t.latency
         rtp = ins.rtput_override if ins.rtput_override is not None else t.rtput
-        return (lat, rtp, t.pipes)
+        # canonical pipe order: ties between equally-free pipes must
+        # break the same way as the fast scheduler on any hash seed
+        return (lat, rtp, _canon_pipes(t.pipes))
 
     @staticmethod
     def _best_pipe(
-        pipes: frozenset[Pipe], pipe_free: dict[Pipe, float], cycle: float
+        pipes: tuple[Pipe, ...], pipe_free: dict[Pipe, float], cycle: float
     ) -> Pipe | None:
         best: Pipe | None = None
         for p in pipes:

@@ -30,8 +30,8 @@ batch as one array program:
 Exactness contract: the batched path issues the *identical* dynamic
 instruction sequence as :class:`~repro.engine.scheduler.PipelineScheduler`
 — same issue cycles, same pipe choices (the pipe-candidate order of each
-class is captured from the very frozensets the scalar ``_best_pipe``
-iterates), same period detection keys and fast-forward shifts — and
+class is the canonical ``_canon_pipes`` order the scalar ``_best_pipe``
+walks), same period detection keys and fast-forward shifts — and
 therefore bit-identical :class:`~repro.engine.scheduler.ScheduleResult`
 fields and ``pipeline.*`` counter payloads
 (``tests/engine/test_batch.py`` enforces this against both the
@@ -48,10 +48,14 @@ schedule observers).
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
 import threading
 from collections import OrderedDict
 from dataclasses import replace
 from heapq import heapify, heappop, heappush
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
@@ -88,11 +92,12 @@ class _StreamTables:
     ``lat``/``rtp`` are per-body-position effective latency and
     reciprocal throughput (overrides resolved).  Positions are grouped
     into *pipe-candidate classes*: ``cls_of[pos]`` names the class and
-    ``class_pipes[c]`` is the candidate pipe-id tuple, captured in the
-    iteration order of the same frozenset the scalar scheduler's
-    ``_best_pipe`` walks — so tie-breaking between equally-free pipes is
-    bit-identical.  ``deps``/``consumers`` come from the memoized static
-    dataflow.
+    ``class_pipes[c]`` is the candidate pipe-id tuple, in the canonical
+    ``_canon_pipes`` order the scalar scheduler's ``_best_pipe`` walks —
+    so tie-breaking between equally-free pipes is bit-identical on any
+    hash seed and across process boundaries (shard workers rebuild the
+    same tables from pickled requests).  ``deps``/``consumers`` come
+    from the memoized static dataflow.
     """
 
     __slots__ = ("lat", "rtp", "cls_of", "class_pipes", "deps", "consumers")
@@ -117,6 +122,37 @@ class _StreamTables:
         self.cls_of = cls_of
         self.class_pipes = tuple(class_pipes)
 
+    # -- JSON round-trip for the shared disk layer ---------------------
+    def to_json(self) -> dict:
+        """Serialize the precompiled tables (floats round-trip exactly)."""
+        return {
+            "format": TABLES_FORMAT,
+            "lat": self.lat,
+            "rtp": self.rtp,
+            "cls_of": self.cls_of,
+            "class_pipes": [list(c) for c in self.class_pipes],
+            "deps": [[list(e) for e in d] for d in self.deps],
+            "consumers": [[list(e) for e in d] for d in self.consumers],
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "_StreamTables":
+        """Rebuild tables persisted by :meth:`to_json`."""
+        if doc.get("format") != TABLES_FORMAT:
+            raise ValueError(f"unknown tables format {doc.get('format')!r}")
+        self = cls.__new__(cls)
+        self.lat = [float(v) for v in doc["lat"]]
+        self.rtp = [float(v) for v in doc["rtp"]]
+        self.cls_of = [int(v) for v in doc["cls_of"]]
+        self.class_pipes = tuple(
+            tuple(int(p) for p in c) for c in doc["class_pipes"])
+        self.deps = tuple(
+            tuple((int(p), int(d)) for p, d in dep) for dep in doc["deps"])
+        self.consumers = tuple(
+            tuple((int(p), int(d)) for p, d in con)
+            for con in doc["consumers"])
+        return self
+
 
 #: LRU of precompiled tables, keyed by ``id(march)`` with the march
 #: pinned in the value so the id cannot be recycled while the entry lives
@@ -126,17 +162,68 @@ _TABLES: OrderedDict[
 _TABLES_CAP = 512
 _TABLES_LOCK = threading.Lock()
 
+#: disk format of persisted precompiled tables (bump on layout changes)
+TABLES_FORMAT = "repro.batch-tables/1"
+
+
+def _tables_disk_dir() -> Path | None:
+    """Where shard workers share precompiled tables (``REPRO_CACHE_DIR``)."""
+    root = os.environ.get("REPRO_CACHE_DIR")
+    return Path(root) / "tables" if root else None
+
+
+def _tables_disk_key(march: Microarch,
+                     body: tuple[Instruction, ...]) -> str:
+    """Content fingerprint of one table set (march timings + body)."""
+    from repro.engine.cache import march_fingerprint
+
+    # body-only digest (elements_per_iter does not shape the tables);
+    # the march side reuses the schedule cache's fingerprint, which
+    # already folds in the scheduler version and the full timing table
+    body_rows = [
+        (ins.op.value, ins.dest, list(ins.srcs), ins.carried,
+         ins.latency_override, ins.rtput_override)
+        for ins in body
+    ]
+    blob = json.dumps([TABLES_FORMAT, body_rows], separators=(",", ":"))
+    return (march_fingerprint(march, 0)[:16] + "-"
+            + hashlib.sha256(blob.encode()).hexdigest()[:32])
+
 
 def _tables_for(march: Microarch,
                 body: tuple[Instruction, ...]) -> _StreamTables:
-    """Fetch (or build) the precompiled tables for (march, body)."""
+    """Fetch (or build) the precompiled tables for (march, body).
+
+    With ``REPRO_CACHE_DIR`` set, table sets are also persisted as
+    versioned JSON so shard workers (and later processes) load them
+    instead of re-deriving timings and dataflow edges; corrupt or
+    stale-format files are silently rebuilt.
+    """
     key = (id(march), body)
     with _TABLES_LOCK:
         hit = _TABLES.get(key)
         if hit is not None:
             _TABLES.move_to_end(key)
             return hit[1]
-    tables = _StreamTables(march, body)
+    disk_dir = _tables_disk_dir()
+    path = (disk_dir / f"{_tables_disk_key(march, body)}.json"
+            if disk_dir is not None else None)
+    tables = None
+    if path is not None:
+        try:
+            tables = _StreamTables.from_json(json.loads(path.read_text()))
+        except (OSError, ValueError, KeyError, TypeError):
+            tables = None
+    if tables is None:
+        tables = _StreamTables(march, body)
+        if path is not None:
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                tmp = path.with_suffix(f".tmp{os.getpid()}")
+                tmp.write_text(json.dumps(tables.to_json(), sort_keys=True))
+                tmp.replace(path)
+            except OSError:  # pragma: no cover - read-only cache dir
+                pass
     with _TABLES_LOCK:
         _TABLES[key] = (march, tables)
         _TABLES.move_to_end(key)
@@ -421,7 +508,7 @@ class _Lane:
                         best_d = hd
                         best_c = c
                 # smallest-backlog free pipe; first-in-order wins ties,
-                # matching the scalar _best_pipe walk of the frozenset
+                # matching the scalar _best_pipe canonical-order walk
                 best_p = -1
                 best_f = limit
                 for p in class_pipes[best_c]:
@@ -596,36 +683,31 @@ def _finalize(lanes: list[_Lane]) -> list[tuple[ScheduleResult, dict]]:
 
 
 # ----------------------------------------------------------------------
-def schedule_batch(
-    requests: Sequence[tuple],
-    *,
-    cache: bool = True,
-) -> list[ScheduleResult]:
-    """Schedule many ``(march, stream[, window])`` points as one batch.
+class _BatchPlan:
+    """Prepared batch: normalized requests, dedup map, cache prefetch.
 
-    Returns one :class:`~repro.engine.scheduler.ScheduleResult` per
-    request, in request order — each bit-identical to what
-    ``schedule_on(march, stream, window, cache=cache)`` would return,
-    including the ``pipeline.*`` counter payload and
-    ``schedule_cache.hits``/``misses`` emissions under an active
-    :class:`~repro.perf.counters.ProfileScope` and the hit/miss
-    statistics of the process-wide schedule cache.
-
-    Content-identical requests are deduplicated: the point simulates
-    once and duplicates replay the stored outcome (relabeled per
-    request), exactly like cache hits — and, like cache hits, replays
-    are not re-observed by schedule observers.
+    Produced by :func:`_plan_batch` and consumed by
+    :func:`_complete_batch`; the jobs in between can be simulated
+    in-process (:func:`_simulate_jobs`) or sharded across a process
+    pool (:mod:`repro.engine.shard`) — the plan and completion phases
+    run in the caller either way, so cache statistics and counter
+    emissions are sequenced identically.
     """
+
+    __slots__ = ("marches", "streams", "windows", "keys", "first_seen",
+                 "entries", "job_keys", "cache_obj", "record", "n_iters")
+
+
+def _plan_batch(requests: Sequence[tuple], cache: bool) -> _BatchPlan:
+    """Validate, fingerprint, deduplicate and cache-prefetch *requests*."""
     from repro.engine.cache import (
-        _Entry,
         enabled,
         get_cache,
         march_fingerprint,
         stream_fingerprint,
     )
 
-    if not requests:
-        return []
+    plan = _BatchPlan()
     marches: list[Microarch] = []
     streams: list[InstructionStream] = []
     windows: list[int] = []
@@ -653,7 +735,7 @@ def schedule_batch(
 
     cache_obj = get_cache() if (cache and enabled()) else None
     first_seen: dict[tuple[str, str], int] = {}
-    entries: dict[tuple[str, str], _Entry] = {}
+    entries: dict = {}
     job_keys: list[tuple[str, str]] = []
     for i, key in enumerate(keys):
         if key in first_seen:
@@ -666,49 +748,95 @@ def schedule_batch(
                 continue
         job_keys.append(key)
 
-    record = bool(_SCHEDULE_OBSERVERS)
-    n_iters = (PipelineScheduler.WARMUP_ITERS
-               + PipelineScheduler.MEASURE_ITERS)
-    lanes = []
-    for key in job_keys:
-        i = first_seen[key]
-        lanes.append(_Lane(
-            marches[i], streams[i], windows[i],
-            _tables_for(marches[i], tuple(streams[i].body)),
-            record, n_iters,
-        ))
-    _run_lanes(lanes)
-    sim_out = _finalize(lanes)
+    plan.marches = marches
+    plan.streams = streams
+    plan.windows = windows
+    plan.keys = keys
+    plan.first_seen = first_seen
+    plan.entries = entries
+    plan.job_keys = job_keys
+    plan.cache_obj = cache_obj
+    plan.record = bool(_SCHEDULE_OBSERVERS)
+    plan.n_iters = (PipelineScheduler.WARMUP_ITERS
+                    + PipelineScheduler.MEASURE_ITERS)
+    return plan
 
+
+def _plan_jobs(
+    plan: _BatchPlan,
+) -> list[tuple[Microarch, InstructionStream, int]]:
+    """The unique (march, stream, window) points the plan must simulate."""
+    out = []
+    for key in plan.job_keys:
+        i = plan.first_seen[key]
+        out.append((plan.marches[i], plan.streams[i], plan.windows[i]))
+    return out
+
+
+def _simulate_jobs(
+    jobs: list[tuple[Microarch, InstructionStream, int]],
+    record: bool,
+    n_iters: int,
+) -> list[tuple[ScheduleResult, dict, tuple | None]]:
+    """Simulate unique jobs as one lane set; (result, payload, events).
+
+    This is the only phase shard workers execute remotely; it touches
+    no process-global state beyond the pure table memos, so running
+    job subsets in separate processes composes to the same output.
+    """
+    lanes = [
+        _Lane(march, stream, window,
+              _tables_for(march, tuple(stream.body)), record, n_iters)
+        for march, stream, window in jobs
+    ]
+    _run_lanes(lanes)
+    return [
+        (result, payload,
+         tuple(lane.events) if lane.events is not None else None)
+        for lane, (result, payload) in zip(lanes, _finalize(lanes))
+    ]
+
+
+def _complete_batch(
+    plan: _BatchPlan,
+    sim_out: list[tuple[ScheduleResult, dict, tuple | None]],
+) -> list[ScheduleResult]:
+    """Store, observe and emit — in request submission order."""
+    from repro.engine.cache import _Entry
+
+    cache_obj = plan.cache_obj
+    streams = plan.streams
     simulated: dict[tuple[str, str], tuple[ScheduleResult, dict]] = {}
-    for key, lane, (result, payload) in zip(job_keys, lanes, sim_out):
+    for key, (result, payload, _events) in zip(plan.job_keys, sim_out):
         simulated[key] = (result, payload)
         if cache_obj is not None:
             entry = _Entry(result=replace(result, label=""),
                            counters=payload)
             cache_obj.store(key, entry)
-            entries[key] = entry
-    if record:
+            plan.entries[key] = entry
+    if plan.record:
         observers = tuple(_SCHEDULE_OBSERVERS)
-        for lane, (result, _payload) in zip(lanes, sim_out):
+        for key, (result, _payload, events) in zip(plan.job_keys, sim_out):
+            i = plan.first_seen[key]
             rec = ScheduleRecord(
-                march=lane.march, window=lane.window, stream=lane.stream,
-                n_iters=n_iters, issues=tuple(lane.events), result=result,
+                march=plan.marches[i], window=plan.windows[i],
+                stream=streams[i], n_iters=plan.n_iters,
+                issues=events, result=result,
             )
             for observer in observers:
                 observer(rec)
 
     profiling = is_profiling()
     results: list[ScheduleResult] = []
-    for i, key in enumerate(keys):
+    for i, key in enumerate(plan.keys):
         if cache_obj is not None:
-            if i == first_seen[key]:
-                entry = entries[key]
+            if i == plan.first_seen[key]:
+                entry = plan.entries[key]
                 fresh = key in simulated
             else:
                 # duplicates hit the cache like a sequential run would,
                 # so hit statistics stay identical
-                entry = cache_obj.lookup(key) or entries[key]
+                entry = cache_obj.lookup(key) or plan.entries[key]
                 fresh = False
             if profiling:
                 emit("schedule_cache.misses" if fresh
@@ -723,3 +851,33 @@ def schedule_batch(
                     emit(name, value)
             results.append(replace(result, label=streams[i].label))
     return results
+
+
+def schedule_batch(
+    requests: Sequence[tuple],
+    *,
+    cache: bool = True,
+) -> list[ScheduleResult]:
+    """Schedule many ``(march, stream[, window])`` points as one batch.
+
+    Returns one :class:`~repro.engine.scheduler.ScheduleResult` per
+    request, in request order — each bit-identical to what
+    ``schedule_on(march, stream, window, cache=cache)`` would return,
+    including the ``pipeline.*`` counter payload and
+    ``schedule_cache.hits``/``misses`` emissions under an active
+    :class:`~repro.perf.counters.ProfileScope` and the hit/miss
+    statistics of the process-wide schedule cache.
+
+    Content-identical requests are deduplicated: the point simulates
+    once and duplicates replay the stored outcome (relabeled per
+    request), exactly like cache hits — and, like cache hits, replays
+    are not re-observed by schedule observers.
+
+    :func:`repro.engine.shard.schedule_batch_sharded` runs the same
+    plan with the simulation phase fanned out over a process pool.
+    """
+    if not requests:
+        return []
+    plan = _plan_batch(requests, cache)
+    sim_out = _simulate_jobs(_plan_jobs(plan), plan.record, plan.n_iters)
+    return _complete_batch(plan, sim_out)

@@ -66,8 +66,21 @@ DISK_FORMAT = "repro.schedule-cache/1"
 _PIPE_BY_VALUE = {p.value: p for p in Pipe}
 
 
+#: identity-keyed fingerprint memos: content hashing walks the whole
+#: timing table / instruction body, but marches are module singletons
+#: and batched sweeps share one stream object across every window of a
+#: combo, so (id, pinned-object) lookups make repeat fingerprints O(1);
+#: the pinned object is compared with ``is`` to survive id recycling
+_MARCH_FP: dict[tuple[int, int], tuple[Microarch, str]] = {}
+_STREAM_FP: dict[int, tuple[InstructionStream, str]] = {}
+_FP_MEMO_CAP = 4096
+
+
 def march_fingerprint(march: Microarch, window: int) -> str:
     """Digest of everything about *march* that the scheduler reads."""
+    hit = _MARCH_FP.get((id(march), window))
+    if hit is not None and hit[0] is march:
+        return hit[1]
     timing_rows = sorted(
         (
             op.value,
@@ -89,11 +102,18 @@ def march_fingerprint(march: Microarch, window: int) -> str:
         ],
         separators=(",", ":"),
     )
-    return hashlib.sha256(blob.encode()).hexdigest()
+    fp = hashlib.sha256(blob.encode()).hexdigest()
+    if len(_MARCH_FP) >= _FP_MEMO_CAP:
+        _MARCH_FP.clear()
+    _MARCH_FP[(id(march), window)] = (march, fp)
+    return fp
 
 
 def stream_fingerprint(stream: InstructionStream) -> str:
     """Digest of the schedule-relevant stream content (label excluded)."""
+    hit = _STREAM_FP.get(id(stream))
+    if hit is not None and hit[0] is stream:
+        return hit[1]
     rows = [
         (
             ins.op.value,
@@ -108,7 +128,11 @@ def stream_fingerprint(stream: InstructionStream) -> str:
     blob = json.dumps(
         [stream.elements_per_iter, rows], separators=(",", ":")
     )
-    return hashlib.sha256(blob.encode()).hexdigest()
+    fp = hashlib.sha256(blob.encode()).hexdigest()
+    if len(_STREAM_FP) >= _FP_MEMO_CAP:
+        _STREAM_FP.clear()
+    _STREAM_FP[id(stream)] = (stream, fp)
+    return fp
 
 
 @dataclass
@@ -170,6 +194,8 @@ class ScheduleCache:
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
+        self.disk_misses = 0
+        self.disk_writes = 0
 
     # ------------------------------------------------------------------
     def lookup(self, key: tuple[str, str]) -> _Entry | None:
@@ -187,6 +213,8 @@ class ScheduleCache:
                 self.hits += 1
                 self._put_locked(key, entry)
             else:
+                if self.disk_dir is not None:
+                    self.disk_misses += 1
                 self.misses += 1
         return entry
 
@@ -210,7 +238,8 @@ class ScheduleCache:
         with self._lock:
             dropped = len(self._entries)
             self._entries.clear()
-            self.hits = self.misses = self.disk_hits = 0
+            self.hits = self.misses = 0
+            self.disk_hits = self.disk_misses = self.disk_writes = 0
         if disk and self.disk_dir is not None and self.disk_dir.is_dir():
             for path in self.disk_dir.glob("*.json"):
                 try:
@@ -221,7 +250,14 @@ class ScheduleCache:
         return dropped
 
     def stats(self) -> dict[str, float]:
-        """Hit/miss/size statistics as a plain dict."""
+        """Hit/miss/size statistics as a plain dict.
+
+        The ``disk_*`` counters observe the persistent layer alone:
+        ``disk_hits``/``disk_misses`` count reads that fell through the
+        memory LRU (misses only when a disk directory is configured, so
+        memory-only caches report zeros), ``disk_writes`` counts entries
+        mirrored out by :meth:`store`.
+        """
         with self._lock:
             return {
                 "entries": float(len(self._entries)),
@@ -229,6 +265,8 @@ class ScheduleCache:
                 "hits": float(self.hits),
                 "misses": float(self.misses),
                 "disk_hits": float(self.disk_hits),
+                "disk_misses": float(self.disk_misses),
+                "disk_writes": float(self.disk_writes),
             }
 
     def __len__(self) -> int:
@@ -263,7 +301,9 @@ class ScheduleCache:
             tmp.write_text(json.dumps(entry.to_json(), sort_keys=True))
             tmp.replace(path)
         except OSError:  # pragma: no cover - read-only cache dir etc.
-            pass
+            return
+        with self._lock:
+            self.disk_writes += 1
 
 
 # ----------------------------------------------------------------------

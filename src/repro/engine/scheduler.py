@@ -77,6 +77,19 @@ _INF = float("inf")
 #: stable pipe order for state snapshots and fast-forward bookkeeping
 _PIPES = tuple(Pipe)
 
+
+def _canon_pipes(pipes: frozenset[Pipe]) -> tuple[Pipe, ...]:
+    """*pipes* in ``Pipe`` definition order — the canonical tie-break walk.
+
+    ``_best_pipe`` picks the first least-loaded candidate, so the walk
+    order decides ties between equally-free pipes.  A frozenset's
+    iteration order depends on ``PYTHONHASHSEED`` and does not survive a
+    pickle round-trip to a shard worker; sorting once at timing
+    -resolution time makes every scheduler (scalar, reference, batched,
+    sharded) break ties identically on any seed and in any process.
+    """
+    return tuple(p for p in _PIPES if p in pipes)
+
 #: opt-in schedule observers (see :func:`add_schedule_observer`); empty in
 #: normal operation so the fast path pays nothing for the hook point
 _SCHEDULE_OBSERVERS: list = []
@@ -102,10 +115,10 @@ class ScheduleRecord:
     issues: tuple[tuple[int, float, Pipe], ...]
     result: ScheduleResult
 
-    def timings(self) -> list[tuple[float, float, frozenset[Pipe]]]:
+    def timings(self) -> list[tuple[float, float, tuple[Pipe, ...]]]:
         """Per body position ``(latency, rtput, pipes)`` under ``march``,
-        honoring per-instruction overrides — the same resolution the
-        scheduler itself used."""
+        honoring per-instruction overrides — the same resolution (and
+        canonical pipe order) the scheduler itself used."""
         out = []
         for ins in self.stream.body:
             t = self.march.timing(ins.op)
@@ -113,7 +126,7 @@ class ScheduleRecord:
                    if ins.latency_override is not None else t.latency)
             rtp = (ins.rtput_override
                    if ins.rtput_override is not None else t.rtput)
-            out.append((lat, rtp, t.pipes))
+            out.append((lat, rtp, _canon_pipes(t.pipes)))
         return out
 
 
@@ -184,13 +197,13 @@ def _dataflow_of(
     return tuple(deps), tuple(tuple(c) for c in consumers)
 
 
-#: memoized per-(march, body) resolved timing rows.  Keyed by
-#: ``id(march)`` with the march pinned in the value so the id cannot be
-#: recycled while the entry lives; bounded LRU, guarded for the threaded
-#: sweep runner.
+#: memoized per-(march, body) resolved timing rows (candidate pipes in
+#: canonical order — see :func:`_canon_pipes`).  Keyed by ``id(march)``
+#: with the march pinned in the value so the id cannot be recycled while
+#: the entry lives; bounded LRU, guarded for the threaded sweep runner.
 _TIMINGS_MEMO: OrderedDict[
     tuple[int, tuple[Instruction, ...]],
-    tuple[Microarch, tuple[tuple[float, float, frozenset[Pipe]], ...]],
+    tuple[Microarch, tuple[tuple[float, float, tuple[Pipe, ...]], ...]],
 ] = OrderedDict()
 _TIMINGS_MEMO_CAP = 1024
 _MEMO_LOCK = threading.Lock()
@@ -198,9 +211,11 @@ _MEMO_LOCK = threading.Lock()
 
 def _timings_for(
     march: Microarch, body: tuple[Instruction, ...]
-) -> tuple[tuple[float, float, frozenset[Pipe]], ...]:
+) -> tuple[tuple[float, float, tuple[Pipe, ...]], ...]:
     """Per body position ``(latency, rtput, pipes)`` under *march*,
-    honoring per-instruction overrides; memoized per (march, body)."""
+    honoring per-instruction overrides; memoized per (march, body).
+    Candidate pipes come back in canonical :func:`_canon_pipes` order so
+    tie-breaking is reproducible across seeds and process boundaries."""
     key = (id(march), body)
     with _MEMO_LOCK:
         hit = _TIMINGS_MEMO.get(key)
@@ -214,7 +229,7 @@ def _timings_for(
                if ins.latency_override is not None else t.latency)
         rtp = (ins.rtput_override
                if ins.rtput_override is not None else t.rtput)
-        rows.append((lat, rtp, t.pipes))
+        rows.append((lat, rtp, _canon_pipes(t.pipes)))
     resolved = tuple(rows)
     with _MEMO_LOCK:
         _TIMINGS_MEMO[key] = (march, resolved)
@@ -261,6 +276,28 @@ class ScheduleDivergence(RuntimeError):
             f"{self.stuck_position}, {self.stuck_mnemonic!r}) — check the "
             f"instruction stream for an unsatisfiable dependence"
         )
+
+    def __reduce__(self):
+        """Pickle by field (the custom ``__init__`` takes the stream
+        itself, which a shard worker's traceback must not require)."""
+        state = {
+            "label": self.label,
+            "window": self.window,
+            "stuck_index": self.stuck_index,
+            "stuck_iteration": self.stuck_iteration,
+            "stuck_position": self.stuck_position,
+            "stuck_mnemonic": self.stuck_mnemonic,
+        }
+        return (_rebuild_divergence, (self.args, state))
+
+
+def _rebuild_divergence(args: tuple, state: dict) -> "ScheduleDivergence":
+    """Unpickle helper for :class:`ScheduleDivergence` (same message)."""
+    exc = ScheduleDivergence.__new__(ScheduleDivergence)
+    RuntimeError.__init__(exc, *args)
+    for name, value in state.items():
+        setattr(exc, name, value)
+    return exc
 
 
 @dataclass(frozen=True)
@@ -771,15 +808,19 @@ class PipelineScheduler:
         )
 
     # ------------------------------------------------------------------
-    def _timing_of(self, ins: Instruction) -> tuple[float, float, frozenset[Pipe]]:
+    def _timing_of(
+        self, ins: Instruction
+    ) -> tuple[float, float, tuple[Pipe, ...]]:
         return _timings_for(self.march, (ins,))[0]
 
     @staticmethod
     def _best_pipe(
-        pipes: frozenset[Pipe], pipe_free: dict[Pipe, float], cycle: float
+        pipes: tuple[Pipe, ...], pipe_free: dict[Pipe, float], cycle: float
     ) -> Pipe | None:
         """Pipe that frees up within this cycle with the smallest backlog,
-        or None if all are busy past it."""
+        or None if all are busy past it.  *pipes* arrives in canonical
+        :func:`_canon_pipes` order, which fixes the tie between
+        equally-free candidates."""
         best: Pipe | None = None
         for p in pipes:
             if pipe_free[p] < cycle + 1.0:

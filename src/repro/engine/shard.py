@@ -1,0 +1,109 @@
+"""Sharded batch scheduling: the SoA batch across a process pool.
+
+:func:`repro.engine.batch.schedule_batch` deduplicates a sweep's
+requests into unique lanes but still simulates them on one core.
+:func:`schedule_batch_sharded` runs the *same* plan with the simulation
+phase split into contiguous per-worker shards on a
+:class:`~concurrent.futures.ProcessPoolExecutor`:
+
+* the **plan** phase (validation, content fingerprints, dedup, schedule
+  -cache prefetch) runs in the caller;
+* each worker simulates its shard of unique lanes with the identical
+  ``_Lane`` array program — per-lane results are independent, and the
+  vectorized finalization is element-wise, so a per-shard finalize
+  equals the whole-batch finalize float for float.  With
+  ``REPRO_CACHE_DIR`` set, workers share precompiled timing/dependency
+  tables through the disk layer of :mod:`repro.engine.batch` instead of
+  re-deriving them;
+* the **completion** phase (cache stores, observer dispatch, counter
+  and ``schedule_cache.*`` emissions) runs back in the caller in
+  request submission order.
+
+Because every stateful step happens in the caller in the same sequence
+as the serial batch, the results, counter totals and cache statistics
+are **bit-identical** to :func:`~repro.engine.batch.schedule_batch` —
+and to the per-point scheduler (``tests/engine/test_shard.py`` and the
+grid fuzz lane enforce both).
+
+Where process pools are unavailable the pool downgrade of
+:mod:`repro.engine.sweep` applies: a
+:class:`~repro.engine.sweep.PoolDowngradeWarning` is emitted, threads
+are used instead, and :func:`~repro.engine.sweep.last_effective_mode`
+reports what actually ran.  A divergent lane raises the same
+:class:`~repro.engine.scheduler.ScheduleDivergence` as the scalar path
+(the exception pickles by field across the pool boundary).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+from repro.engine.batch import (
+    _complete_batch,
+    _plan_batch,
+    _plan_jobs,
+    _simulate_jobs,
+)
+from repro.engine.scheduler import ScheduleResult
+from repro.engine.sweep import _make_pool, _set_effective_mode
+
+__all__ = ["SHARD_MODES", "schedule_batch_sharded"]
+
+#: executor modes :func:`schedule_batch_sharded` accepts
+SHARD_MODES = ("serial", "thread", "process")
+
+
+def _simulate_shard(payload: tuple) -> list:
+    """Worker entry point: simulate one shard of unique lanes.
+
+    Top-level (picklable) and free of process-global side effects —
+    the schedule cache, observers and counters are only touched by the
+    parent's completion phase.
+    """
+    jobs, record, n_iters = payload
+    return _simulate_jobs(jobs, record, n_iters)
+
+
+def schedule_batch_sharded(
+    requests: Sequence[tuple],
+    *,
+    cache: bool = True,
+    max_workers: int | None = None,
+    mode: str = "process",
+) -> list[ScheduleResult]:
+    """:func:`~repro.engine.batch.schedule_batch`, simulation sharded.
+
+    Identical request grammar, identical results, counters and cache
+    statistics — only the wall time of the unique-lane simulation
+    changes.  ``max_workers`` defaults to the CPU count; shards are
+    contiguous slices of the deduplicated job list, so submission
+    -order reassembly is trivial.  Batches whose unique-lane count (or
+    worker budget) is 1 run in-process; ``mode="serial"`` forces that,
+    ``mode="thread"`` uses a thread pool (useful under profilers or
+    where fork is unavailable).
+    """
+    if mode not in SHARD_MODES:
+        raise ValueError(f"mode must be one of {SHARD_MODES}, got {mode!r}")
+    if not requests:
+        return []
+    plan = _plan_batch(requests, cache)
+    jobs = _plan_jobs(plan)
+    workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+    workers = max(1, min(workers, len(jobs)))
+    if mode == "serial" or workers <= 1 or len(jobs) <= 1:
+        _set_effective_mode("serial")
+        sim_out = _simulate_jobs(jobs, plan.record, plan.n_iters)
+        return _complete_batch(plan, sim_out)
+
+    size = (len(jobs) + workers - 1) // workers
+    shards = [jobs[s:s + size] for s in range(0, len(jobs), size)]
+    pool, effective = _make_pool(mode, workers)
+    _set_effective_mode(effective)
+    with pool:
+        futures = [
+            pool.submit(_simulate_shard, (shard, plan.record, plan.n_iters))
+            for shard in shards
+        ]
+        sim_out = [item for fut in futures for item in fut.result()]
+    return _complete_batch(plan, sim_out)

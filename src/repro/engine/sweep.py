@@ -25,19 +25,26 @@ inner loop), ``"process"`` (true parallelism; combine with
 ``REPRO_CACHE_DIR`` so workers share schedules via the disk cache).
 
 Batched scheduling: when a sweep carries at least
-:data:`BATCH_MIN_POINTS` engine-tier points, :func:`run_sweep` routes
-them through the structure-of-arrays batch engine
-(:mod:`repro.engine.batch`) instead of scheduling point-by-point —
-identical rows, counters and cache statistics, one deduplicated array
-program instead of N scalar simulations.  ``batch=False`` (or
-``REPRO_BATCH_SCHEDULE=off``) forces the per-point path; single points
-and small sweeps keep the event-driven scheduler automatically.
+:func:`batch_min_points` points, :func:`run_sweep` routes them through
+the grid fast paths — compilations deduplicate through the
+content-addressed compile cache (:mod:`repro.compilers.cache`),
+engine-tier points run as one structure-of-arrays batch
+(:mod:`repro.engine.batch`; sharded over a process pool by
+:mod:`repro.engine.shard` under ``mode="process"``), and ECM-tier
+points evaluate as one vectorized array program
+(:mod:`repro.ecm.batch`) — identical rows, counters and cache
+statistics, multiplicatively fewer scalar evaluations.  ``batch=False``
+(or ``REPRO_BATCH_SCHEDULE=off``) forces the per-point path; single
+points and small sweeps keep the event-driven scheduler automatically.
+``REPRO_BATCH_MIN_POINTS`` overrides the routing threshold.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import threading
+import warnings
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from itertools import repeat
 from typing import Callable, Iterable, Sequence, TypeVar
@@ -46,8 +53,11 @@ from repro.perf.counters import ProfileScope, active_scopes
 
 __all__ = [
     "BATCH_MIN_POINTS",
+    "PoolDowngradeWarning",
     "SweepPoint",
     "TIERS",
+    "batch_min_points",
+    "last_effective_mode",
     "map_schedules",
     "run_sweep",
 ]
@@ -61,10 +71,59 @@ MODES = ("serial", "thread", "process")
 #: prediction tiers a sweep point can run under
 TIERS = ("engine", "ecm")
 
-#: minimum engine-tier points before :func:`run_sweep` routes through
-#: the batched SoA engine (below this, per-point scheduling is cheaper
-#: than assembling a batch)
+#: default minimum point count before :func:`run_sweep` routes through
+#: the batched grid paths (below this, per-point scheduling is cheaper
+#: than assembling a batch); override with ``REPRO_BATCH_MIN_POINTS``
 BATCH_MIN_POINTS = 8
+
+
+class PoolDowngradeWarning(RuntimeWarning):
+    """A requested process pool was unavailable; threads ran instead.
+
+    Emitted by :func:`map_schedules` and
+    :func:`repro.engine.shard.schedule_batch_sharded` when
+    ``mode="process"`` cannot create a
+    :class:`~concurrent.futures.ProcessPoolExecutor` (sandboxes without
+    fork/spawn).  Results are identical either way — only the expected
+    parallel speedup is lost — but the downgrade is no longer silent:
+    callers and tests can catch the warning or inspect
+    :func:`last_effective_mode`.
+    """
+
+
+_EFFECTIVE_MODE = threading.local()
+
+
+def _set_effective_mode(mode: str) -> None:
+    _EFFECTIVE_MODE.value = mode
+
+
+def last_effective_mode() -> str | None:
+    """Executor mode the calling thread's last sweep actually used.
+
+    ``"serial"``, ``"thread"`` or ``"process"`` — the mode that *ran*,
+    after any short-circuit (single item, one worker) or process-pool
+    downgrade; ``None`` before any sweep ran on this thread.
+    """
+    return getattr(_EFFECTIVE_MODE, "value", None)
+
+
+def _make_pool(mode: str, max_workers: int | None) -> tuple[Executor, str]:
+    """Create the executor for *mode*; returns (pool, effective mode).
+
+    The process→thread downgrade (no fork/spawn in sandboxes) warns via
+    :class:`PoolDowngradeWarning` instead of swapping silently.
+    """
+    if mode == "process":
+        try:
+            return ProcessPoolExecutor(max_workers=max_workers), "process"
+        except (OSError, PermissionError) as exc:
+            warnings.warn(
+                f"process pool unavailable ({exc}); "
+                "falling back to a thread pool",
+                PoolDowngradeWarning, stacklevel=3,
+            )
+    return ThreadPoolExecutor(max_workers=max_workers), "thread"
 
 
 def _batch_enabled() -> bool:
@@ -72,6 +131,31 @@ def _batch_enabled() -> bool:
     return os.environ.get("REPRO_BATCH_SCHEDULE", "").lower() not in (
         "off", "0", "no", "false",
     )
+
+
+def batch_min_points() -> int:
+    """The effective batch-routing threshold for :func:`run_sweep`.
+
+    Defaults to :data:`BATCH_MIN_POINTS`; the ``REPRO_BATCH_MIN_POINTS``
+    environment variable (validated integer >= 1, documented next to
+    the ``REPRO_BATCH_SCHEDULE`` kill switch) overrides it, e.g. to
+    force tiny sweeps onto the batch path in experiments or to keep
+    mid-size sweeps per-point.
+    """
+    raw = os.environ.get("REPRO_BATCH_MIN_POINTS")
+    if raw is None or raw.strip() == "":
+        return BATCH_MIN_POINTS
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_BATCH_MIN_POINTS must be an integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(
+            f"REPRO_BATCH_MIN_POINTS must be >= 1, got {value}"
+        )
+    return value
 
 
 @dataclass(frozen=True)
@@ -117,16 +201,11 @@ def map_schedules(
     items = list(items)
     if mode == "serial" or len(items) <= 1:
         # live emission into the caller's scopes; nothing to merge
+        _set_effective_mode("serial")
         return [fn(item) for item in items]
 
-    if mode == "process":
-        try:
-            pool_cls: type = ProcessPoolExecutor
-            pool = pool_cls(max_workers=max_workers)
-        except (OSError, PermissionError):  # no fork/spawn in sandbox
-            pool = ThreadPoolExecutor(max_workers=max_workers)
-    else:
-        pool = ThreadPoolExecutor(max_workers=max_workers)
+    pool, effective = _make_pool(mode, max_workers)
+    _set_effective_mode(effective)
     with pool:
         outcomes = list(pool.map(_captured_call, repeat(fn), items))
 
@@ -211,66 +290,102 @@ def _run_sweep_batched(
     mode: str,
     max_workers: int | None,
 ) -> list[dict]:
-    """Batched sweep: engine-tier points go through one SoA batch.
+    """Batched sweep: both tiers ride the grid fast paths.
 
-    Each engine point contributes two schedule requests — the default
-    -window schedule behind ``CompiledLoop.cycles_per_element`` and the
-    explicitly windowed one — matching the per-point path request for
-    request, so cache statistics and ``ProfileScope`` totals stay
-    bit-identical.  The default-window result pre-seeds the compiled
-    loop's cached ``schedule`` property; ECM-tier points in a mixed
-    sweep fall back to :func:`map_schedules`.
+    Compilations go through the content-addressed compile cache
+    (:func:`repro.compilers.cache.cached_compile`), so a grid sharing
+    (loop, toolchain) across many windows lowers each combination once.
+    Every point contributes the default-window schedule request behind
+    ``CompiledLoop.cycles_per_element``; engine points add their
+    explicitly windowed request — matching the per-point path request
+    for request, so cache statistics and ``ProfileScope`` totals stay
+    bit-identical.  The deduplicated batch simulates sharded over a
+    process pool under ``mode="process"``
+    (:func:`repro.engine.shard.schedule_batch_sharded`), in-process
+    otherwise; ECM-tier rows then compose in one vectorized pass
+    (:func:`repro.ecm.batch.predict_batch`).
     """
-    from repro.compilers.codegen import compile_loop
+    from repro.compilers.cache import cached_compile
     from repro.compilers.toolchains import get_toolchain
+    from repro.ecm.batch import predict_batch
     from repro.engine.batch import schedule_batch
+    from repro.engine.shard import schedule_batch_sharded
     from repro.kernels.catalog import build_kernel
     from repro.machine.microarch import A64FX, SKYLAKE_6140
+    from repro.machine.systems import get_system
+    from repro.perf.profile import default_system_for
 
     rows: list[dict | None] = [None] * len(specs)
     requests: list[tuple] = []
-    pending: list[tuple[int, object, object, int | None]] = []
-    ecm_idx: list[int] = []
+    pending: list[tuple] = []
+    # one compiled loop per (loop, toolchain) combo for the whole sweep;
+    # the request list below still carries one entry per *point*, which
+    # is what keeps cache statistics and counters equal to the per-point
+    # path — sharing the compiled object only skips redundant IR builds
+    compiled_of: dict[tuple[str, str], object] = {}
     for i, (loop, tc_name, window, point_tier) in enumerate(specs):
         if point_tier not in TIERS:
             raise ValueError(
                 f"tier must be one of {TIERS}, got {point_tier!r}"
             )
-        if point_tier == "ecm":
-            ecm_idx.append(i)
-            continue
-        tc = get_toolchain(tc_name)
-        march = SKYLAKE_6140 if tc.target == "x86" else A64FX
-        compiled = compile_loop(build_kernel(loop), tc, march)
+        compiled = compiled_of.get((loop, tc_name))
+        if compiled is None:
+            tc = get_toolchain(tc_name)
+            march = SKYLAKE_6140 if tc.target == "x86" else A64FX
+            compiled = cached_compile(build_kernel(loop), tc, march)
+            compiled_of[(loop, tc_name)] = compiled
+        march = compiled.march
+        req_idx = len(requests)
+        # the default-window schedule behind cycles_per_element; the
+        # per-point path looks it up for every row in both tiers
         requests.append((march, compiled.stream))
-        requests.append((march, compiled.stream, window))
-        pending.append((i, compiled, march, window))
+        if point_tier == "engine":
+            requests.append((march, compiled.stream, window))
+        pending.append((i, compiled, march, window, point_tier, req_idx))
 
-    results = schedule_batch(requests)
-    for k, (i, compiled, march, window) in enumerate(pending):
-        default_sched = results[2 * k]
-        sched = results[2 * k + 1]
+    if mode == "process":
+        results = schedule_batch_sharded(requests, max_workers=max_workers)
+    else:
+        _set_effective_mode("serial")
+        results = schedule_batch(requests)
+
+    ecm_items: list[tuple] = []
+    ecm_rows: list[tuple[int, dict]] = []
+    for i, compiled, march, window, point_tier, req_idx in pending:
         # pre-seed the cached property so cycles_per_element reuses the
         # batch result instead of re-entering the scalar scheduler
-        compiled.__dict__["schedule"] = default_sched
-        rows[i] = {
+        compiled.__dict__["schedule"] = results[req_idx]
+        row = {
             "loop": specs[i][0],
             "toolchain": compiled.toolchain.name,
             "march": march.name,
             "window": window if window is not None else march.window,
-            "tier": "engine",
+            "tier": point_tier,
             "model_cycles_per_element": compiled.cycles_per_element,
+        }
+        if point_tier == "ecm":
+            system = get_system(default_system_for(specs[i][1]))
+            ecm_items.append((compiled, system, window))
+            ecm_rows.append((i, row))
+            continue
+        sched = results[req_idx + 1]
+        row.update({
             "cycles_per_iter": sched.cycles_per_iter,
             "cycles_per_element": sched.cycles_per_element,
             "ipc": sched.ipc,
             "bound": sched.bound,
-        }
-    if ecm_idx:
-        ecm_rows = map_schedules(
-            _schedule_point, [specs[i] for i in ecm_idx],
-            mode=mode, max_workers=max_workers,
-        )
-        for i, row in zip(ecm_idx, ecm_rows):
+        })
+        rows[i] = row
+
+    if ecm_items:
+        preds = predict_batch(ecm_items)
+        for (i, row), pred in zip(ecm_rows, preds):
+            row.update({
+                "cycles_per_iter": pred.cycles_per_iter,
+                "cycles_per_element": pred.cycles_per_element,
+                "ipc": pred.incore.n_instrs / pred.cycles_per_iter,
+                "bound": pred.bound,
+            })
             rows[i] = row
     return rows  # type: ignore[return-value]
 
@@ -291,19 +406,23 @@ def run_sweep(
     every point at once (``--tier ecm`` on the CLIs lands here); per
     -point tiers come from :attr:`SweepPoint.tier`.
 
-    ``batch`` controls the batched SoA engine: ``None`` (default) uses
-    it when at least :data:`BATCH_MIN_POINTS` engine-tier points are
-    pending (unless ``REPRO_BATCH_SCHEDULE=off``), ``True`` forces it,
-    ``False`` keeps the per-point event-driven path.  Rows, counters
-    and cache statistics are identical either way.
+    ``batch`` controls the batched grid paths: ``None`` (default) uses
+    them when at least :func:`batch_min_points` points (of either tier)
+    are pending (unless ``REPRO_BATCH_SCHEDULE=off``), ``True`` forces
+    them, ``False`` keeps the per-point event-driven path.  Rows,
+    counters and cache statistics are identical either way; under
+    ``mode="process"`` the batch simulation itself shards across a
+    process pool.
     """
     if mode not in MODES:
         raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
     specs = [_normalize(p, tier) for p in points]
     n_engine = sum(1 for s in specs if s[3] == "engine")
+    n_pred = len(specs)
     use_batch = _batch_enabled() if batch is None else batch
-    if use_batch and (n_engine >= BATCH_MIN_POINTS or
-                      (batch is True and n_engine > 0)):
+    threshold = batch_min_points()
+    if use_batch and (n_engine >= threshold or n_pred >= threshold or
+                      (batch is True and n_pred > 0)):
         return _run_sweep_batched(
             specs, mode=mode, max_workers=max_workers
         )

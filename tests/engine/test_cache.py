@@ -192,3 +192,51 @@ class TestDiskLayer:
         monkeypatch.setattr(cache_mod, "_CACHE", None)
         cached_schedule(A64FX, _stream())
         assert list(tmp_path.glob("*.json"))
+
+
+class TestDiskStats:
+    def test_cold_miss_counts_disk_miss_and_write(self, tmp_path):
+        configure(disk_dir=tmp_path)
+        cached_schedule(A64FX, _stream())
+        stats = get_cache().stats()
+        assert stats["misses"] == 1
+        assert stats["disk_misses"] == 1
+        assert stats["disk_writes"] == 1
+        assert stats["disk_hits"] == 0
+
+    def test_fresh_cache_same_dir_counts_disk_hit(self, tmp_path):
+        s = _stream()
+        configure(disk_dir=tmp_path)
+        cached_schedule(A64FX, s)
+        configure(disk_dir=tmp_path)
+        cached_schedule(A64FX, s)
+        stats = get_cache().stats()
+        assert stats["disk_hits"] == 1
+        assert stats["disk_misses"] == 0
+        assert stats["disk_writes"] == 0
+
+    def test_memory_hit_touches_no_disk_counters(self, tmp_path):
+        s = _stream()
+        configure(disk_dir=tmp_path)
+        cached_schedule(A64FX, s)
+        cached_schedule(A64FX, s)  # memory hit
+        stats = get_cache().stats()
+        assert stats["hits"] == 1
+        assert stats["disk_misses"] == 1
+        assert stats["disk_writes"] == 1
+
+    def test_clear_resets_disk_counters(self, tmp_path):
+        configure(disk_dir=tmp_path)
+        cached_schedule(A64FX, _stream())
+        get_cache().clear()
+        stats = get_cache().stats()
+        assert stats["disk_hits"] == stats["disk_misses"] == 0
+        assert stats["disk_writes"] == 0
+
+    def test_memory_only_cache_keeps_disk_counters_zero(self):
+        configure()
+        cached_schedule(A64FX, _stream())
+        cached_schedule(A64FX, _stream())
+        stats = get_cache().stats()
+        assert stats["disk_hits"] == stats["disk_misses"] == 0
+        assert stats["disk_writes"] == 0

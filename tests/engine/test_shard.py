@@ -1,0 +1,150 @@
+"""Tests for the sharded batch scheduler (process-pool fan-out)."""
+
+import pickle
+
+import pytest
+
+from repro.compilers.codegen import compile_loop
+from repro.compilers.toolchains import get_toolchain
+from repro.engine.batch import clear_tables, schedule_batch
+from repro.engine.cache import configure, get_cache
+from repro.engine.scheduler import (
+    PipelineScheduler,
+    ScheduleDivergence,
+    clear_memos,
+)
+from repro.engine.shard import schedule_batch_sharded
+from repro.engine.sweep import PoolDowngradeWarning, last_effective_mode
+from repro.kernels.loops import build_loop
+from repro.machine.microarch import A64FX, SKYLAKE_6140
+from repro.perf.counters import ProfileScope
+
+
+@pytest.fixture(autouse=True)
+def fresh_state():
+    configure()
+    clear_memos()
+    clear_tables()
+    yield
+    configure()
+    clear_memos()
+    clear_tables()
+
+
+def _requests():
+    """A mixed request set spanning loops, marches and windows."""
+    reqs = []
+    for loop in ("simple", "gather", "sqrt"):
+        for tc_name in ("fujitsu", "gnu", "intel"):
+            tc = get_toolchain(tc_name)
+            march = SKYLAKE_6140 if tc.target == "x86" else A64FX
+            compiled = compile_loop(build_loop(loop), tc, march)
+            for window in (None, 8, 24):
+                reqs.append((march, compiled.stream, window))
+    return reqs
+
+
+class TestShardedEqualsSerial:
+    @pytest.mark.parametrize("mode", ["serial", "thread", "process"])
+    def test_results_bit_identical(self, mode):
+        reqs = _requests()
+        serial = schedule_batch(reqs, cache=False)
+        clear_memos()
+        clear_tables()
+        sharded = schedule_batch_sharded(
+            reqs, cache=False, mode=mode, max_workers=3)
+        assert sharded == serial
+
+    def test_matches_scalar_scheduler(self):
+        reqs = _requests()
+        sharded = schedule_batch_sharded(reqs, cache=False, max_workers=3)
+        for (march, stream, window), result in zip(reqs, sharded):
+            scalar = PipelineScheduler(march, window=window) \
+                .steady_state(stream)
+            assert result == scalar
+
+    def test_counters_and_stats_match_serial_batch(self):
+        reqs = _requests()
+        with ProfileScope("serial") as serial_counters:
+            serial = schedule_batch(reqs)
+        serial_stats = get_cache().stats()
+
+        configure()
+        clear_memos()
+        clear_tables()
+        with ProfileScope("sharded") as shard_counters:
+            sharded = schedule_batch_sharded(reqs, max_workers=3)
+        assert sharded == serial
+        assert shard_counters.as_dict() == serial_counters.as_dict()
+        assert get_cache().stats() == serial_stats
+
+    def test_effective_mode_reported(self):
+        reqs = _requests()
+        schedule_batch_sharded(reqs, cache=False, max_workers=3)
+        assert last_effective_mode() == "process"
+        schedule_batch_sharded(reqs, cache=False, mode="serial")
+        assert last_effective_mode() == "serial"
+
+
+class TestShardedShortCircuits:
+    def test_empty_batch(self):
+        assert schedule_batch_sharded([]) == []
+
+    def test_single_job_runs_serially(self):
+        tc = get_toolchain("fujitsu")
+        compiled = compile_loop(build_loop("simple"), tc, A64FX)
+        results = schedule_batch_sharded(
+            [(A64FX, compiled.stream)] * 3, cache=False)
+        assert last_effective_mode() == "serial"  # one unique lane
+        assert results[0] == results[1] == results[2]
+
+    def test_one_worker_runs_serially(self):
+        reqs = _requests()
+        sharded = schedule_batch_sharded(reqs, cache=False, max_workers=1)
+        assert last_effective_mode() == "serial"
+        clear_memos()
+        clear_tables()
+        assert sharded == schedule_batch(reqs, cache=False)
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            schedule_batch_sharded(_requests(), mode="fleet")
+
+
+class TestPoolDowngrade:
+    def test_warns_and_falls_back_to_threads(self, monkeypatch):
+        def _no_fork(*args, **kwargs):
+            raise OSError("no fork in sandbox")
+
+        monkeypatch.setattr(
+            "repro.engine.sweep.ProcessPoolExecutor", _no_fork)
+        reqs = _requests()
+        serial = schedule_batch(reqs, cache=False)
+        clear_memos()
+        clear_tables()
+        with pytest.warns(PoolDowngradeWarning):
+            sharded = schedule_batch_sharded(
+                reqs, cache=False, max_workers=3)
+        assert last_effective_mode() == "thread"
+        assert sharded == serial
+
+
+class TestDivergenceAcrossShards:
+    def test_divergence_propagates(self, monkeypatch):
+        monkeypatch.setattr(PipelineScheduler, "MAX_CYCLES", 50.0)
+        reqs = _requests()
+        with pytest.raises(ScheduleDivergence):
+            schedule_batch_sharded(reqs, cache=False, max_workers=3)
+
+    def test_divergence_pickles_by_field(self):
+        tc = get_toolchain("fujitsu")
+        compiled = compile_loop(build_loop("simple"), tc, A64FX)
+        exc = ScheduleDivergence(
+            compiled.stream, 24, stuck_index=7,
+            n_body=len(compiled.stream.body))
+        clone = pickle.loads(pickle.dumps(exc))
+        assert isinstance(clone, ScheduleDivergence)
+        assert clone.args == exc.args
+        for field in ("label", "window", "stuck_index", "stuck_iteration",
+                      "stuck_position", "stuck_mnemonic"):
+            assert getattr(clone, field) == getattr(exc, field)

@@ -2,16 +2,27 @@
 
 import pytest
 
-from repro.engine.cache import configure
-from repro.engine.sweep import SweepPoint, map_schedules, run_sweep
+from repro.compilers.cache import configure_compile_cache, get_compile_cache
+from repro.engine.cache import configure, get_cache
+from repro.engine.sweep import (
+    BATCH_MIN_POINTS,
+    PoolDowngradeWarning,
+    SweepPoint,
+    batch_min_points,
+    last_effective_mode,
+    map_schedules,
+    run_sweep,
+)
 from repro.perf.counters import ProfileScope, emit
 
 
 @pytest.fixture(autouse=True)
 def fresh_cache():
     configure()
+    configure_compile_cache()
     yield
     configure()
+    configure_compile_cache()
 
 
 def _emit_task(item):
@@ -86,3 +97,94 @@ class TestRunSweep:
         serial = run_sweep(points, mode="serial")
         threaded = run_sweep(points, mode="thread", max_workers=4)
         assert serial == threaded
+
+
+def _mixed_grid():
+    """An engine+ecm grid large enough to route through the batch."""
+    return [
+        SweepPoint(loop, tc, window=win, tier=tier)
+        for loop in ("simple", "gather", "exp")
+        for tc in ("fujitsu", "intel")
+        for win in (None, 24)
+        for tier in ("engine", "ecm")
+    ]
+
+
+class TestProcessSweep:
+    def test_rows_match_serial_per_point(self):
+        points = _mixed_grid()
+        serial = run_sweep(points, mode="serial", batch=False)
+        configure()
+        configure_compile_cache()
+        sharded = run_sweep(points, mode="process", max_workers=3)
+        assert sharded == serial
+
+    def test_counters_and_stats_merge_exactly(self):
+        """Sharded process sweep == serial per-point sweep, counter for
+        counter and schedule-cache stat for stat."""
+        points = _mixed_grid()
+        with ProfileScope("serial") as serial_counters:
+            run_sweep(points, mode="serial", batch=False)
+        serial_stats = get_cache().stats()
+        configure()
+        configure_compile_cache()
+        with ProfileScope("sharded") as shard_counters:
+            run_sweep(points, mode="process", max_workers=3)
+        assert shard_counters.as_dict() == serial_counters.as_dict()
+        assert get_cache().stats() == serial_stats
+
+    def test_downgrade_warns_and_still_matches(self, monkeypatch):
+        def _no_fork(*args, **kwargs):
+            raise OSError("no fork in sandbox")
+
+        points = _mixed_grid()
+        serial = run_sweep(points, mode="serial", batch=False)
+        configure()
+        configure_compile_cache()
+        monkeypatch.setattr(
+            "repro.engine.sweep.ProcessPoolExecutor", _no_fork)
+        with pytest.warns(PoolDowngradeWarning):
+            rows = run_sweep(points, mode="process", max_workers=3)
+        assert last_effective_mode() == "thread"
+        assert rows == serial
+
+
+class TestBatchRouting:
+    def test_default_threshold(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BATCH_MIN_POINTS", raising=False)
+        assert batch_min_points() == BATCH_MIN_POINTS
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_MIN_POINTS", "2")
+        assert batch_min_points() == 2
+        # a two-point sweep now routes through the batch: the compile
+        # cache (only the batched path consults it) sees the points
+        run_sweep([("simple", "fujitsu"), ("gather", "fujitsu")])
+        assert get_compile_cache().stats()["misses"] == 2.0
+
+    def test_large_override_keeps_per_point(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_MIN_POINTS", "1000")
+        run_sweep(_mixed_grid())
+        assert get_compile_cache().stats()["misses"] == 0.0
+
+    @pytest.mark.parametrize("raw", ["abc", "0", "-3", "2.5"])
+    def test_invalid_env_value_raises(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_BATCH_MIN_POINTS", raw)
+        with pytest.raises(ValueError, match="REPRO_BATCH_MIN_POINTS"):
+            run_sweep([("simple", "fujitsu")] * 4)
+
+    def test_kill_switch_keeps_per_point(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_SCHEDULE", "off")
+        rows = run_sweep(_mixed_grid())
+        assert get_compile_cache().stats()["misses"] == 0.0
+        monkeypatch.delenv("REPRO_BATCH_SCHEDULE")
+        configure()
+        assert run_sweep(_mixed_grid()) == rows
+
+    def test_batch_true_forces_small_sweeps(self):
+        points = [("simple", "fujitsu"), ("gather", "intel")]
+        reference = run_sweep(points, batch=False)
+        configure()
+        rows = run_sweep(points, batch=True)
+        assert get_compile_cache().stats()["misses"] == 2.0
+        assert rows == reference

@@ -1,0 +1,22 @@
+#!/usr/bin/env python
+"""Benchmark the persistent prediction server end to end.
+
+Thin script entry over :mod:`repro.serve.bench` (also reachable as
+``python -m repro serve-bench``): replays a deterministic request mix
+against a naive one-request-at-a-time server with no cross-request
+reuse, then against the batching/deduplicating server at several
+closed-loop concurrency levels over the real TCP transport, checks
+every batched response bit-identical to its naive twin, and writes
+versioned results to ``BENCH_serve.json`` (format
+``repro.serve-bench/1``).  Exits non-zero when the speedup floor is
+breached or any response mismatches.
+
+Run:  python benchmarks/serve_bench.py [--quick] [--out PATH]
+"""
+
+import sys
+
+if __name__ == "__main__":
+    from repro.serve.bench import main
+
+    raise SystemExit(main(sys.argv[1:]))

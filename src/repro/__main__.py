@@ -36,10 +36,23 @@ Commands
     Fig. 1/2 kernel set and write ``BENCH_engine.json``; the full run
     exits non-zero if equivalence or a speedup floor regresses (see
     docs/PERFORMANCE.md).
-``cache [show|clear]``
+``serve [--stdin] [--host H] [--port N] [--batch-window MS] [--max-batch N] [--workers N]``
+    Run the persistent prediction server: JSON requests over a local
+    socket (default; binds 127.0.0.1 and prints the address) or
+    stdin/stdout lines (``--stdin``), answered with versioned
+    ``repro.serve/1`` responses.  Concurrent requests coalesce into
+    micro-batches over the shared schedule/compile caches; identical
+    in-flight requests deduplicate (see docs/SERVING.md).
+``serve-bench [--quick] [--out PATH]``
+    Measure serve throughput against a no-reuse one-request-at-a-time
+    baseline at several concurrency levels and write
+    ``BENCH_serve.json``; exits non-zero if the speedup floor is
+    breached or any batched response deviates from the baseline.
+``cache [show|clear] [--json]``
     Inspect or drop the content-addressed schedule and compile caches
     (clears the schedule cache's on-disk layer too when
-    ``REPRO_CACHE_DIR`` is set).
+    ``REPRO_CACHE_DIR`` is set); ``show --json`` emits the versioned
+    ``repro.cache/1`` document including the serve-session counters.
 ``validate [--seeds N] [--no-bands] [--json] [--out PATH]``
     Run the model-validation passes (IR verifier, scheduler invariants,
     counter reconciliation, differential fuzz vs the golden reference,
@@ -268,10 +281,87 @@ def _cmd_bench(args: list[str]) -> int:
     return bench_main(args)
 
 
+def _parse_serve_flags(args: list[str]) -> dict:
+    """Parse ``serve`` flags -> option dict (raises ValueError)."""
+    opts: dict = {"stdin": False, "host": "127.0.0.1", "port": 0,
+                  "batch_window_ms": 2.0, "max_batch": 64, "workers": None}
+    i = 0
+    while i < len(args):
+        a = args[i]
+        if a == "--stdin":
+            opts["stdin"] = True
+            i += 1
+        elif a in ("--host", "--port", "--batch-window", "--max-batch",
+                   "--workers"):
+            if i + 1 >= len(args):
+                raise ValueError(f"{a} expects a value")
+            value = args[i + 1]
+            try:
+                if a == "--host":
+                    opts["host"] = value
+                elif a == "--port":
+                    opts["port"] = int(value)
+                elif a == "--batch-window":
+                    opts["batch_window_ms"] = float(value)
+                    if opts["batch_window_ms"] < 0:
+                        raise ValueError
+                else:
+                    opts["max_batch" if a == "--max-batch"
+                         else "workers"] = int(value)
+                    if int(value) < 1:
+                        raise ValueError
+            except ValueError:
+                raise ValueError(
+                    f"{a} expects a valid value, got {value!r}") from None
+            i += 2
+        else:
+            raise ValueError(f"unknown serve argument {a!r}")
+    return opts
+
+
+def _cmd_serve(args: list[str]) -> int:
+    from repro.serve import PredictionServer, TcpFrontend, serve_stdio
+
+    try:
+        opts = _parse_serve_flags(args)
+    except ValueError as exc:
+        print(f"serve failed: {exc}")
+        print("usage: python -m repro serve [--stdin] [--host H] "
+              "[--port N] [--batch-window MS] [--max-batch N] "
+              "[--workers N]")
+        return 1
+    server = PredictionServer(
+        batch_window=opts["batch_window_ms"] / 1e3,
+        max_batch=opts["max_batch"],
+        workers=opts["workers"],
+    )
+    with server:
+        if opts["stdin"]:
+            return serve_stdio(server)
+        with TcpFrontend(server, opts["host"], opts["port"]) as frontend:
+            host, port = frontend.address
+            print(f"serving repro.serve/1 on {host}:{port}", flush=True)
+            try:
+                frontend.wait()
+            except KeyboardInterrupt:
+                pass
+    return 0
+
+
+def _cmd_serve_bench(args: list[str]) -> int:
+    from repro.serve.bench import main as serve_bench_main
+
+    return serve_bench_main(args)
+
+
 def _cmd_cache(args: list[str]) -> int:
+    import json
+
     from repro.compilers.cache import get_compile_cache
     from repro.engine.cache import get_cache
 
+    as_json = "--json" in args
+    args = [a for a in args if a != "--json"]
     action = args[0] if args else "show"
     cache = get_cache()
     compile_cache = get_compile_cache()
@@ -282,6 +372,23 @@ def _cmd_cache(args: list[str]) -> int:
         print(f"compile cache cleared ({compiled_dropped} entries dropped)")
         return 0
     if action == "show":
+        if as_json:
+            from repro.serve.server import session_stats
+
+            doc = {
+                "format": "repro.cache/1",
+                "schedule": {
+                    **{k: int(v) for k, v in cache.stats().items()},
+                    "disk_dir": (str(cache.disk_dir)
+                                 if cache.disk_dir else None),
+                },
+                "compile": {
+                    k: int(v) for k, v in compile_cache.stats().items()
+                },
+                "serve": session_stats(),
+            }
+            print(json.dumps(doc, indent=2))
+            return 0
         stats = cache.stats()
         print("schedule cache:")
         for name in ("entries", "capacity", "hits", "misses",
@@ -365,6 +472,8 @@ COMMANDS: dict[str, tuple[bool, object]] = {
     "ecm": (True, _cmd_ecm),
     "verify": (False, _cmd_verify),
     "bench": (True, _cmd_bench),
+    "serve": (True, _cmd_serve),
+    "serve-bench": (True, _cmd_serve_bench),
     "cache": (True, _cmd_cache),
     "validate": (True, _cmd_validate),
 }
@@ -445,9 +554,27 @@ def parse_command(argv: list[str]) -> str | None:
                 i += 2
             else:
                 raise ValueError(f"unknown bench argument {rest[i]!r}")
+    elif cmd == "serve":
+        _parse_serve_flags(rest)
+    elif cmd == "serve-bench":
+        i = 0
+        while i < len(rest):
+            if rest[i] == "--quick":
+                i += 1
+            elif rest[i] == "--out":
+                if i + 1 >= len(rest):
+                    raise ValueError("--out expects a path")
+                i += 2
+            else:
+                raise ValueError(
+                    f"unknown serve-bench argument {rest[i]!r}")
     elif cmd == "cache":
-        if rest and (len(rest) > 1 or rest[0] not in ("show", "clear")):
+        actions = [a for a in rest if a != "--json"]
+        if actions and (len(actions) > 1
+                        or actions[0] not in ("show", "clear")):
             raise ValueError(f"cache expects [show|clear], got {rest}")
+        if "--json" in rest and actions == ["clear"]:
+            raise ValueError("cache --json only applies to show")
     elif cmd == "validate":
         _parse_validate_flags(rest)
     return cmd
@@ -475,6 +602,10 @@ def main(argv: list[str]) -> int:
         return _cmd_verify()
     if cmd == "bench":
         return _cmd_bench(rest)
+    if cmd == "serve":
+        return _cmd_serve(rest)
+    if cmd == "serve-bench":
+        return _cmd_serve_bench(rest)
     if cmd == "cache":
         return _cmd_cache(rest)
     if cmd == "validate":

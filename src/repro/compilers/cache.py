@@ -116,6 +116,17 @@ class CompileCache:
         self.hits = 0
         self.misses = 0
 
+    def peek(self, key: tuple[str, str, str]) -> bool:
+        """True if *key* is resident — no stats movement, no LRU touch.
+
+        Provenance probe mirroring
+        :meth:`repro.engine.cache.ScheduleCache.peek`; the serve tier
+        uses it to label ECM responses ``cache: hit|miss`` without
+        disturbing the counters asserted by the dedup test suites.
+        """
+        with self._lock:
+            return key in self._entries
+
     def lookup(self, key: tuple[str, str, str]) -> CompiledLoop | None:
         """Fetch an entry (refreshing LRU order), or None on miss."""
         with self._lock:

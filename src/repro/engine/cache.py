@@ -198,6 +198,19 @@ class ScheduleCache:
         self.disk_writes = 0
 
     # ------------------------------------------------------------------
+    def peek(self, key: tuple[str, str]) -> bool:
+        """True if *key* is resident in memory — no stats, no LRU touch.
+
+        Observational probe for layers that report cache provenance
+        (the serve tier's per-request ``cache: hit|miss`` field) without
+        perturbing the hit/miss counters a real lookup would move.  The
+        disk layer is deliberately not consulted: a disk read is not
+        free, and provenance only needs to know whether the answer was
+        already in this process.
+        """
+        with self._lock:
+            return key in self._entries
+
     def lookup(self, key: tuple[str, str]) -> _Entry | None:
         """Fetch an entry (refreshing LRU order), or None on miss."""
         with self._lock:

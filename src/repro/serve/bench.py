@@ -1,0 +1,217 @@
+"""Serve throughput benchmark: ``repro serve-bench`` -> BENCH_serve.json.
+
+Measures what the serving architecture adds over one-shot execution:
+
+1. **Naive baseline** — a :class:`~repro.serve.server.PredictionServer`
+   in ``naive`` mode behind the same TCP frontend: one request at a
+   time, private compilation, uncached scalar scheduling.  This is the
+   stateless process-per-request deployment the paper's sweep tooling
+   started from, measured over the identical transport so the ratio
+   isolates batching + shared caches + dedup rather than socket costs.
+2. **Batched server** at several closed-loop concurrency levels —
+   cross-request micro-batching, content-addressed caches, in-flight
+   deduplication, the SoA engine batch and vectorized ECM tier.
+
+Each level starts from cold process caches (schedule, compile, batch
+tables, ECM memos, session counters), so per-level numbers are
+reproducible and the *within-level* reuse is exactly the serving
+feature being scored.  The payload (format ``repro.serve-bench/1``)
+records requests/sec and p50/p99 latency per level plus batching and
+dedup efficiency from the session counters, and the run fails (non-zero
+exit) if best-level throughput does not beat the naive baseline by
+:data:`SERVE_SPEEDUP_FLOOR` (:data:`SERVE_SPEEDUP_FLOOR_QUICK` for
+``--quick``), if any request errors, or if any batched response
+deviates from its naive twin — bit-identical answers are part of the
+contract, not just speed.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.serve.client import LoadResult, request_mix, run_load
+from repro.serve.server import (
+    PredictionServer,
+    TcpFrontend,
+    reset_session_stats,
+    session_stats,
+)
+
+__all__ = [
+    "BENCH_FORMAT",
+    "CONCURRENCY_LEVELS",
+    "CONCURRENCY_LEVELS_QUICK",
+    "SERVE_SPEEDUP_FLOOR",
+    "SERVE_SPEEDUP_FLOOR_QUICK",
+    "main",
+    "render",
+    "run_bench",
+]
+
+BENCH_FORMAT = "repro.serve-bench/1"
+
+#: best-level batched throughput must beat the naive baseline by this
+SERVE_SPEEDUP_FLOOR = 5.0
+#: smoke floor for ``--quick`` (tiny mix, cold caches, CI containers)
+SERVE_SPEEDUP_FLOOR_QUICK = 2.0
+
+#: closed-loop client counts per measured level
+CONCURRENCY_LEVELS = (1, 8, 32)
+CONCURRENCY_LEVELS_QUICK = (1, 4, 8)
+
+
+def _reset_process_state() -> None:
+    """Cold-start every cross-request reuse layer (and the counters)."""
+    from repro.compilers.cache import get_compile_cache
+    from repro.ecm.batch import clear_ecm_memos
+    from repro.engine.batch import clear_tables
+    from repro.engine.cache import get_cache
+
+    get_cache().clear()
+    get_compile_cache().clear()
+    clear_tables()
+    clear_ecm_memos()
+    reset_session_stats()
+
+
+def _measure(mix: list[dict], concurrency: int, *,
+             naive: bool) -> tuple[LoadResult, dict]:
+    """One cold-cache load run; returns (load result, session stats)."""
+    _reset_process_state()
+    server = PredictionServer(naive=naive)
+    with server:
+        with TcpFrontend(server) as frontend:
+            result = run_load(frontend.address, mix, concurrency)
+    return result, session_stats()
+
+
+def _level_doc(concurrency: int, result: LoadResult, stats: dict) -> dict:
+    batches = stats["batches"] or 1
+    return {
+        "concurrency": concurrency,
+        "requests": len(result.responses),
+        "wall_s": round(result.wall_s, 4),
+        "rps": round(result.requests_per_s, 1),
+        "p50_ms": round(result.percentile_ms(0.50), 3),
+        "p99_ms": round(result.percentile_ms(0.99), 3),
+        "errors": result.errors,
+        "batches": stats["batches"],
+        "avg_batch": round(stats["batched_requests"] / batches, 2),
+        "max_batch": stats["max_batch"],
+        "deduped": stats["deduped"],
+        "cache_hits": stats["cache_hits"],
+        "cache_misses": stats["cache_misses"],
+    }
+
+
+def run_bench(*, quick: bool = False) -> dict:
+    """Run the full benchmark; returns the ``repro.serve-bench/1`` doc."""
+    mix = request_mix(quick=quick)
+    levels = CONCURRENCY_LEVELS_QUICK if quick else CONCURRENCY_LEVELS
+    floor = SERVE_SPEEDUP_FLOOR_QUICK if quick else SERVE_SPEEDUP_FLOOR
+
+    naive_result, naive_stats = _measure(mix, 1, naive=True)
+    naive_doc = _level_doc(1, naive_result, naive_stats)
+    golden = {r["id"]: r["result"] for r in naive_result.responses
+              if r.get("ok")}
+
+    level_docs = []
+    mismatches = 0
+    total_errors = naive_result.errors
+    for concurrency in levels:
+        result, stats = _measure(mix, concurrency, naive=False)
+        level_docs.append(_level_doc(concurrency, result, stats))
+        total_errors += result.errors
+        for resp in result.responses:
+            if resp.get("ok"):
+                mismatches += golden.get(resp["id"]) != resp["result"]
+            # errors are already counted; nothing to compare against
+
+    best_rps = max(d["rps"] for d in level_docs)
+    naive_rps = naive_doc["rps"]
+    speedup = round(best_rps / naive_rps, 2) if naive_rps else float("inf")
+    acceptance = {
+        "equivalence_pass": mismatches == 0,
+        "errors_pass": total_errors == 0,
+        "speedup_floor": floor,
+        "speedup_pass": speedup >= floor,
+    }
+    acceptance["pass"] = all(
+        acceptance[k] for k in
+        ("equivalence_pass", "errors_pass", "speedup_pass")
+    )
+    return {
+        "format": BENCH_FORMAT,
+        "quick": quick,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "requests": len(mix),
+        "unique_requests": len({json.dumps(
+            {k: v for k, v in r.items() if k != "id"}, sort_keys=True)
+            for r in mix}),
+        "naive": naive_doc,
+        "levels": level_docs,
+        "best_rps": best_rps,
+        "speedup_vs_naive": speedup,
+        "mismatches": mismatches,
+        "acceptance": acceptance,
+    }
+
+
+def render(doc: dict) -> str:
+    """Format one serve benchmark document as an aligned text table."""
+    acc = doc["acceptance"]
+    lines = [
+        f"serve bench ({doc['requests']} requests, "
+        f"{doc['unique_requests']} unique"
+        f"{', quick' if doc['quick'] else ''})",
+        f"  {'level':<12} {'rps':>8} {'p50 ms':>8} {'p99 ms':>8} "
+        f"{'avg batch':>9} {'deduped':>8}",
+    ]
+    naive = doc["naive"]
+    lines.append(
+        f"  {'naive c=1':<12} {naive['rps']:>8.1f} {naive['p50_ms']:>8.2f} "
+        f"{naive['p99_ms']:>8.2f} {naive['avg_batch']:>9.2f} "
+        f"{naive['deduped']:>8}")
+    for lvl in doc["levels"]:
+        name = f"batched c={lvl['concurrency']}"
+        lines.append(
+            f"  {name:<12} {lvl['rps']:>8.1f} {lvl['p50_ms']:>8.2f} "
+            f"{lvl['p99_ms']:>8.2f} {lvl['avg_batch']:>9.2f} "
+            f"{lvl['deduped']:>8}")
+    lines.append(
+        f"  speedup vs naive    : {doc['speedup_vs_naive']:.2f}x "
+        f"(floor {acc['speedup_floor']:.1f}x) "
+        f"{'PASS' if acc['speedup_pass'] else 'FAIL'}")
+    lines.append(
+        f"  response equivalence: "
+        f"{'PASS' if acc['equivalence_pass'] else 'FAIL'} "
+        f"({doc['mismatches']} mismatches)")
+    lines.append(
+        f"  request errors      : "
+        f"{'PASS' if acc['errors_pass'] else 'FAIL'}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str]) -> int:
+    """CLI entry point for ``python -m repro serve-bench``."""
+    quick = "--quick" in argv
+    args = [a for a in argv if a != "--quick"]
+    out = Path("BENCH_serve.json")
+    if "--out" in args:
+        i = args.index("--out")
+        if i + 1 >= len(args):
+            print("serve-bench: --out expects a path")
+            return 1
+        out = Path(args[i + 1])
+        del args[i:i + 2]
+    if args:
+        print(f"serve-bench: unknown arguments {args}")
+        print("usage: python -m repro serve-bench [--quick] [--out PATH]")
+        return 1
+    doc = run_bench(quick=quick)
+    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(render(doc))
+    print(f"wrote {out}")
+    return 0 if doc["acceptance"]["pass"] else 1

@@ -1,0 +1,208 @@
+"""The ``repro.serve/1`` line protocol: requests, responses, validation.
+
+The prediction server (:mod:`repro.serve.server`) speaks
+newline-delimited JSON over a local socket or stdin/stdout.  Every line
+the client sends is one request object; every line the server answers
+is one versioned response object with ``"format": "repro.serve/1"``.
+
+Request grammar
+---------------
+``{"op": "predict", ...}`` (the default when ``op`` is omitted)::
+
+    {"id": 7, "kernel": "simple", "toolchain": "fujitsu",
+     "tier": "engine", "window": 24}
+
+* ``kernel`` — any :data:`repro.kernels.catalog.ALL_KERNEL_NAMES` entry
+  (required);
+* ``toolchain`` — any :data:`repro.compilers.toolchains.TOOLCHAINS` key
+  (default ``"fujitsu"``); the machine follows the toolchain target
+  (x86 -> Skylake 6140, SVE -> A64FX) exactly as in every CLI;
+* ``tier`` — ``"engine"`` (simulate the steady-state schedule) or
+  ``"ecm"`` (closed-form analytical model; default ``"engine"``);
+* ``window`` — reorder-window override, integer >= 1 (default: the
+  march's window);
+* ``system`` — memory-hierarchy key for the ECM tier (default: the
+  toolchain's home system, Ookami or the Skylake node);
+* ``threads`` — active cores per NUMA domain for the ECM traffic model
+  (default 1; the engine tier models one core and rejects other
+  values);
+* ``id`` — opaque client correlation value, echoed back verbatim.
+
+Control operations: ``{"op": "stats"}`` returns the serve-session
+counters, ``{"op": "ping"}`` echoes, ``{"op": "shutdown"}`` stops a
+daemon loop after responding.
+
+Responses
+---------
+``ok: true`` predictions carry the same row fields a
+:func:`repro.engine.sweep.run_sweep` point produces plus per-request
+cache/batch provenance::
+
+    {"format": "repro.serve/1", "id": 7, "ok": true,
+     "result": {"loop": "simple", "toolchain": "fujitsu", ...},
+     "provenance": {"cache": "miss", "deduped": false,
+                    "batched_with": 12}}
+
+``cache`` says whether the answer was already resident in this process
+(schedule cache for the engine tier, compile cache for the ECM tier),
+``deduped`` marks requests coalesced onto an identical in-flight
+request of the same micro-batch, and ``batched_with`` is the number of
+predict requests the micro-batch carried.  Malformed or unsatisfiable
+requests answer ``ok: false`` with an ``error`` string and never take
+the batch down.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+__all__ = [
+    "PROTOCOL_FORMAT",
+    "ProtocolError",
+    "PredictRequest",
+    "error_response",
+    "parse_request",
+    "predict_response",
+]
+
+#: version tag stamped on every response line
+PROTOCOL_FORMAT = "repro.serve/1"
+
+#: tiers a predict request may name
+REQUEST_TIERS = ("engine", "ecm")
+
+#: operations the server understands
+OPS = ("predict", "stats", "ping", "shutdown")
+
+_PREDICT_KEYS = frozenset(
+    ("op", "id", "kernel", "toolchain", "tier", "window", "system",
+     "threads")
+)
+
+
+class ProtocolError(ValueError):
+    """A request line that cannot be turned into work.
+
+    Carries the client-facing message; the server converts it into an
+    ``ok: false`` response for the offending request only.
+    """
+
+
+@dataclass(frozen=True)
+class PredictRequest:
+    """One validated prediction request.
+
+    ``key`` (the content fingerprint requests deduplicate on) is
+    everything that shapes the answer — the id deliberately excluded,
+    so two clients asking the same question coalesce onto one
+    execution.
+    """
+
+    id: object
+    kernel: str
+    toolchain: str
+    tier: str
+    window: int | None
+    system: str | None
+    threads: int
+
+    @property
+    def key(self) -> tuple:
+        """Content fingerprint: identical questions share one answer."""
+        return (self.kernel, self.toolchain, self.tier, self.window,
+                self.system, self.threads)
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise ProtocolError(message)
+
+
+def parse_request(line: str) -> "PredictRequest | str":
+    """Parse one protocol line into a request (or a control op name).
+
+    Returns a :class:`PredictRequest` for predict operations and the
+    bare op string (``"stats"``, ``"ping"``, ``"shutdown"``) for
+    control operations.  Raises :class:`ProtocolError` on anything the
+    server should answer with ``ok: false``.
+    """
+    from repro.compilers.toolchains import TOOLCHAINS
+    from repro.kernels.catalog import ALL_KERNEL_NAMES
+    from repro.machine.systems import SYSTEMS
+
+    try:
+        doc = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(f"invalid JSON: {exc}") from None
+    _require(isinstance(doc, dict), "request must be a JSON object")
+    op = doc.get("op", "predict")
+    _require(op in OPS, f"unknown op {op!r} (expected one of {OPS})")
+    if op != "predict":
+        return op
+
+    unknown = sorted(set(doc) - _PREDICT_KEYS)
+    _require(not unknown, f"unknown request keys {unknown}")
+    _require("kernel" in doc, "predict request needs a 'kernel'")
+    kernel = doc["kernel"]
+    _require(kernel in ALL_KERNEL_NAMES,
+             f"unknown kernel {kernel!r} "
+             f"(see repro.kernels.catalog.ALL_KERNEL_NAMES)")
+    toolchain = doc.get("toolchain", "fujitsu")
+    _require(isinstance(toolchain, str) and toolchain.lower() in TOOLCHAINS,
+             f"unknown toolchain {toolchain!r}")
+    tier = doc.get("tier", "engine")
+    _require(tier in REQUEST_TIERS,
+             f"tier must be one of {REQUEST_TIERS}, got {tier!r}")
+    window = doc.get("window")
+    if window is not None:
+        _require(isinstance(window, int) and not isinstance(window, bool)
+                 and window >= 1,
+                 f"window must be an integer >= 1, got {window!r}")
+    system = doc.get("system")
+    if system is not None:
+        _require(isinstance(system, str) and system.lower() in SYSTEMS,
+                 f"unknown system {system!r} "
+                 f"(available: {sorted(SYSTEMS)})")
+        _require(tier == "ecm",
+                 "'system' only applies to the ecm tier "
+                 "(the engine tier models the march, not the node)")
+    threads = doc.get("threads", 1)
+    _require(isinstance(threads, int) and not isinstance(threads, bool)
+             and threads >= 1,
+             f"threads must be an integer >= 1, got {threads!r}")
+    if tier == "engine":
+        _require(threads == 1,
+                 "the engine tier simulates one core; "
+                 "use tier='ecm' for multi-core traffic scaling")
+    return PredictRequest(
+        id=doc.get("id"),
+        kernel=kernel,
+        toolchain=toolchain.lower(),
+        tier=tier,
+        window=window,
+        system=system.lower() if system is not None else None,
+        threads=threads,
+    )
+
+
+def predict_response(request: PredictRequest, result: dict,
+                     provenance: dict) -> dict:
+    """Build the ``ok: true`` response document for one request."""
+    return {
+        "format": PROTOCOL_FORMAT,
+        "id": request.id,
+        "ok": True,
+        "result": result,
+        "provenance": provenance,
+    }
+
+
+def error_response(message: str, request_id: object = None) -> dict:
+    """Build the ``ok: false`` response for one failed request line."""
+    return {
+        "format": PROTOCOL_FORMAT,
+        "id": request_id,
+        "ok": False,
+        "error": message,
+    }

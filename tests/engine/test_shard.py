@@ -148,3 +148,62 @@ class TestDivergenceAcrossShards:
         for field in ("label", "window", "stuck_index", "stuck_iteration",
                       "stuck_position", "stuck_mnemonic"):
             assert getattr(clone, field) == getattr(exc, field)
+
+
+class TestShardRouting:
+    """Profitability routing: small pools/batches run the serial path."""
+
+    def test_plan_serial_below_min_jobs(self):
+        from repro.engine.shard import SHARD_MIN_JOBS, plan_shards
+
+        assert plan_shards(0) == ("serial", 1)
+        assert plan_shards(SHARD_MIN_JOBS - 1, max_workers=4) == \
+            ("serial", 1)
+
+    def test_plan_explicit_workers_force_sharding(self):
+        from repro.engine.shard import plan_shards
+
+        assert plan_shards(9, max_workers=3) == ("sharded", 3)
+        # workers never exceed the unique-lane count
+        assert plan_shards(4, max_workers=8) == ("sharded", 4)
+
+    def test_plan_auto_mode_caps_by_cpu_and_lane_share(self, monkeypatch):
+        import repro.engine.shard as shard_mod
+        from repro.engine.shard import (
+            SHARD_MIN_JOBS_PER_WORKER,
+            plan_shards,
+        )
+
+        monkeypatch.setattr(shard_mod.os, "cpu_count", lambda: 1)
+        assert plan_shards(100) == ("serial", 1)  # 1-core pools only lose
+        monkeypatch.setattr(shard_mod.os, "cpu_count", lambda: 8)
+        assert plan_shards(SHARD_MIN_JOBS_PER_WORKER - 1) == ("serial", 1)
+        routing, workers = plan_shards(4 * SHARD_MIN_JOBS_PER_WORKER)
+        assert routing == "sharded"
+        assert workers == 4
+
+    def test_serial_route_taken_and_reported(self):
+        from repro.engine.shard import last_shard_plan
+
+        tc = get_toolchain("fujitsu")
+        compiled = compile_loop(build_loop("simple"), tc, A64FX)
+        reqs = [(A64FX, compiled.stream, w) for w in (None, 8)]
+        serial = schedule_batch(reqs, cache=False)
+        clear_memos()
+        clear_tables()
+        sharded = schedule_batch_sharded(reqs, cache=False, max_workers=3)
+        assert sharded == serial
+        plan = last_shard_plan()
+        assert plan["routing"] == "serial"
+        assert plan["workers"] == 1
+        assert plan["jobs"] == 2
+        assert last_effective_mode() == "serial"
+
+    def test_sharded_route_reported(self):
+        from repro.engine.shard import last_shard_plan
+
+        schedule_batch_sharded(_requests(), cache=False, max_workers=3)
+        plan = last_shard_plan()
+        assert plan["routing"] == "sharded"
+        assert plan["workers"] == 3
+        assert plan["jobs"] >= 4

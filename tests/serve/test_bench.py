@@ -1,0 +1,91 @@
+"""Tests for the serve load generator and throughput benchmark."""
+
+import pytest
+
+from repro.serve.bench import (
+    BENCH_FORMAT,
+    SERVE_SPEEDUP_FLOOR,
+    SERVE_SPEEDUP_FLOOR_QUICK,
+    main,
+    render,
+    run_bench,
+)
+from repro.serve.client import LoadResult, request_mix
+
+
+class TestRequestMix:
+    def test_deterministic(self):
+        assert request_mix(quick=True) == request_mix(quick=True)
+        assert request_mix() == request_mix()
+
+    def test_contains_duplicates_and_both_tiers(self):
+        mix = request_mix(quick=True)
+        keyed = [tuple(sorted((k, v) for k, v in r.items() if k != "id"))
+                 for r in mix]
+        assert len(set(keyed)) < len(keyed)  # duplicates present
+        assert {r["tier"] for r in mix} == {"engine", "ecm"}
+        assert all(r["id"] == i for i, r in enumerate(mix))
+
+    def test_full_mix_covers_catalog(self):
+        from repro.compilers.toolchains import TOOLCHAINS
+        from repro.kernels.catalog import ALL_KERNEL_NAMES
+
+        mix = request_mix()
+        assert {r["kernel"] for r in mix} == set(ALL_KERNEL_NAMES)
+        assert {r["toolchain"] for r in mix} == set(TOOLCHAINS)
+
+    def test_seed_changes_mix(self):
+        assert request_mix(quick=True, seed=1) != \
+            request_mix(quick=True, seed=2)
+
+
+class TestLoadResult:
+    def test_percentiles_and_rps(self):
+        r = LoadResult(wall_s=2.0,
+                       latencies_s=[i / 1000 for i in range(1, 101)])
+        assert r.requests_per_s == 50.0
+        assert r.percentile_ms(0.5) == pytest.approx(51.0)
+        assert r.percentile_ms(0.99) == pytest.approx(99.0)
+        assert r.percentile_ms(1.0) == pytest.approx(100.0)
+
+    def test_empty(self):
+        r = LoadResult(wall_s=0.0)
+        assert r.requests_per_s == 0.0
+        assert r.percentile_ms(0.5) == 0.0
+
+
+class TestRunBench:
+    def test_quick_payload_shape_and_equivalence(self):
+        doc = run_bench(quick=True)
+        assert doc["format"] == BENCH_FORMAT
+        assert doc["quick"] is True
+        assert doc["requests"] > doc["unique_requests"]
+        assert len(doc["levels"]) >= 3
+        assert {lvl["concurrency"] for lvl in doc["levels"]} >= {1}
+        for lvl in [doc["naive"], *doc["levels"]]:
+            for field in ("rps", "p50_ms", "p99_ms", "avg_batch",
+                          "deduped", "errors"):
+                assert field in lvl
+        # correctness gates are deterministic (speed floors are not,
+        # on a loaded CI box, so only the full bench enforces timing)
+        acc = doc["acceptance"]
+        assert acc["equivalence_pass"], f"{doc['mismatches']} mismatches"
+        assert acc["errors_pass"]
+        assert acc["speedup_floor"] == SERVE_SPEEDUP_FLOOR_QUICK
+        assert doc["speedup_vs_naive"] > 0
+        assert SERVE_SPEEDUP_FLOOR > SERVE_SPEEDUP_FLOOR_QUICK
+        text = render(doc)
+        assert "speedup vs naive" in text
+        assert "response equivalence" in text
+
+    def test_main_writes_payload(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_serve.json"
+        code = main(["--quick", "--out", str(out)])
+        captured = capsys.readouterr().out
+        assert out.exists()
+        assert "wrote" in captured
+        assert code in (0, 1)  # floor result is timing-dependent
+
+    def test_main_rejects_unknown_args(self, capsys):
+        assert main(["--frobnicate"]) == 1
+        assert "usage" in capsys.readouterr().out

@@ -1,0 +1,116 @@
+"""Tests for the repro.serve/1 line protocol."""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    PROTOCOL_FORMAT,
+    PredictRequest,
+    ProtocolError,
+    error_response,
+    parse_request,
+    predict_response,
+)
+
+
+def _line(**doc):
+    return json.dumps(doc)
+
+
+class TestParse:
+    def test_minimal_predict_defaults(self):
+        req = parse_request(_line(kernel="simple"))
+        assert isinstance(req, PredictRequest)
+        assert req.toolchain == "fujitsu"
+        assert req.tier == "engine"
+        assert req.window is None
+        assert req.system is None
+        assert req.threads == 1
+        assert req.id is None
+
+    def test_full_predict(self):
+        req = parse_request(_line(
+            op="predict", id=7, kernel="spmv_crs", toolchain="GNU",
+            tier="ecm", window=24, system="Ookami", threads=4,
+        ))
+        assert req.id == 7
+        assert req.toolchain == "gnu"
+        assert req.system == "ookami"
+        assert req.threads == 4
+
+    @pytest.mark.parametrize("op", ["stats", "ping", "shutdown"])
+    def test_control_ops_return_name(self, op):
+        assert parse_request(_line(op=op)) == op
+
+    def test_every_catalog_kernel_and_toolchain_parses(self):
+        from repro.compilers.toolchains import TOOLCHAINS
+        from repro.kernels.catalog import ALL_KERNEL_NAMES
+
+        for kernel in ALL_KERNEL_NAMES:
+            for tc in TOOLCHAINS:
+                req = parse_request(_line(kernel=kernel, toolchain=tc))
+                assert req.kernel == kernel
+
+    @pytest.mark.parametrize("line", [
+        "not json",
+        "[1, 2]",
+        _line(op="nope"),
+        _line(),                                     # kernel missing
+        _line(kernel="no-such-kernel"),
+        _line(kernel="simple", toolchain="no-such-tc"),
+        _line(kernel="simple", tier="quantum"),
+        _line(kernel="simple", window=0),
+        _line(kernel="simple", window=True),
+        _line(kernel="simple", window="24"),
+        _line(kernel="simple", threads=0),
+        _line(kernel="simple", threads=4),           # engine: 1 core only
+        _line(kernel="simple", system="ookami"),     # system is ecm-only
+        _line(kernel="simple", tier="ecm", system="no-such-system"),
+        _line(kernel="simple", frobnicate=1),        # unknown key
+    ])
+    def test_rejects(self, line):
+        with pytest.raises(ProtocolError):
+            parse_request(line)
+
+    def test_ecm_accepts_system_and_threads(self):
+        req = parse_request(_line(kernel="simple", tier="ecm",
+                                  system="skylake", threads=12))
+        assert (req.system, req.threads) == ("skylake", 12)
+
+
+class TestFingerprint:
+    def test_key_excludes_id(self):
+        a = parse_request(_line(id=1, kernel="simple", window=8))
+        b = parse_request(_line(id=2, kernel="simple", window=8))
+        assert a.key == b.key
+        assert a.id != b.id
+
+    def test_key_separates_content(self):
+        base = _line(kernel="simple", window=8)
+        others = [
+            _line(kernel="gather", window=8),
+            _line(kernel="simple", window=9),
+            _line(kernel="simple"),
+            _line(kernel="simple", window=8, toolchain="gnu"),
+            _line(kernel="simple", tier="ecm", window=8),
+        ]
+        key = parse_request(base).key
+        for line in others:
+            assert parse_request(line).key != key
+
+
+class TestResponses:
+    def test_predict_response_shape(self):
+        req = parse_request(_line(id=3, kernel="simple"))
+        doc = predict_response(req, {"x": 1.0}, {"cache": "miss"})
+        assert doc["format"] == PROTOCOL_FORMAT
+        assert doc["id"] == 3
+        assert doc["ok"] is True
+        assert doc["result"] == {"x": 1.0}
+        assert doc["provenance"] == {"cache": "miss"}
+
+    def test_error_response_shape(self):
+        doc = error_response("boom", request_id=9)
+        assert doc == {"format": PROTOCOL_FORMAT, "id": 9,
+                       "ok": False, "error": "boom"}

@@ -1,0 +1,98 @@
+"""Tests for the micro-batching admission queue."""
+
+import time
+
+import pytest
+
+from repro.serve.queue import MicroBatcher
+
+
+def _echo(items):
+    return [("seen", item) for item in items]
+
+
+class TestMicroBatcher:
+    def test_single_item_round_trip(self):
+        with MicroBatcher(_echo, batch_window=0.0) as mb:
+            assert mb.submit("a").result(timeout=5) == ("seen", "a")
+
+    def test_pending_items_share_a_batch(self):
+        batches = []
+
+        def execute(items):
+            batches.append(list(items))
+            return items
+
+        # submissions land microseconds apart, far inside the window:
+        # the drain thread must coalesce them into one batch
+        with MicroBatcher(execute, batch_window=0.2) as mb:
+            futs = [mb.submit(i) for i in range(4)]
+            assert [f.result(timeout=5) for f in futs] == [0, 1, 2, 3]
+        assert batches == [[0, 1, 2, 3]]
+
+    def test_max_batch_splits(self):
+        sizes = []
+
+        def execute(items):
+            sizes.append(len(items))
+            return items
+
+        with MicroBatcher(execute, batch_window=0.05, max_batch=2) as mb:
+            futs = [mb.submit(i) for i in range(5)]
+            assert [f.result(timeout=5) for f in futs] == list(range(5))
+        assert all(size <= 2 for size in sizes)
+        assert sum(sizes) == 5
+
+    def test_executor_exception_fails_batch_not_queue(self):
+        calls = []
+
+        def execute(items):
+            calls.append(items)
+            if len(calls) == 1:
+                raise RuntimeError("bad batch")
+            return items
+
+        with MicroBatcher(execute, batch_window=0.0) as mb:
+            with pytest.raises(RuntimeError, match="bad batch"):
+                mb.submit("poison").result(timeout=5)
+            # the drain thread survives and serves the next batch
+            assert mb.submit("fine").result(timeout=5) == "fine"
+
+    def test_result_count_mismatch_is_an_error(self):
+        with MicroBatcher(lambda items: [], batch_window=0.0) as mb:
+            with pytest.raises(RuntimeError, match="0 results"):
+                mb.submit("x").result(timeout=5)
+
+    def test_stop_drains_pending(self):
+        done = []
+
+        def execute(items):
+            time.sleep(0.01)
+            done.extend(items)
+            return items
+
+        mb = MicroBatcher(execute, batch_window=0.5, max_batch=1)
+        mb.start()
+        futs = [mb.submit(i) for i in range(3)]
+        mb.stop()
+        assert [f.result(timeout=1) for f in futs] == [0, 1, 2]
+        assert done == [0, 1, 2]
+
+    def test_submit_after_stop_raises(self):
+        mb = MicroBatcher(_echo)
+        mb.start()
+        mb.stop()
+        with pytest.raises(RuntimeError):
+            mb.submit("late")
+
+    def test_start_is_idempotent(self):
+        with MicroBatcher(_echo, batch_window=0.0) as mb:
+            mb.start()
+            assert mb.submit("a").result(timeout=5) == ("seen", "a")
+
+    @pytest.mark.parametrize("kwargs", [
+        {"batch_window": -0.1}, {"max_batch": 0},
+    ])
+    def test_rejects_bad_configuration(self, kwargs):
+        with pytest.raises(ValueError):
+            MicroBatcher(_echo, **kwargs)

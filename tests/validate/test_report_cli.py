@@ -63,7 +63,7 @@ class TestParseCommand:
         # the registry and main()'s dispatch must not drift apart
         assert set(COMMANDS) == {
             "list", "run", "asm", "pipeline", "profile", "ecm", "verify",
-            "bench", "cache", "validate",
+            "bench", "cache", "validate", "serve", "serve-bench",
         }
 
     @pytest.mark.parametrize("argv", [
@@ -80,6 +80,11 @@ class TestParseCommand:
         ["cache"],
         ["validate", "--seeds", "25", "--json"],
         ["validate", "--no-bands", "--out", "report.json"],
+        ["cache", "show", "--json"],
+        ["serve", "--stdin"],
+        ["serve", "--port", "7080", "--batch-window", "2", "--max-batch",
+         "64", "--workers", "4"],
+        ["serve-bench", "--quick", "--out", "BENCH_serve.json"],
     ])
     def test_valid_invocations(self, argv):
         assert parse_command(argv) == argv[0]
@@ -100,6 +105,12 @@ class TestParseCommand:
         ["cache", "explode"],
         ["validate", "--seeds", "many"],
         ["validate", "--frobnicate"],
+        ["cache", "clear", "--json"],
+        ["serve", "--port", "many"],
+        ["serve", "--batch-window", "-1"],
+        ["serve", "--workers", "0"],
+        ["serve", "--frobnicate"],
+        ["serve-bench", "--frobnicate"],
     ])
     def test_invalid_invocations(self, argv):
         with pytest.raises(ValueError):

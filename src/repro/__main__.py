@@ -56,8 +56,26 @@ Commands
 ``validate [--seeds N] [--no-bands] [--json] [--out PATH]``
     Run the model-validation passes (IR verifier, scheduler invariants,
     counter reconciliation, differential fuzz vs the golden reference,
-    paper-band scoring) and emit a ``repro.validate/1`` report; exits
-    nonzero on any violation (see docs/VALIDATION.md).
+    machine-spec fuzz, paper-band scoring) and emit a
+    ``repro.validate/1`` report; exits nonzero on any violation (see
+    docs/VALIDATION.md).
+``sweep [--kernels K,..] [--toolchains T,..] [--machine KEY] [--tier engine|ecm] [--json]``
+    Sweep kernels x toolchains through the prediction tiers and print
+    one row per point; ``--machine`` retargets every point at a preset
+    machine from the declarative catalog instead of the default
+    A64FX/Skylake pairing (see docs/MACHINES.md).
+``sweep --grid [--machines N] [--kernels K,..] [--json] [--out PATH]``
+    Design-space sweep: enumerate N hypothetical machines (vector
+    length x issue width x bandwidth x window x L2 around the A64FX,
+    Skylake and RVV presets), score every (machine, kernel) point
+    through the batched tiers and report throughput plus the winning
+    machine per kernel as a ``repro.sweep-grid/1`` document.
+``machines [list | show <key> [--json] | report [--json] [--out PATH]]``
+    Inspect the declarative machine catalog: ``list`` the preset specs,
+    ``show`` one spec (``--json`` emits the ``repro.machine-spec/1``
+    document), or build the per-kernel crossover ``report`` — which
+    preset wins each paper kernel and the A64FX-over-Skylake ratio
+    (``repro.machines/1``; see docs/MACHINES.md).
 """
 
 from __future__ import annotations
@@ -461,6 +479,242 @@ def _parse_validate_flags(
     return seeds, bands, as_json, out
 
 
+def _parse_sweep_flags(args: list[str]) -> dict:
+    """Parse ``sweep`` flags -> option dict (raises ValueError)."""
+    from repro.compilers.toolchains import TOOLCHAINS
+    from repro.kernels.catalog import ALL_KERNEL_NAMES
+    from repro.machine.spec import MACHINE_SPECS
+
+    opts: dict = {"grid": False, "machines": 1000, "kernels": None,
+                  "toolchains": None, "machine": None, "tier": "engine",
+                  "json": False, "out": None}
+    i = 0
+    while i < len(args):
+        a = args[i]
+        if a == "--grid":
+            opts["grid"] = True
+            i += 1
+        elif a == "--json":
+            opts["json"] = True
+            i += 1
+        elif a in ("--machines", "--kernels", "--toolchains", "--machine",
+                   "--tier", "--out"):
+            if i + 1 >= len(args):
+                raise ValueError(f"{a} expects a value")
+            value = args[i + 1]
+            if a == "--machines":
+                try:
+                    opts["machines"] = int(value)
+                except ValueError:
+                    raise ValueError(
+                        f"--machines expects an integer, got {value!r}"
+                    ) from None
+                if opts["machines"] < 1:
+                    raise ValueError("--machines expects >= 1")
+            elif a == "--kernels":
+                kernels = [k for k in value.split(",") if k]
+                for k in kernels:
+                    if k not in ALL_KERNEL_NAMES:
+                        raise ValueError(f"unknown kernel {k!r}")
+                opts["kernels"] = kernels
+            elif a == "--toolchains":
+                tcs = [t.lower() for t in value.split(",") if t]
+                for t in tcs:
+                    if t not in TOOLCHAINS:
+                        raise ValueError(f"unknown toolchain {t!r}")
+                opts["toolchains"] = tcs
+            elif a == "--machine":
+                if value.lower() not in MACHINE_SPECS:
+                    raise ValueError(
+                        f"unknown machine {value!r}; "
+                        f"available: {', '.join(sorted(MACHINE_SPECS))}")
+                opts["machine"] = value.lower()
+            elif a == "--tier":
+                if value not in ("engine", "ecm"):
+                    raise ValueError(
+                        f"unknown tier {value!r} (expected engine or ecm)")
+                opts["tier"] = value
+            else:
+                opts["out"] = value
+            i += 2
+        else:
+            raise ValueError(f"unknown sweep argument {a!r}")
+    if opts["grid"] and (opts["machine"] or opts["toolchains"]):
+        raise ValueError(
+            "--grid enumerates its own machines/toolchains; "
+            "--machine/--toolchains only apply to preset sweeps")
+    if not opts["grid"] and opts["out"] is not None:
+        raise ValueError("--out only applies to --grid")
+    return opts
+
+
+def _cmd_sweep(args: list[str]) -> int:
+    import json
+
+    try:
+        opts = _parse_sweep_flags(args)
+    except ValueError as exc:
+        print(f"sweep failed: {exc}")
+        print("usage: python -m repro sweep [--kernels K,..] "
+              "[--toolchains T,..] [--machine KEY] [--tier engine|ecm] "
+              "[--json]\n       python -m repro sweep --grid "
+              "[--machines N] [--kernels K,..] [--json] [--out PATH]")
+        return 1
+
+    if opts["grid"]:
+        from repro.machine.grid import DEFAULT_KERNELS, run_machine_grid
+
+        doc = run_machine_grid(
+            machines=opts["machines"],
+            kernels=tuple(opts["kernels"] or DEFAULT_KERNELS),
+        )
+        if opts["out"] is not None:
+            with open(opts["out"], "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote {opts['out']}")
+        if opts["json"]:
+            print(json.dumps(doc, indent=2, sort_keys=True))
+            return 0
+        print(f"design-space sweep ({doc['machines']} machines x "
+              f"{len(doc['kernels'])} kernels)")
+        print(f"  ecm points    : {doc['ecm_points']}"
+              + (f"  (+{doc['skipped']} machine/kernel points skipped)"
+                 if doc["skipped"] else ""))
+        print(f"  engine points : {doc['engine_points']}")
+        print(f"  throughput    : {doc['points_per_sec']:.0f} pts/s "
+              f"({doc['seconds'] * 1e3:.1f} ms)")
+        print("  best machine per kernel:")
+        for kernel, win in doc["winners"].items():
+            print(f"    {kernel:<10} {win['machine']:<28} "
+                  f"[{win['toolchain']}]  "
+                  f"{win['cycles_per_element']:8.3f} cyc/elem  "
+                  f"({win['bound']}-bound)")
+        return 0
+
+    from repro.compilers.toolchains import TOOLCHAINS
+    from repro.engine.sweep import run_sweep
+
+    kernels = opts["kernels"] or ["simple", "gather", "sqrt", "exp"]
+    toolchains = opts["toolchains"]
+    if toolchains is None:
+        if opts["machine"] is not None:
+            from repro.machine.grid import _toolchains_for
+            from repro.machine.spec import get_machine_spec
+
+            spec = get_machine_spec(opts["machine"])
+            toolchains = [tc.name for tc in _toolchains_for(
+                spec.build_core())]
+        else:
+            toolchains = list(TOOLCHAINS)
+    points = [(k, tc, None, opts["tier"], opts["machine"])
+              for k in kernels for tc in toolchains]
+    try:
+        rows = run_sweep(points)
+    except (KeyError, ValueError) as exc:
+        print(f"sweep failed: {exc}")
+        return 1
+    if opts["json"]:
+        print(json.dumps(rows, indent=2))
+        return 0
+    header = (f"{'loop':<14}{'toolchain':<10}{'march':<26}"
+              f"{'cyc/elem':>10}  {'ipc':>5}  bound")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(f"{row['loop']:<14}{row['toolchain']:<10}"
+              f"{row['march']:<26}{row['cycles_per_element']:>10.3f}  "
+              f"{row['ipc']:>5.2f}  {row['bound']}")
+    return 0
+
+
+def _cmd_machines(args: list[str]) -> int:
+    import json
+
+    from repro.machine.spec import MACHINE_SPECS
+
+    as_json = "--json" in args
+    rest = [a for a in args if a != "--json"]
+    action = rest[0] if rest else "list"
+
+    if action == "list" and len(rest) <= 1:
+        if as_json:
+            print("machines failed: --json applies to show/report")
+            return 1
+        print(f"{'key(s)':<24}{'isa':<8}{'bits':>5}{'cores':>6}  system")
+        seen: dict[int, list[str]] = {}
+        for key, spec in MACHINE_SPECS.items():
+            seen.setdefault(id(spec), []).append(key)
+        for spec_id, keys in seen.items():
+            spec = MACHINE_SPECS[keys[0]]
+            system = (spec.system_name or spec.name) if spec.has_system \
+                else "(core-only)"
+            print(f"{','.join(keys):<24}{spec.isa:<8}"
+                  f"{spec.vector_bits:>5}{spec.cores:>6}  {system}")
+        return 0
+
+    if action == "show":
+        if len(rest) != 2:
+            print("usage: python -m repro machines show <key> [--json]")
+            return 1
+        from repro.machine.spec import get_machine_spec
+
+        try:
+            spec = get_machine_spec(rest[1])
+        except KeyError as exc:
+            print(f"machines failed: {exc.args[0]}")
+            return 1
+        if as_json:
+            print(spec.to_json())
+            return 0
+        march = spec.build_core()
+        print(f"{spec.name}  ({rest[1]})")
+        print(f"  isa            {spec.isa} x {spec.vector_bits} bits "
+              f"({march.lanes_f64} f64 lanes)")
+        print(f"  clock          {spec.clock_ghz} GHz "
+              f"(all-core {spec.allcore_clock_ghz} GHz)")
+        print(f"  issue/window   {spec.issue_width}-wide, "
+              f"{spec.window}-entry")
+        print(f"  peak/core      {march.peak_gflops_core():.1f} GF/s")
+        print(f"  mem overlap    {spec.mem_overlap}")
+        if spec.has_system:
+            system = spec.build_system()
+            print(f"  cores          {spec.cores}")
+            print(f"  node stream bw {system.node_stream_bw_gbs:.0f} GB/s")
+            print(f"  system         {system.name}")
+        else:
+            print("  system         (core-only preset)")
+        return 0
+
+    if action == "report":
+        from repro.machine.crossover import crossover_report, render
+
+        out = None
+        tail = rest[1:]
+        if tail and tail[0] == "--out":
+            if len(tail) != 2:
+                print("machines failed: --out expects a path")
+                return 1
+            out = tail[1]
+        elif tail:
+            print(f"machines failed: unknown report argument {tail[0]!r}")
+            return 1
+        report = crossover_report()
+        if out is not None:
+            with open(out, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote {out}")
+        print(json.dumps(report, indent=2, sort_keys=True) if as_json
+              else render(report))
+        return 0
+
+    print(f"unknown machines action {action!r}; usage: python -m repro "
+          "machines [list | show <key> [--json] | report [--json] "
+          "[--out PATH]]")
+    return 1
+
+
 #: command registry: name -> (takes_args, handler); handlers that take no
 #: arguments reject any (parse_command enforces this statically)
 COMMANDS: dict[str, tuple[bool, object]] = {
@@ -476,6 +730,8 @@ COMMANDS: dict[str, tuple[bool, object]] = {
     "serve-bench": (True, _cmd_serve_bench),
     "cache": (True, _cmd_cache),
     "validate": (True, _cmd_validate),
+    "sweep": (True, _cmd_sweep),
+    "machines": (True, _cmd_machines),
 }
 
 
@@ -577,6 +833,32 @@ def parse_command(argv: list[str]) -> str | None:
             raise ValueError("cache --json only applies to show")
     elif cmd == "validate":
         _parse_validate_flags(rest)
+    elif cmd == "sweep":
+        _parse_sweep_flags(rest)
+    elif cmd == "machines":
+        from repro.machine.spec import MACHINE_SPECS
+
+        actions = [a for a in rest if a != "--json"]
+        action = actions[0] if actions else "list"
+        if action == "list":
+            if len(actions) > 1:
+                raise ValueError(f"machines list takes no arguments, "
+                                 f"got {actions[1:]}")
+            if "--json" in rest:
+                raise ValueError("machines --json applies to show/report")
+        elif action == "show":
+            if len(actions) != 2:
+                raise ValueError("machines show expects <key>")
+            if actions[1].lower() not in MACHINE_SPECS:
+                raise ValueError(f"unknown machine {actions[1]!r}")
+        elif action == "report":
+            tail = actions[1:]
+            if tail and (tail[0] != "--out" or len(tail) != 2):
+                raise ValueError(
+                    f"unknown report arguments {tail!r} "
+                    "(expected [--out PATH])")
+        else:
+            raise ValueError(f"unknown machines action {action!r}")
     return cmd
 
 
@@ -610,6 +892,10 @@ def main(argv: list[str]) -> int:
         return _cmd_cache(rest)
     if cmd == "validate":
         return _cmd_validate(rest)
+    if cmd == "sweep":
+        return _cmd_sweep(rest)
+    if cmd == "machines":
+        return _cmd_machines(rest)
     print(f"unknown command {cmd!r}\n{_USAGE}")
     return 1
 

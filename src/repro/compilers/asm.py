@@ -94,7 +94,7 @@ class _RegAlloc:
 
 def render_asm(stream: InstructionStream, march: Microarch) -> str:
     """Render *stream* as a pseudo-assembly listing for *march*'s ISA."""
-    sve = march.has_fexpa or march.name.startswith(("A64FX", "ThunderX"))
+    sve = "sve" in march.vector_isa.toolchain_targets
     mnemonics = _SVE_MNEMONICS if sve else _AVX_MNEMONICS
     alloc = _RegAlloc("z" if sve else "zmm")
 

@@ -129,12 +129,16 @@ class CompiledLoop:
 
 
 def compile_loop(loop: Loop, toolchain: Toolchain, march: Microarch) -> CompiledLoop:
-    """Vectorize (if possible) and lower *loop* for *march*."""
-    if toolchain.target == "sve" and not march.has_fexpa:
-        # SVE toolchains only target SVE machines in this study; allow the
-        # combination anyway (the ISA vocabulary is shared) but the FEXPA
-        # recipe would fail at schedule time via the timing-table KeyError.
-        pass
+    """Vectorize (if possible) and lower *loop* for *march*.
+
+    Any (toolchain, march) pairing is accepted — the abstract op
+    vocabulary is shared across ISAs, and cross-target pairings are how
+    the design-space sweeps retarget one lowered stream to many
+    machines.  A toolchain recipe that genuinely needs a missing ISA
+    feature fails loudly instead: the FEXPA exponential raises at
+    recipe-build time (``mathlib.vectormath.build_recipe``) and any
+    other gap surfaces as the timing-table KeyError at schedule time.
+    """
     report = vectorize(loop, toolchain)
     lowerer = _Lowerer(loop, toolchain, march, vectorized=report.vectorized)
     stream, elements_per_iter = lowerer.lower()
@@ -278,7 +282,8 @@ class _Lowerer:
             return
         store_op = Op.VSTORE if self.vectorized else Op.SSTORE
         srcs = (value,) + ((mask,) if mask else ())
-        if mask and self.vectorized and self.march.has_fexpa:
+        if (mask and self.vectorized
+                and self.march.vector_isa.predicated_store_crack):
             # A64FX cracks predicated stores into slower store flows; this
             # is the mechanism behind the paper's predicate loop running
             # 3x (not the clock-ratio 2x) slower than Skylake (Fig. 1).
@@ -484,8 +489,8 @@ class _Lowerer:
     def _emit_loop_tail(self) -> None:
         self._copy = self.tc.unroll  # distinct namespace for the tail
         self._emit(Op.SALU, self._new("ptr"), tag="advance pointers")
-        if self.vectorized and self.march.has_fexpa:
-            # SVE vector-length-agnostic loop: WHILELT + branch on predicate
+        if self.vectorized and self.march.vector_isa.predicated_tail:
+            # VLA predicated loop (SVE/RVV): WHILELT + branch on predicate
             p = self._emit(Op.PWHILE, self._new("p"), tag="whilelt")
             self._emit(Op.BRANCH, "", p, tag="b.first")
         else:

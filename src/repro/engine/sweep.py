@@ -167,12 +167,18 @@ class SweepPoint:
     ``"ecm"`` evaluates the analytical ECM model
     (:mod:`repro.ecm.model`) instead — no simulation, microseconds per
     point.
+
+    ``machine`` names a :data:`~repro.machine.spec.MACHINE_SPECS`
+    preset to target instead of the paper's default pairing (A64FX for
+    SVE toolchains, Skylake 6140 for x86); ECM-tier points then price
+    traffic against that machine's own memory system.
     """
 
     loop: str
     toolchain: str
     window: int | None = None
     tier: str = "engine"
+    machine: str | None = None
 
 
 def _captured_call(fn: Callable[[T], R], item: T) -> tuple[R, dict[str, float]]:
@@ -221,18 +227,51 @@ def map_schedules(
 # ----------------------------------------------------------------------
 def _normalize(
     point: "SweepPoint | Sequence", tier: str | None,
-) -> tuple[str, str, int | None, str]:
+) -> tuple[str, str, int | None, str, str | None]:
     if isinstance(point, SweepPoint):
         return (point.loop, point.toolchain, point.window,
-                tier or point.tier)
+                tier or point.tier, point.machine)
     loop, toolchain, *rest = point
     window = rest[0] if rest else None
     point_tier = rest[1] if len(rest) > 1 else None
+    machine = rest[2] if len(rest) > 2 else None
     return (str(loop), str(toolchain), window,
-            tier or point_tier or "engine")
+            tier or point_tier or "engine", machine)
 
 
-def _schedule_point(spec: tuple[str, str, int | None, str]) -> dict:
+def _resolve_targets(tc_name: str, machine: str | None):
+    """(march, system) for one sweep point.
+
+    With no machine the paper's default pairing applies (A64FX for SVE
+    toolchains, Skylake 6140 for x86, systems via
+    :func:`~repro.perf.profile.default_system_for`); a ``machine``
+    preset key targets that spec's core and — for ECM pricing — its own
+    node.  The system is resolved lazily because engine-tier points
+    never need one (core-only presets stay sweepable there).
+    """
+    from repro.compilers.toolchains import get_toolchain
+    from repro.machine.microarch import A64FX, SKYLAKE_6140
+
+    if machine is not None:
+        from repro.machine.spec import get_machine_spec
+
+        spec = get_machine_spec(machine)
+        return spec.build_core(), spec.build_system
+    tc = get_toolchain(tc_name)
+    march = SKYLAKE_6140 if tc.target == "x86" else A64FX
+
+    def default_system():
+        from repro.machine.systems import get_system
+        from repro.perf.profile import default_system_for
+
+        return get_system(default_system_for(tc_name))
+
+    return march, default_system
+
+
+def _schedule_point(
+    spec: tuple[str, str, int | None, str, str | None],
+) -> dict:
     """Compile + predict one named sweep point (top-level: picklable).
 
     The ``engine`` tier simulates through the cached fast scheduler;
@@ -242,13 +281,12 @@ def _schedule_point(spec: tuple[str, str, int | None, str]) -> dict:
     from repro.compilers.codegen import compile_loop
     from repro.compilers.toolchains import get_toolchain
     from repro.kernels.catalog import build_kernel
-    from repro.machine.microarch import A64FX, SKYLAKE_6140
 
-    loop, tc_name, window, tier = spec
+    loop, tc_name, window, tier, machine = spec
     if tier not in TIERS:
         raise ValueError(f"tier must be one of {TIERS}, got {tier!r}")
     tc = get_toolchain(tc_name)
-    march = SKYLAKE_6140 if tc.target == "x86" else A64FX
+    march, system_of = _resolve_targets(tc_name, machine)
     compiled = compile_loop(build_kernel(loop), tc, march)
     row = {
         "loop": loop,
@@ -258,12 +296,12 @@ def _schedule_point(spec: tuple[str, str, int | None, str]) -> dict:
         "tier": tier,
         "model_cycles_per_element": compiled.cycles_per_element,
     }
+    if machine is not None:
+        row["machine"] = machine
     if tier == "ecm":
         from repro.ecm.model import predict_compiled
-        from repro.machine.systems import get_system
-        from repro.perf.profile import default_system_for
 
-        system = get_system(default_system_for(tc_name))
+        system = system_of()
         pred = predict_compiled(compiled, system, window=window)
         row.update({
             "cycles_per_iter": pred.cycles_per_iter,
@@ -285,7 +323,7 @@ def _schedule_point(spec: tuple[str, str, int | None, str]) -> dict:
 
 
 def _run_sweep_batched(
-    specs: list[tuple[str, str, int | None, str]],
+    specs: list[tuple[str, str, int | None, str, str | None]],
     *,
     mode: str,
     max_workers: int | None,
@@ -311,29 +349,29 @@ def _run_sweep_batched(
     from repro.engine.batch import schedule_batch
     from repro.engine.shard import schedule_batch_sharded
     from repro.kernels.catalog import build_kernel
-    from repro.machine.microarch import A64FX, SKYLAKE_6140
-    from repro.machine.systems import get_system
-    from repro.perf.profile import default_system_for
 
     rows: list[dict | None] = [None] * len(specs)
     requests: list[tuple] = []
     pending: list[tuple] = []
-    # one compiled loop per (loop, toolchain) combo for the whole sweep;
-    # the request list below still carries one entry per *point*, which
-    # is what keeps cache statistics and counters equal to the per-point
-    # path — sharing the compiled object only skips redundant IR builds
-    compiled_of: dict[tuple[str, str], object] = {}
-    for i, (loop, tc_name, window, point_tier) in enumerate(specs):
+    # one compiled loop per (loop, toolchain, machine) combo for the
+    # whole sweep; the request list below still carries one entry per
+    # *point*, which is what keeps cache statistics and counters equal
+    # to the per-point path — sharing the compiled object only skips
+    # redundant IR builds
+    compiled_of: dict[tuple[str, str, str | None], object] = {}
+    system_of: dict[tuple[str, str | None], object] = {}
+    for i, (loop, tc_name, window, point_tier, machine) in enumerate(specs):
         if point_tier not in TIERS:
             raise ValueError(
                 f"tier must be one of {TIERS}, got {point_tier!r}"
             )
-        compiled = compiled_of.get((loop, tc_name))
+        compiled = compiled_of.get((loop, tc_name, machine))
         if compiled is None:
             tc = get_toolchain(tc_name)
-            march = SKYLAKE_6140 if tc.target == "x86" else A64FX
+            march, resolve_system = _resolve_targets(tc_name, machine)
+            system_of.setdefault((tc_name, machine), resolve_system)
             compiled = cached_compile(build_kernel(loop), tc, march)
-            compiled_of[(loop, tc_name)] = compiled
+            compiled_of[(loop, tc_name, machine)] = compiled
         march = compiled.march
         req_idx = len(requests)
         # the default-window schedule behind cycles_per_element; the
@@ -363,8 +401,11 @@ def _run_sweep_batched(
             "tier": point_tier,
             "model_cycles_per_element": compiled.cycles_per_element,
         }
+        machine = specs[i][4]
+        if machine is not None:
+            row["machine"] = machine
         if point_tier == "ecm":
-            system = get_system(default_system_for(specs[i][1]))
+            system = system_of[(specs[i][1], machine)]()
             ecm_items.append((compiled, system, window))
             ecm_rows.append((i, row))
             continue

@@ -1,0 +1,153 @@
+"""Per-kernel machine crossover report (the paper's Figs. 1–2, generalized).
+
+The source paper's central analysis is a crossover: on which kernels
+does the A64FX's SVE + HBM2 beat a Skylake server part, and where does
+it lose?  :func:`crossover_report` generalizes that two-machine
+comparison to the whole preset catalog (A64FX, the Skylake SKUs, KNL,
+EPYC, and the hypothetical RVV node): every kernel of the Fig. 1/2 +
+SpMV/stencil suite is compiled with every toolchain the machine's ISA
+admits, scored through the vectorized ECM tier, and reduced to the
+winning (machine, toolchain) per kernel plus the headline
+A64FX-over-Skylake ratio.
+
+``repro machines report`` emits this as a versioned
+:data:`REPORT_FORMAT` JSON document; :func:`render` prints the
+text table.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.compilers.cache import cached_compile
+from repro.compilers.toolchains import TOOLCHAINS
+from repro.ecm.batch import predict_batch
+from repro.kernels.catalog import ALL_KERNEL_NAMES, build_kernel
+from repro.machine.spec import MACHINE_SPECS, MachineSpec
+
+__all__ = [
+    "REPORT_FORMAT",
+    "DEFAULT_MACHINES",
+    "crossover_report",
+    "render",
+]
+
+#: version tag of the crossover report document
+REPORT_FORMAT = "repro.machines/1"
+
+#: preset machines compared by default (every catalog entry that
+#: describes a full node, one key per distinct machine)
+DEFAULT_MACHINES = ("a64fx", "skylake-6140", "skx", "knl", "epyc", "rvv")
+
+
+def _toolchains_for(spec: MachineSpec):
+    targets = spec.vector_isa.toolchain_targets
+    return [tc for tc in TOOLCHAINS.values() if tc.target in targets]
+
+
+def crossover_report(
+    machines: Sequence[str] = DEFAULT_MACHINES,
+    kernels: Sequence[str] = ALL_KERNEL_NAMES,
+) -> dict:
+    """Score *kernels* on *machines* (preset keys) and pick winners.
+
+    For each kernel every machine is scored at its best compiling
+    toolchain; kernels a machine cannot compile at all (a FEXPA-only
+    recipe on an ISA without the accelerator) are recorded in that
+    machine's ``skipped`` list.  The headline ``a64fx_over_skylake``
+    ratio is Skylake's best time over A64FX's best time (> 1 means
+    the A64FX wins) when both machines are in the comparison.
+    """
+    specs = {key: MACHINE_SPECS[key] for key in machines}
+    systems = {key: spec.build_system() for key, spec in specs.items()}
+
+    # compile every (machine, kernel, toolchain) point, then one batch
+    items = []
+    meta = []
+    skipped: dict[str, list[str]] = {key: [] for key in specs}
+    for kernel in kernels:
+        loop = build_kernel(kernel)
+        for key, spec in specs.items():
+            compiled_any = False
+            for tc in _toolchains_for(spec):
+                try:
+                    compiled = cached_compile(loop, tc, spec.build_core())
+                except ValueError:
+                    continue
+                items.append((compiled, systems[key], None))
+                meta.append((kernel, key, tc.name))
+                compiled_any = True
+            if not compiled_any:
+                skipped[key].append(kernel)
+
+    preds = predict_batch(items)
+
+    per_kernel: dict[str, dict] = {}
+    for (kernel, key, tc_name), pred in zip(meta, preds):
+        entry = per_kernel.setdefault(
+            kernel, {"winner": None, "per_machine": {}})
+        best = entry["per_machine"].get(key)
+        if best is None or pred.seconds < best["seconds"]:
+            entry["per_machine"][key] = {
+                "toolchain": tc_name,
+                "seconds": pred.seconds,
+                "cycles_per_element": pred.cycles_per_element,
+                "bound": pred.bound,
+            }
+
+    a64fx_wins = 0
+    for kernel, entry in per_kernel.items():
+        winner = min(entry["per_machine"],
+                     key=lambda k: entry["per_machine"][k]["seconds"])
+        entry["winner"] = winner
+        if winner == "a64fx":
+            a64fx_wins += 1
+        a64 = entry["per_machine"].get("a64fx")
+        skl = entry["per_machine"].get("skylake-6140")
+        if a64 and skl:
+            entry["a64fx_over_skylake"] = skl["seconds"] / a64["seconds"]
+
+    return {
+        "format": REPORT_FORMAT,
+        "machines": {
+            key: {
+                "name": spec.name,
+                "system": systems[key].name,
+                "isa": spec.isa,
+                "vector_bits": spec.vector_bits,
+                "cores": spec.cores,
+                "peak_gflops_core": systems[key].peak_gflops_core,
+                "node_stream_bw_gbs": systems[key].node_stream_bw_gbs,
+                "skipped": skipped[key],
+            }
+            for key, spec in specs.items()
+        },
+        "kernels": per_kernel,
+        "points": len(items),
+        "a64fx_wins": a64fx_wins,
+    }
+
+
+def render(report: Mapping) -> str:
+    """Text table of a :func:`crossover_report` document."""
+    keys = list(report["machines"])
+    lines = ["machine crossover (ECM tier, best toolchain per machine;"
+             " * = winner)", ""]
+    header = f"{'kernel':<14}" + "".join(f"{k:>16}" for k in keys)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for kernel, entry in report["kernels"].items():
+        cells = []
+        for key in keys:
+            pm = entry["per_machine"].get(key)
+            if pm is None:
+                cells.append(f"{'—':>16}")
+                continue
+            mark = "*" if entry["winner"] == key else " "
+            cells.append(f"{pm['seconds'] * 1e6:>14.2f}{mark} ")
+        lines.append(f"{kernel:<14}" + "".join(cells))
+    lines.append("")
+    lines.append(f"(cell = predicted microseconds per kernel run; "
+                 f"{report['a64fx_wins']}/{len(report['kernels'])} "
+                 "kernels won by a64fx)")
+    return "\n".join(lines)

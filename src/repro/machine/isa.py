@@ -22,7 +22,15 @@ import enum
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
-__all__ = ["Op", "Pipe", "Instruction", "InstructionStream"]
+__all__ = [
+    "Op",
+    "Pipe",
+    "VectorISA",
+    "VECTOR_ISAS",
+    "get_isa",
+    "Instruction",
+    "InstructionStream",
+]
 
 
 class Op(enum.Enum):
@@ -91,6 +99,112 @@ class Pipe(enum.Enum):
     EXB = "exb"    #: scalar integer pipe B
     PR = "pr"      #: predicate pipe
     BR = "br"      #: branch pipe
+
+
+@dataclass(frozen=True)
+class VectorISA:
+    """One vector instruction set, described as data.
+
+    The code generator used to key its ISA-specific lowering decisions
+    on ``march.has_fexpa`` — a proxy that happened to separate SVE from
+    AVX-512 but could not express a third ISA.  A :class:`VectorISA`
+    names each lowering-relevant trait explicitly, so adding an ISA
+    (RVV here; others later) is a registry entry, not a compiler patch.
+
+    Parameters
+    ----------
+    name:
+        Registry key (``"sve"``, ``"avx512"``, ``"avx2"``, ``"neon"``,
+        ``"rvv"``).
+    predicated_tail:
+        Vector-length-agnostic loop control: the lowered tail is a
+        ``WHILELT``-style predicate generation plus a branch on it (SVE
+        ``whilelt``/``b.first``; RVV ``vsetvli`` strip-mining behaves
+        identically at this abstraction).  Fixed-width ISAs instead
+        compare the scalar counter and branch.
+    has_fexpa:
+        The ``FEXPA`` exponential accelerator exists (SVE only); gates
+        the Fujitsu 5-term exp recipe
+        (:mod:`repro.mathlib.vectormath`).
+    predicated_store_crack:
+        Masked vector stores crack into slower store flows
+        (``rtput`` 1.2 instead of 1.0) — the A64FX mechanism behind the
+        paper's predicate-loop result (Fig. 1).
+    gather_pair_coalescing:
+        The ISA's gather form *can* merge element pairs inside an
+        aligned 128-byte window (whether a concrete core does is the
+        :class:`~repro.machine.microarch.Microarch` flag; an ISA with
+        ``False`` here never coalesces).
+    toolchain_targets:
+        Which :attr:`repro.compilers.toolchains.Toolchain.target`
+        values can generate code for this ISA (``"sve"`` toolchains
+        also cover the other predicated ARM/RISC-V-style ISAs).
+    """
+
+    name: str
+    predicated_tail: bool
+    has_fexpa: bool
+    predicated_store_crack: bool
+    gather_pair_coalescing: bool
+    toolchain_targets: tuple[str, ...]
+
+
+#: the vector ISA registry — machine specs reference these by name
+VECTOR_ISAS: dict[str, VectorISA] = {
+    isa.name: isa
+    for isa in (
+        VectorISA(
+            name="sve",
+            predicated_tail=True,
+            has_fexpa=True,
+            predicated_store_crack=True,
+            gather_pair_coalescing=True,
+            toolchain_targets=("sve",),
+        ),
+        VectorISA(
+            name="avx512",
+            predicated_tail=False,
+            has_fexpa=False,
+            predicated_store_crack=False,
+            gather_pair_coalescing=False,
+            toolchain_targets=("x86",),
+        ),
+        VectorISA(
+            name="avx2",
+            predicated_tail=False,
+            has_fexpa=False,
+            predicated_store_crack=False,
+            gather_pair_coalescing=False,
+            toolchain_targets=("x86",),
+        ),
+        VectorISA(
+            name="neon",
+            predicated_tail=False,
+            has_fexpa=False,
+            predicated_store_crack=False,
+            gather_pair_coalescing=False,
+            toolchain_targets=("sve",),
+        ),
+        VectorISA(
+            name="rvv",
+            predicated_tail=True,
+            has_fexpa=False,
+            predicated_store_crack=False,
+            gather_pair_coalescing=False,
+            toolchain_targets=("sve",),
+        ),
+    )
+}
+
+
+def get_isa(name: str) -> VectorISA:
+    """Look up a vector ISA by registry name (case-insensitive)."""
+    try:
+        return VECTOR_ISAS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown vector ISA {name!r}; available: {sorted(VECTOR_ISAS)}"
+        ) from None
 
 
 @dataclass(frozen=True)

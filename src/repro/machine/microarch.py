@@ -31,11 +31,11 @@ Key mechanisms encoded here that the paper's results hinge on:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping
 
 from repro._util import require_positive
-from repro.machine.isa import Op, Pipe
+from repro.machine.isa import Op, Pipe, VectorISA, get_isa
 
 __all__ = [
     "OpTiming",
@@ -113,6 +113,12 @@ class Microarch:
         whose measured single-core behaviour shows essentially **no**
         overlap between in-core work and transfers beyond L1
         (``T = T_comp + sum(T_data)``).
+    isa:
+        Name of the :class:`~repro.machine.isa.VectorISA` this core
+        implements (a :data:`~repro.machine.isa.VECTOR_ISAS` registry
+        key).  Empty for directly-constructed cores, in which case
+        :attr:`vector_isa` infers an anonymous ISA from the legacy
+        capability flags.
     """
 
     name: str
@@ -127,6 +133,7 @@ class Microarch:
     fp_pipes: int = 2
     smt: int = 1
     mem_overlap: bool = True
+    isa: str = ""
 
     def __post_init__(self) -> None:
         require_positive(self.clock_ghz, "clock_ghz")
@@ -165,222 +172,55 @@ class Microarch:
         """True when this core has a timing entry for *op*."""
         return op in self.timings
 
+    @property
+    def vector_isa(self) -> VectorISA:
+        """The :class:`~repro.machine.isa.VectorISA` this core implements.
 
-# ---------------------------------------------------------------------------
-# A64FX (Ookami compute node CPU) — 48 cores, 512-bit SVE, 1.8 GHz fixed.
-# ---------------------------------------------------------------------------
-
-_A64FX_TIMINGS: dict[Op, OpTiming] = {
-    Op.FADD: _t(9, 1, Pipe.FLA, Pipe.FLB),
-    Op.FMUL: _t(9, 1, Pipe.FLA, Pipe.FLB),
-    Op.FMA: _t(9, 1, Pipe.FLA, Pipe.FLB),
-    Op.FMOV: _t(4, 1, Pipe.FLA, Pipe.FLB),
-    Op.FCMP: _t(4, 1, Pipe.FLA),
-    Op.FSEL: _t(4, 1, Pipe.FLA, Pipe.FLB),
-    Op.FMINMAX: _t(4, 1, Pipe.FLA, Pipe.FLB),
-    Op.FCVT: _t(9, 1, Pipe.FLA, Pipe.FLB),
-    # Blocking iterative units: reciprocal throughput == latency.  The paper
-    # quotes 134 cycles for a 512-bit FSQRT; FDIV is of the same class.
-    Op.FDIV: _t(112, 112, Pipe.FLA),
-    Op.FSQRT: _t(134, 134, Pipe.FLA),
-    Op.FRECPE: _t(4, 1, Pipe.FLA, Pipe.FLB),
-    Op.FRSQRTE: _t(4, 1, Pipe.FLA, Pipe.FLB),
-    Op.FEXPA: _t(4, 1, Pipe.FLA, Pipe.FLB),
-    Op.FSCALE: _t(9, 1, Pipe.FLA, Pipe.FLB),
-    Op.IADD: _t(4, 1, Pipe.FLA, Pipe.FLB),
-    Op.IMUL: _t(9, 1, Pipe.FLA, Pipe.FLB),
-    Op.ILOGIC: _t(4, 1, Pipe.FLA, Pipe.FLB),
-    Op.PERM: _t(6, 1, Pipe.FLB),       # single shuffle pipe on A64FX
-    Op.PLOGIC: _t(3, 1, Pipe.PR),
-    Op.PWHILE: _t(3, 1, Pipe.PR),
-    Op.PTEST: _t(3, 1, Pipe.PR),
-    Op.VLOAD: _t(11, 1, Pipe.LS1, Pipe.LS2),
-    Op.VSTORE: _t(1, 1, Pipe.LS1),
-    Op.GATHER_UOP: _t(11, 1, Pipe.LS1),
-    Op.SCATTER_UOP: _t(1, 1, Pipe.LS1),
-    Op.SLOAD: _t(8, 1, Pipe.LS1, Pipe.LS2),
-    Op.SSTORE: _t(1, 1, Pipe.LS1),
-    Op.SALU: _t(1, 0.5, Pipe.EXA, Pipe.EXB),
-    Op.SFP: _t(9, 1, Pipe.FLA, Pipe.FLB),
-    Op.SFDIV: _t(43, 43, Pipe.FLA),
-    Op.SFSQRT: _t(51, 51, Pipe.FLA),
-    Op.BRANCH: _t(1, 1, Pipe.BR),
-    Op.CALL: _t(1, 1, Pipe.BR),  # real cost comes from per-instr overrides
-}
-
-A64FX = Microarch(
-    name="A64FX",
-    vector_bits=512,
-    clock_ghz=1.8,
-    allcore_clock_ghz=1.8,
-    issue_width=4,
-    window=128,  # 128-entry commit stack (A64FX microarchitecture manual)
-    timings=_A64FX_TIMINGS,
-    has_fexpa=True,
-    gather_pair_coalescing=True,
-    fp_pipes=2,
-    mem_overlap=False,  # non-overlapping ECM composition (Alappat et al.)
-)
+        Spec-built cores carry a registry name in :attr:`isa`; cores
+        constructed directly (tests, ad-hoc experiments) get an inferred
+        anonymous ISA whose traits reproduce the pre-spec behaviour of
+        the legacy capability flags.
+        """
+        if self.isa:
+            return get_isa(self.isa)
+        return VectorISA(
+            name="inferred",
+            predicated_tail=self.has_fexpa,
+            has_fexpa=self.has_fexpa,
+            predicated_store_crack=self.has_fexpa,
+            gather_pair_coalescing=self.gather_pair_coalescing,
+            toolchain_targets=("sve",) if self.has_fexpa else ("x86",),
+        )
 
 
 # ---------------------------------------------------------------------------
+# The paper's cores.  Since the machine-description refactor the numbers
+# live as declarative data in :mod:`repro.machine.spec` (same values,
+# same provenance); these constants are the cached builds of those
+# presets, so ``A64FX is A64FX_SPEC.build_core()`` holds and the
+# engines' id-keyed memo tables keep working unchanged.
+# ---------------------------------------------------------------------------
+
+from repro.machine import spec as _spec  # noqa: E402  (bottom import breaks the import cycle)
+
+#: A64FX (Ookami compute node CPU) — 48 cores, 512-bit SVE, 1.8 GHz fixed
+A64FX = _spec.A64FX_SPEC.build_core()
+
 # Skylake-SP family.  Three SKUs appear in the paper: Gold 6140 (loop and
 # NPB comparisons; 2.3 base / 3.7 boost), Gold 6130 (LULESH system), and
 # Platinum 8160 (TACC Stampede 2, 1.4 GHz AVX-512 all-core).
-# ---------------------------------------------------------------------------
+SKYLAKE_6140 = _spec.SKYLAKE_6140_SPEC.build_core()
+SKYLAKE_6130 = _spec.SKYLAKE_6130_SPEC.build_core()
+SKYLAKE_8160 = _spec.SKYLAKE_8160_SPEC.build_core()
 
-_SKX_TIMINGS: dict[Op, OpTiming] = {
-    Op.FADD: _t(4, 1, Pipe.FLA, Pipe.FLB),
-    Op.FMUL: _t(4, 1, Pipe.FLA, Pipe.FLB),
-    Op.FMA: _t(4, 1, Pipe.FLA, Pipe.FLB),
-    Op.FMOV: _t(1, 0.5, Pipe.FLA, Pipe.FLB),
-    Op.FCMP: _t(4, 1, Pipe.FLA, Pipe.FLB),
-    Op.FSEL: _t(2, 1, Pipe.FLA, Pipe.FLB),
-    Op.FMINMAX: _t(4, 1, Pipe.FLA, Pipe.FLB),
-    Op.FCVT: _t(4, 1, Pipe.FLA, Pipe.FLB),
-    # Dedicated partially-pipelined divide unit: far from blocking.
-    Op.FDIV: _t(23, 16, Pipe.FLA),
-    Op.FSQRT: _t(31, 25, Pipe.FLA),
-    Op.FRECPE: _t(7, 2, Pipe.FLA),    # VRCP14PD
-    Op.FRSQRTE: _t(9, 2, Pipe.FLA),   # VRSQRT14PD
-    # no FEXPA on x86 — deliberately absent from the table
-    Op.FSCALE: _t(4, 1, Pipe.FLA, Pipe.FLB),  # VSCALEFPD (AVX-512 has one)
-    Op.IADD: _t(1, 0.5, Pipe.FLA, Pipe.FLB),
-    Op.IMUL: _t(5, 1, Pipe.FLA),
-    Op.ILOGIC: _t(1, 0.5, Pipe.FLA, Pipe.FLB),
-    Op.PERM: _t(3, 1, Pipe.FLB),      # port-5 shuffles
-    Op.PLOGIC: _t(1, 1, Pipe.PR),     # kmask ops
-    Op.PWHILE: _t(2, 1, Pipe.PR),
-    Op.PTEST: _t(2, 1, Pipe.PR),
-    Op.VLOAD: _t(7, 1, Pipe.LS1, Pipe.LS2),
-    Op.VSTORE: _t(1, 1, Pipe.LS1),
-    Op.GATHER_UOP: _t(7, 1, Pipe.LS1),
-    Op.SCATTER_UOP: _t(1, 1, Pipe.LS1),
-    Op.SLOAD: _t(5, 0.5, Pipe.LS1, Pipe.LS2),
-    Op.SSTORE: _t(1, 1, Pipe.LS1),
-    Op.SALU: _t(1, 0.25, Pipe.EXA, Pipe.EXB),
-    Op.SFP: _t(4, 0.5, Pipe.FLA, Pipe.FLB),
-    Op.SFDIV: _t(14, 4, Pipe.FLA),
-    Op.SFSQRT: _t(18, 6, Pipe.FLA),
-    Op.BRANCH: _t(1, 0.5, Pipe.BR),
-    Op.CALL: _t(1, 1, Pipe.BR),
-}
+#: Knights Landing: 512-bit AVX-512 but simple 2-wide cores with tiny
+#: OoO resources; FP latency 6 and weak scalar units
+KNL_7250 = _spec.KNL_7250_SPEC.build_core()
 
+#: AMD EPYC 7742 (Zen 2): 256-bit AVX2, 2 FMA pipes, strong scalar core
+EPYC_7742 = _spec.EPYC_7742_SPEC.build_core()
 
-def _skylake(name: str, boost: float, allcore: float) -> Microarch:
-    return Microarch(
-        name=name,
-        vector_bits=512,
-        clock_ghz=boost,
-        allcore_clock_ghz=allcore,
-        issue_width=4,
-        window=224,
-        timings=_SKX_TIMINGS,
-        has_fexpa=False,
-        gather_pair_coalescing=False,
-        fp_pipes=2,
-        smt=2,
-    )
+#: Marvell ThunderX2 (Ookami login nodes): ARMv8 + 128-bit NEON, high
+#: scalar throughput.  Included for completeness of the system catalog.
+THUNDERX2 = _spec.THUNDERX2_SPEC.build_core()
 
-
-SKYLAKE_6140 = _skylake("Skylake 6140", boost=3.7, allcore=2.1)
-SKYLAKE_6130 = _skylake("Skylake 6130", boost=3.7, allcore=1.9)
-SKYLAKE_8160 = _skylake("Skylake 8160 (SKX)", boost=3.7, allcore=1.4)
-
-
-# ---------------------------------------------------------------------------
-# Knights Landing: 512-bit AVX-512 but simple 2-wide cores with tiny OoO
-# resources; FP latency 6 and weak scalar units.
-# ---------------------------------------------------------------------------
-
-_KNL_TIMINGS: dict[Op, OpTiming] = dict(_SKX_TIMINGS)
-_KNL_TIMINGS.update(
-    {
-        Op.FADD: _t(6, 1, Pipe.FLA, Pipe.FLB),
-        Op.FMUL: _t(6, 1, Pipe.FLA, Pipe.FLB),
-        Op.FMA: _t(6, 1, Pipe.FLA, Pipe.FLB),
-        Op.FDIV: _t(32, 30, Pipe.FLA),
-        Op.FSQRT: _t(38, 35, Pipe.FLA),
-        Op.VLOAD: _t(9, 1, Pipe.LS1, Pipe.LS2),
-        Op.SALU: _t(1, 0.5, Pipe.EXA, Pipe.EXB),
-        Op.SFP: _t(6, 1, Pipe.FLA, Pipe.FLB),
-        Op.GATHER_UOP: _t(9, 2, Pipe.LS1),
-    }
-)
-
-KNL_7250 = Microarch(
-    name="KNL 7250",
-    vector_bits=512,
-    clock_ghz=1.4,
-    allcore_clock_ghz=1.4,
-    issue_width=2,
-    window=72,
-    timings=_KNL_TIMINGS,
-    has_fexpa=False,
-    gather_pair_coalescing=False,
-    fp_pipes=2,
-    smt=4,
-)
-
-
-# ---------------------------------------------------------------------------
-# AMD EPYC 7742 (Zen 2): 256-bit AVX2, 2 FMA pipes, strong scalar core.
-# ---------------------------------------------------------------------------
-
-_ZEN2_TIMINGS: dict[Op, OpTiming] = dict(_SKX_TIMINGS)
-_ZEN2_TIMINGS.update(
-    {
-        Op.FADD: _t(3, 1, Pipe.FLA, Pipe.FLB),
-        Op.FMUL: _t(3, 1, Pipe.FLA, Pipe.FLB),
-        Op.FMA: _t(5, 1, Pipe.FLA, Pipe.FLB),
-        Op.FDIV: _t(13, 5, Pipe.FLA),
-        Op.FSQRT: _t(20, 9, Pipe.FLA),
-        Op.VLOAD: _t(7, 1, Pipe.LS1, Pipe.LS2),
-        Op.GATHER_UOP: _t(7, 2, Pipe.LS1),  # AVX2 gathers are microcoded
-    }
-)
-
-EPYC_7742 = Microarch(
-    name="EPYC 7742 (Zen2)",
-    vector_bits=256,
-    clock_ghz=3.2,
-    allcore_clock_ghz=2.25,
-    issue_width=5,
-    window=224,
-    timings=_ZEN2_TIMINGS,
-    has_fexpa=False,
-    gather_pair_coalescing=False,
-    fp_pipes=2,
-    smt=2,
-)
-
-
-# ---------------------------------------------------------------------------
-# Marvell ThunderX2 (Ookami login nodes): ARMv8 + 128-bit NEON, high scalar
-# throughput.  Included for completeness of the system catalog.
-# ---------------------------------------------------------------------------
-
-_TX2_TIMINGS: dict[Op, OpTiming] = dict(_SKX_TIMINGS)
-_TX2_TIMINGS.update(
-    {
-        Op.FADD: _t(6, 1, Pipe.FLA, Pipe.FLB),
-        Op.FMUL: _t(6, 1, Pipe.FLA, Pipe.FLB),
-        Op.FMA: _t(6, 1, Pipe.FLA, Pipe.FLB),
-        Op.FDIV: _t(16, 8, Pipe.FLA),
-        Op.FSQRT: _t(23, 12, Pipe.FLA),
-    }
-)
-
-THUNDERX2 = Microarch(
-    name="ThunderX2",
-    vector_bits=128,
-    clock_ghz=2.3,
-    allcore_clock_ghz=2.3,
-    issue_width=4,
-    window=128,
-    timings=_TX2_TIMINGS,
-    has_fexpa=False,
-    gather_pair_coalescing=False,
-    fp_pipes=2,
-    smt=4,
-)

@@ -14,23 +14,20 @@ a NUMA topology and interconnect parameters.  The catalog covers:
 The Table III columns (SIMD width, cores/node, base frequency, peak
 GFLOP/s per core and per node) are all *derived* from the models, and a
 unit test checks they reproduce the table's printed values.
+
+Since the machine-description refactor the numbers behind each system
+live as declarative :class:`~repro.machine.spec.MachineSpec` presets in
+:mod:`repro.machine.spec`; this catalog is the cached
+:meth:`~repro.machine.spec.MachineSpec.build_system` of those presets.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro._util import GIB, KIB, MIB, require_positive
-from repro.machine.memory import CacheLevel, MemoryHierarchy
-from repro.machine.microarch import (
-    A64FX,
-    EPYC_7742,
-    KNL_7250,
-    Microarch,
-    SKYLAKE_6130,
-    SKYLAKE_6140,
-    SKYLAKE_8160,
-)
+from repro._util import require_positive
+from repro.machine.memory import MemoryHierarchy
+from repro.machine.microarch import Microarch
 from repro.machine.numa import CMGTopology
 
 __all__ = ["System", "Interconnect", "SYSTEMS", "get_system"]
@@ -93,78 +90,13 @@ class System:
         return self.hierarchy.node_dram_bw_gbs
 
 
-def _a64fx_hierarchy() -> MemoryHierarchy:
-    return MemoryHierarchy(
-        levels=(
-            CacheLevel("L1", 64 * KIB, 256, 4, latency=11, bw_bytes_per_cycle=128),
-            CacheLevel("L2", 8 * MIB, 256, 16, latency=37, bw_bytes_per_cycle=64,
-                       shared_by=12),
-        ),
-        dram_bw_gbs=256.0,       # HBM2 per CMG
-        dram_latency_ns=260.0,
-        cores_per_domain=12,
-        domains=4,
-        mlp=16,
-        stream_bw_core_gbs=36.0,
-    )
+# ---------------------------------------------------------------------------
+# Catalog: cached builds of the declarative presets.  The bottom import
+# breaks the import cycle (spec.py lazy-imports this module's System /
+# Interconnect classes, which are defined above).
+# ---------------------------------------------------------------------------
 
-
-def _skylake_hierarchy(sockets: int, cores_per_socket: int,
-                       bw_per_socket: float = 100.0) -> MemoryHierarchy:
-    return MemoryHierarchy(
-        levels=(
-            CacheLevel("L1", 32 * KIB, 64, 8, latency=5, bw_bytes_per_cycle=128),
-            CacheLevel("L2", 1 * MIB, 64, 16, latency=14, bw_bytes_per_cycle=64),
-            CacheLevel("L3", int(1.375 * MIB) * cores_per_socket, 64, 11,
-                       latency=50, bw_bytes_per_cycle=14,
-                       shared_by=cores_per_socket),
-        ),
-        dram_bw_gbs=bw_per_socket,   # 6 x DDR4-2666 per socket, sustained
-        dram_latency_ns=90.0,
-        cores_per_domain=cores_per_socket,
-        domains=sockets,
-        mlp=10,
-        stream_bw_core_gbs=13.0,
-    )
-
-
-def _knl_hierarchy() -> MemoryHierarchy:
-    return MemoryHierarchy(
-        levels=(
-            CacheLevel("L1", 32 * KIB, 64, 8, latency=5, bw_bytes_per_cycle=64),
-            CacheLevel("L2", 1 * MIB, 64, 16, latency=20, bw_bytes_per_cycle=32,
-                       shared_by=2),
-        ),
-        dram_bw_gbs=330.0,   # MCDRAM flat-mode sustained
-        dram_latency_ns=150.0,
-        cores_per_domain=68,
-        domains=1,
-        mlp=12,
-        stream_bw_core_gbs=10.0,
-    )
-
-
-def _epyc_hierarchy() -> MemoryHierarchy:
-    return MemoryHierarchy(
-        levels=(
-            CacheLevel("L1", 32 * KIB, 64, 8, latency=4, bw_bytes_per_cycle=64),
-            CacheLevel("L2", 512 * KIB, 64, 8, latency=12, bw_bytes_per_cycle=32),
-            CacheLevel("L3", 16 * MIB, 64, 16, latency=40, bw_bytes_per_cycle=14,
-                       shared_by=4),
-        ),
-        dram_bw_gbs=150.0,   # 8 x DDR4-3200 per socket, sustained
-        dram_latency_ns=100.0,
-        cores_per_domain=64,
-        domains=2,
-        mlp=12,
-        stream_bw_core_gbs=14.0,
-    )
-
-
-_HDR200 = Interconnect("HDR-200 InfiniBand fat tree", latency_us=1.3, bw_gbs=24.0)
-_OPA = Interconnect("Omni-Path 100", latency_us=1.1, bw_gbs=12.0)
-_HDR_XSEDE = Interconnect("HDR-200 InfiniBand", latency_us=1.2, bw_gbs=24.0)
-
+from repro.machine import spec as _spec  # noqa: E402
 
 SYSTEMS: dict[str, System] = {}
 
@@ -177,115 +109,26 @@ def _register(system: System, *keys: str) -> System:
     return system
 
 
-OOKAMI = _register(
-    System(
-        name="Ookami (Fujitsu A64FX)",
-        cpu=A64FX,
-        cores=48,
-        hierarchy=_a64fx_hierarchy(),
-        topology=CMGTopology(
-            domains=4, cores_per_domain=12,
-            local_bw_gbs=230.0,       # sustained per-CMG (256 raw)
-            remote_bw_gbs=60.0,       # inter-CMG ring (sustained, shared)
-            remote_latency_factor=1.6,
-        ),
-        interconnect=_HDR200,
-        simd_label="SVE (512 wide)",
-        table3_base_ghz=1.8,
-    ),
-    "ookami", "a64fx",
-)
-
+OOKAMI = _register(_spec.A64FX_SPEC.build_system(), "ookami", "a64fx")
 SKYLAKE_36C = _register(
-    System(
-        name="Skylake 6140 (36 cores)",
-        cpu=SKYLAKE_6140,
-        cores=36,
-        hierarchy=_skylake_hierarchy(sockets=2, cores_per_socket=18),
-        topology=CMGTopology(
-            domains=2, cores_per_domain=18,
-            local_bw_gbs=95.0, remote_bw_gbs=55.0,
-            remote_latency_factor=1.7,
-        ),
-        interconnect=_OPA,
-        simd_label="AVX512",
-    ),
-    "skylake-6140", "skylake",
+    _spec.SKYLAKE_6140_SPEC.build_system(), "skylake-6140", "skylake"
 )
-
 SKYLAKE_LULESH = _register(
-    System(
-        name="Skylake 6130 (32 cores)",
-        cpu=SKYLAKE_6130,
-        cores=32,
-        hierarchy=_skylake_hierarchy(sockets=2, cores_per_socket=16),
-        topology=CMGTopology(
-            domains=2, cores_per_domain=16,
-            local_bw_gbs=95.0, remote_bw_gbs=55.0,
-            remote_latency_factor=1.7,
-        ),
-        interconnect=_OPA,
-        simd_label="AVX512",
-    ),
-    "skylake-6130",
+    _spec.SKYLAKE_6130_SPEC.build_system(), "skylake-6130"
 )
-
 STAMPEDE2_SKX = _register(
-    System(
-        name="TACC Stampede 2 SKX (Xeon Platinum 8160)",
-        cpu=SKYLAKE_8160,
-        cores=48,
-        hierarchy=_skylake_hierarchy(sockets=2, cores_per_socket=24),
-        topology=CMGTopology(
-            domains=2, cores_per_domain=24,
-            local_bw_gbs=95.0, remote_bw_gbs=55.0,
-            remote_latency_factor=1.7,
-        ),
-        interconnect=_OPA,
-        simd_label="AVX512",
-        table3_base_ghz=1.4,
-    ),
-    "stampede2-skx", "skx",
+    _spec.SKYLAKE_8160_SPEC.build_system(), "stampede2-skx", "skx"
 )
-
 STAMPEDE2_KNL = _register(
-    System(
-        name="TACC Stampede 2 KNL (Xeon Phi 7250)",
-        cpu=KNL_7250,
-        cores=68,
-        hierarchy=_knl_hierarchy(),
-        topology=CMGTopology(
-            domains=1, cores_per_domain=68,
-            local_bw_gbs=330.0, remote_bw_gbs=330.0,
-            remote_latency_factor=1.0,
-        ),
-        interconnect=_OPA,
-        simd_label="AVX512",
-        table3_base_ghz=1.4,
-    ),
-    "stampede2-knl", "knl",
+    _spec.KNL_7250_SPEC.build_system(), "stampede2-knl", "knl"
 )
-
-
-def _epyc_system(name: str) -> System:
-    return System(
-        name=name,
-        cpu=EPYC_7742,
-        cores=128,
-        hierarchy=_epyc_hierarchy(),
-        topology=CMGTopology(
-            domains=2, cores_per_domain=64,
-            local_bw_gbs=140.0, remote_bw_gbs=70.0,
-            remote_latency_factor=1.6,
-        ),
-        interconnect=_HDR_XSEDE,
-        simd_label="AVX2",
-        table3_base_ghz=2.25,
-    )
-
-
-BRIDGES2 = _register(_epyc_system("PSC Bridges 2 (EPYC 7742)"), "bridges2")
-EXPANSE = _register(_epyc_system("SDSC Expanse (EPYC 7742)"), "expanse", "epyc")
+# two Table III systems share the EPYC 7742 machine spec
+BRIDGES2 = _register(
+    _spec.EPYC_7742_SPEC.build_system("PSC Bridges 2 (EPYC 7742)"),
+    "bridges2",
+)
+EXPANSE = _register(_spec.EPYC_7742_SPEC.build_system(), "expanse", "epyc")
+RVV_HBM = _register(_spec.RVV_SPEC.build_system(), "rvv")
 
 
 def get_system(key: str) -> System:

@@ -37,9 +37,12 @@ from repro.validate.report import PassResult, Violation
 
 __all__ = [
     "random_loop",
+    "random_machine_spec",
     "check_seed",
     "check_ecm_seed",
+    "check_machine_seed",
     "run_fuzz_pass",
+    "run_machine_fuzz_pass",
     "ECM_FUZZ_RATIO_LOW",
     "ECM_FUZZ_RATIO_HIGH",
 ]
@@ -299,5 +302,161 @@ def run_fuzz_pass(seeds: int = 25, base_seed: int = 1000) -> PassResult:
     result = PassResult(name="fuzz")
     for i in range(seeds):
         result.violations += check_seed(base_seed + i)
+        result.checked += 1
+    return result
+
+
+# ----------------------------------------------------------------------
+# Machine-spec fuzz lane: random declarative machines through the full
+# engine stack.
+# ----------------------------------------------------------------------
+
+#: axes the machine fuzzer draws from (anything a grid sweep can reach)
+_FUZZ_VECTOR_BITS = (128, 192, 256, 384, 512, 768, 1024)
+_FUZZ_WINDOWS = (16, 48, 72, 128, 224, 384)
+_FUZZ_ISSUE = (1, 2, 3, 4, 5, 6, 8)
+
+
+def random_machine_spec(rng: random.Random, name: str = "fuzzmachine"):
+    """Draw a random valid :class:`~repro.machine.spec.MachineSpec`.
+
+    Starts from a random preset (so the timing table always covers the
+    op vocabulary), then perturbs the spec axes a grid sweep explores —
+    vector length, issue width, window, clocks, HBM bandwidth — and
+    jitters a subset of op latencies.  Blocking ops (rtput == latency)
+    stay blocking so the A64FX sqrt mechanism keeps appearing in the
+    fuzzed population.  Spec validation runs in the constructor, so a
+    bad draw fails loudly here, not deep in the scheduler.
+    """
+    from dataclasses import replace
+
+    from repro.machine.spec import (
+        A64FX_SPEC, EPYC_7742_SPEC, RVV_SPEC, SKYLAKE_6140_SPEC,
+    )
+
+    base = rng.choice((A64FX_SPEC, SKYLAKE_6140_SPEC, RVV_SPEC,
+                       EPYC_7742_SPEC))
+    timings = []
+    for t in base.timings:
+        if rng.random() < 0.3:
+            latency = max(1.0, round(t.latency * rng.uniform(0.5, 2.0)))
+            rtput = latency if t.rtput == t.latency else t.rtput
+            t = replace(t, latency=latency, rtput=rtput)
+        timings.append(t)
+    clock = round(rng.uniform(1.0, 3.8), 2)
+    spec = replace(
+        base,
+        name=f"{name}({base.name})#{rng.randrange(1 << 30)}",
+        system_name="",
+        vector_bits=rng.choice(_FUZZ_VECTOR_BITS),
+        issue_width=rng.choice(_FUZZ_ISSUE),
+        window=rng.choice(_FUZZ_WINDOWS),
+        clock_ghz=clock,
+        allcore_clock_ghz=round(clock * rng.uniform(0.5, 1.0), 2),
+        timings=tuple(timings),
+    )
+    if spec.memory is not None and rng.random() < 0.5:
+        spec = replace(
+            spec,
+            memory=replace(spec.memory,
+                           dram_bw_gbs=rng.choice((64.0, 128.0, 256.0,
+                                                   512.0))),
+        )
+    return spec
+
+
+def check_machine_seed(seed: int) -> list[Violation]:
+    """Differential-check one random machine spec; returns violations.
+
+    Draws a random valid spec, requires the JSON round-trip to rebuild
+    a value-equal spec sharing the *same* cached
+    :class:`~repro.machine.microarch.Microarch`, then compiles a random
+    loop for the machine (first compiling toolchain of its ISA) and
+    demands the fast / full / reference / batched schedulers agree
+    bit-exactly — the same oracle :func:`check_seed` applies to the
+    preset machines, on a machine that exists only as data.  No ECM
+    envelope: its calibration is for the real machines.
+    """
+    from repro.compilers.codegen import compile_loop
+    from repro.engine._reference import ReferenceScheduler
+    from repro.engine.batch import schedule_batch
+    from repro.engine.scheduler import PipelineScheduler
+    from repro.machine.grid import _toolchains_for
+    from repro.machine.spec import MachineSpec
+    from repro.perf.counters import ProfileScope
+    from repro.validate.ir import verify_loop
+
+    rng = random.Random(seed)
+    where = f"seed={seed}"
+    try:
+        spec = random_machine_spec(rng, name=f"fuzzmachine{seed}")
+    except ValueError as exc:
+        return [Violation("machine_fuzz.generator", where,
+                          f"generator drew an invalid spec: {exc}")]
+
+    out: list[Violation] = []
+    rebuilt = MachineSpec.from_json(spec.to_json())
+    if rebuilt != spec:
+        out.append(Violation(
+            "machine_fuzz.roundtrip", where,
+            "JSON round-trip produced a different spec"))
+    march = spec.build_core()
+    if rebuilt.build_core() is not march:
+        out.append(Violation(
+            "machine_fuzz.build_cache", where,
+            "round-tripped spec built a distinct Microarch object"))
+
+    loop = random_loop(rng, name=f"fuzzmachine{seed}")
+    if verify_loop(loop):
+        return out  # generator bugs are check_seed's department
+    compiled = None
+    for tc in _toolchains_for(march):
+        try:
+            compiled = compile_loop(loop, tc, march)
+            break
+        except ValueError:
+            continue
+    if compiled is None:
+        return out + [Violation(
+            "machine_fuzz.compile", where,
+            f"no toolchain of ISA {spec.isa!r} compiles the fuzz loop")]
+    stream = compiled.stream
+
+    with ProfileScope(f"machine-fuzz:{seed}:scalar") as scalar_counters:
+        fast = PipelineScheduler(march).steady_state(stream)
+    full = PipelineScheduler(march, extrapolate=False).steady_state(stream)
+    golden = ReferenceScheduler(march).steady_state(stream)
+    with ProfileScope(f"machine-fuzz:{seed}:batch") as batch_counters:
+        batched = schedule_batch([(march, stream)], cache=False)[0]
+    for label, other in (
+        ("extrapolate=False", full),
+        ("reference", golden),
+        ("batched", batched),
+    ):
+        a, b = _result_fields(fast), _result_fields(other)
+        diff = _results_equal(a, b)
+        if diff:
+            out.append(Violation(
+                "machine_fuzz.divergence",
+                f"{where} machine={spec.name} tc={compiled.toolchain.name}",
+                f"fast scheduler disagrees with {label} on "
+                f"{sorted(diff)}: {a} vs {b}",
+            ))
+    if scalar_counters.as_dict() != batch_counters.as_dict():
+        out.append(Violation(
+            "machine_fuzz.batch.counters",
+            f"{where} machine={spec.name}",
+            f"batched engine emitted different counters: "
+            f"{batch_counters.as_dict()} vs {scalar_counters.as_dict()}",
+        ))
+    return out
+
+
+def run_machine_fuzz_pass(seeds: int = 10,
+                          base_seed: int = 5000) -> PassResult:
+    """Run *seeds* machine-spec fuzz seeds starting at *base_seed*."""
+    result = PassResult(name="machine-fuzz")
+    for i in range(seeds):
+        result.violations += check_machine_seed(base_seed + i)
         result.checked += 1
     return result

@@ -8,18 +8,20 @@ __all__ = ["validate_all"]
 
 
 def validate_all(seeds: int = 25, bands: bool = True) -> ValidationReport:
-    """Run passes 1-5 (and optionally the paper-band scoring).
+    """Run passes 1-6 (and optionally the paper-band scoring).
 
     Parameters
     ----------
     seeds:
-        Number of differential-fuzz seeds for pass 4.
+        Number of differential-fuzz seeds for pass 4; the machine-spec
+        fuzz lane (pass 6) runs ``max(5, seeds // 2)`` seeds of random
+        declarative machines through the same scheduler oracle.
     bands:
         Also re-score every paper expectation table (slowest pass —
         ``--no-bands`` on the CLI skips it for quick checks).
     """
     from repro.validate.bands import run_band_pass
-    from repro.validate.fuzz import run_fuzz_pass
+    from repro.validate.fuzz import run_fuzz_pass, run_machine_fuzz_pass
     from repro.validate.ir import run_ir_pass
     from repro.validate.reconcile import run_counter_pass, run_ecm_pass
     from repro.validate.schedule import run_schedule_pass
@@ -30,6 +32,7 @@ def validate_all(seeds: int = 25, bands: bool = True) -> ValidationReport:
     report.passes.append(run_counter_pass())
     report.passes.append(run_fuzz_pass(seeds=seeds))
     report.passes.append(run_ecm_pass())
+    report.passes.append(run_machine_fuzz_pass(seeds=max(5, seeds // 2)))
     if bands:
         report.passes.append(run_band_pass())
     return report

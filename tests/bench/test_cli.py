@@ -1,8 +1,10 @@
 """Tests for the ``python -m repro`` CLI."""
 
+import json
+
 import pytest
 
-from repro.__main__ import main
+from repro.__main__ import main, parse_command
 
 
 class TestCli:
@@ -54,3 +56,112 @@ class TestCli:
         assert main(["verify"]) == 0
         out = capsys.readouterr().out
         assert out.count("OK") == 5
+
+
+class TestMachinesCommand:
+    def test_list(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        for key in ("a64fx", "rvv", "thunderx2"):
+            assert key in out
+        assert "core-only" in out
+
+    def test_show(self, capsys):
+        assert main(["machines", "show", "a64fx"]) == 0
+        out = capsys.readouterr().out
+        assert "57.6" in out
+        assert "Ookami" in out
+
+    def test_show_json_round_trips(self, capsys):
+        from repro.machine.spec import A64FX_SPEC, MachineSpec
+
+        assert main(["machines", "show", "a64fx", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert MachineSpec.from_dict(doc) == A64FX_SPEC
+
+    def test_show_unknown(self, capsys):
+        assert main(["machines", "show", "cray-1"]) == 1
+        assert "unknown machine" in capsys.readouterr().out
+
+    def test_report(self, capsys):
+        assert main(["machines", "report"]) == 0
+        out = capsys.readouterr().out
+        assert "machine crossover" in out
+        assert "a64fx" in out
+
+    def test_report_json_out(self, capsys, tmp_path):
+        out_path = tmp_path / "report.json"
+        assert main(["machines", "report", "--json",
+                     "--out", str(out_path)]) == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["format"] == "repro.machines/1"
+        assert doc["a64fx_wins"] >= 1
+
+
+class TestSweepCommand:
+    def test_preset_machine_sweep(self, capsys):
+        assert main(["sweep", "--kernels", "simple", "--machine", "rvv",
+                     "--tier", "ecm"]) == 0
+        out = capsys.readouterr().out
+        assert "RVV-HBM" in out
+
+    def test_json_rows(self, capsys):
+        assert main(["sweep", "--kernels", "simple,sqrt",
+                     "--toolchains", "fujitsu", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [r["loop"] for r in rows] == ["simple", "sqrt"]
+        assert all(r["march"] == "A64FX" for r in rows)
+
+    def test_grid(self, capsys):
+        assert main(["sweep", "--grid", "--machines", "24",
+                     "--kernels", "simple"]) == 0
+        out = capsys.readouterr().out
+        assert "24 machines" in out
+        assert "best machine per kernel" in out
+
+    def test_grid_json(self, capsys):
+        assert main(["sweep", "--grid", "--machines", "16",
+                     "--kernels", "simple", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["format"] == "repro.sweep-grid/1"
+        assert doc["machines"] == 16
+
+    def test_rejects_unknown_kernel(self, capsys):
+        assert main(["sweep", "--kernels", "frob"]) == 1
+        assert "unknown kernel" in capsys.readouterr().out
+
+    def test_rejects_machine_with_grid(self, capsys):
+        assert main(["sweep", "--grid", "--machine", "rvv"]) == 1
+        assert "sweep failed" in capsys.readouterr().out
+
+
+class TestParseCommandStaticValidation:
+    @pytest.mark.parametrize("argv", [
+        ["machines"],
+        ["machines", "list"],
+        ["machines", "show", "rvv"],
+        ["machines", "show", "a64fx", "--json"],
+        ["machines", "report", "--json"],
+        ["machines", "report", "--out", "r.json"],
+        ["sweep", "--kernels", "simple,sqrt", "--machine", "rvv"],
+        ["sweep", "--grid", "--machines", "1000"],
+        ["sweep", "--grid", "--out", "grid.json", "--json"],
+    ])
+    def test_valid(self, argv):
+        assert parse_command(argv) == argv[0]
+
+    @pytest.mark.parametrize("argv", [
+        ["machines", "show"],
+        ["machines", "show", "cray-1"],
+        ["machines", "teleport"],
+        ["machines", "report", "--frob"],
+        ["sweep", "--machines", "zero"],
+        ["sweep", "--machines", "0", "--grid"],
+        ["sweep", "--tier", "warp"],
+        ["sweep", "--machine", "cray-1"],
+        ["sweep", "--toolchains", "fujitsu,msvc"],
+        ["sweep", "--out", "x.json"],
+    ])
+    def test_invalid(self, argv):
+        with pytest.raises(ValueError):
+            parse_command(argv)

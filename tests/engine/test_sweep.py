@@ -99,6 +99,62 @@ class TestRunSweep:
         assert serial == threaded
 
 
+class TestMachineAxis:
+    """SweepPoint.machine retargets a point at a catalog preset."""
+
+    def test_machine_points_target_the_preset(self):
+        (row,) = run_sweep([SweepPoint("simple", "gnu", machine="rvv")])
+        assert row["machine"] == "rvv"
+        assert row["march"] == "RVV-HBM"
+
+    def test_rows_without_machine_have_no_machine_key(self):
+        """Pre-machine-axis rows must stay byte-identical (row equality
+        checks elsewhere depend on it)."""
+        (row,) = run_sweep([("simple", "fujitsu")])
+        assert "machine" not in row
+
+    def test_machine_changes_the_prediction(self):
+        default, rvv = run_sweep([
+            SweepPoint("sqrt", "gnu"),
+            SweepPoint("sqrt", "gnu", machine="rvv"),
+        ])
+        # RVV pipelines fsqrt (28/14) where the A64FX blocks (134/134)
+        assert rvv["cycles_per_element"] < default["cycles_per_element"]
+
+    def test_ecm_tier_uses_the_machine_system(self):
+        (row,) = run_sweep(
+            [SweepPoint("simple", "gnu", tier="ecm", machine="rvv")])
+        assert row["machine"] == "rvv"
+        assert row["cycles_per_element"] > 0
+
+    def test_batched_matches_per_point_with_machines(self):
+        """Mixed machine/default points through the batch path equal
+        the per-point path row for row."""
+        points = [
+            SweepPoint(loop, tc, tier=tier, machine=machine)
+            for loop in ("simple", "sqrt")
+            for tc, machine in (("fujitsu", None), ("gnu", "rvv"),
+                                ("fujitsu", "a64fx"), ("intel", None))
+            for tier in ("engine", "ecm")
+        ]
+        per_point = run_sweep(points, batch=False)
+        configure()
+        configure_compile_cache()
+        batched = run_sweep(points, batch=True)
+        assert batched == per_point
+
+    def test_core_only_machine_ecm_raises(self):
+        """thunderx2 has no node description: the ECM tier needs one."""
+        with pytest.raises(ValueError, match="core-only"):
+            run_sweep([SweepPoint("simple", "gnu", tier="ecm",
+                                  machine="thunderx2")])
+
+    def test_core_only_machine_engine_tier_works(self):
+        (row,) = run_sweep([SweepPoint("simple", "gnu",
+                                       machine="thunderx2")])
+        assert row["march"] == "ThunderX2"
+
+
 def _mixed_grid():
     """An engine+ecm grid large enough to route through the batch."""
     return [

@@ -1,0 +1,173 @@
+"""Cross-machine grid sweeps (repro.machine.grid) and the crossover
+report (repro.machine.crossover).
+
+The load-bearing check is retarget soundness: compile sharing reuses
+one lowered stream across every machine with the same codegen
+signature, so a retargeted ``CompiledLoop`` must predict and schedule
+exactly like a direct per-machine compile.
+"""
+
+import pytest
+
+from repro.compilers.cache import cached_compile
+from repro.compilers.toolchains import TOOLCHAINS
+from repro.ecm.model import predict_compiled
+from repro.engine.scheduler import PipelineScheduler
+from repro.kernels.catalog import build_kernel
+from repro.machine.crossover import (
+    DEFAULT_MACHINES,
+    REPORT_FORMAT,
+    crossover_report,
+    render,
+)
+from repro.machine.grid import (
+    DEFAULT_KERNELS,
+    GRID_FORMAT,
+    codegen_signature,
+    compile_for_machines,
+    machine_grid_predictions,
+    run_machine_grid,
+)
+from repro.machine.spec import grid_specs
+
+RTOL = 1e-9
+
+
+class TestRetargetExactness:
+    """replace(compiled, march=m) == compile_loop(..., m), bit for bit."""
+
+    @pytest.mark.parametrize("kernel", ["simple", "gather", "sqrt"])
+    def test_retarget_matches_direct_compile(self, kernel):
+        specs = grid_specs(12)
+        marches = [s.build_core() for s in specs]
+        shared, skipped = compile_for_machines(kernel, marches)
+        assert not skipped
+        loop = build_kernel(kernel)
+        for march, compiled in zip(marches, shared):
+            direct = cached_compile(
+                loop, TOOLCHAINS[compiled.toolchain.name], march)
+            assert compiled.march is march
+            # the shared stream keeps the first sharer's label; the
+            # lowered instructions must be identical
+            assert compiled.stream.body == direct.stream.body, march.name
+            assert (compiled.stream.elements_per_iter
+                    == direct.stream.elements_per_iter), march.name
+            assert compiled.cycles_per_element == pytest.approx(
+                direct.cycles_per_element, rel=RTOL), march.name
+            retargeted = PipelineScheduler(march).steady_state(
+                compiled.stream)
+            ref = PipelineScheduler(march).steady_state(direct.stream)
+            assert retargeted.cycles_per_iter == pytest.approx(
+                ref.cycles_per_iter, rel=RTOL), march.name
+            assert retargeted.bound == ref.bound, march.name
+
+    def test_retarget_matches_direct_ecm(self):
+        specs = grid_specs(8)
+        marches = [s.build_core() for s in specs]
+        shared, _ = compile_for_machines("simple", marches)
+        loop = build_kernel("simple")
+        for spec, march, compiled in zip(specs, marches, shared):
+            direct = cached_compile(
+                loop, TOOLCHAINS[compiled.toolchain.name], march)
+            system = spec.build_system()
+            a = predict_compiled(compiled, system)
+            b = predict_compiled(direct, system)
+            assert a.cycles_per_iter == b.cycles_per_iter, march.name
+            assert a.seconds == b.seconds, march.name
+            assert a.bound == b.bound, march.name
+
+    def test_signature_sharing_is_real(self):
+        """Machines differing only in window/clock/bandwidth share one
+        compiled stream object."""
+        specs = grid_specs(64)
+        marches = [s.build_core() for s in specs]
+        shared, _ = compile_for_machines("simple", marches)
+        sigs = {codegen_signature(m) for m in marches}
+        streams = {id(c.stream) for c in shared if c is not None}
+        assert len(streams) <= len(sigs) * len(TOOLCHAINS)
+        assert len(streams) < len(marches)
+
+
+class TestMachineGridPredictions:
+    def test_batch_matches_scalar(self):
+        specs = grid_specs(24)
+        items, preds, skipped = machine_grid_predictions(
+            specs, kernels=("simple", "exp"))
+        assert len(preds) == len(items)
+        for (compiled, system, win), pred in zip(items, preds):
+            scalar = predict_compiled(compiled, system, window=win)
+            assert pred.cycles_per_iter == scalar.cycles_per_iter
+            assert pred.seconds == scalar.seconds
+            assert pred.bound == scalar.bound
+
+    def test_fexpa_kernel_skips_machines_without_the_unit(self):
+        """exp on RVV-based machines falls back past fujitsu/cray; the
+        machines still compile via a non-FEXPA toolchain."""
+        specs = grid_specs(24)
+        items, _, skipped = machine_grid_predictions(
+            specs, kernels=("exp",))
+        assert len(items) + skipped == len(specs)
+
+
+class TestRunMachineGrid:
+    def test_document_structure(self):
+        doc = run_machine_grid(machines=48, kernels=("simple", "sqrt"),
+                               engine_kernels=("simple",))
+        assert doc["format"] == GRID_FORMAT
+        assert doc["machines"] == 48
+        assert doc["ecm_points"] == 2 * 48 - doc["skipped"]
+        assert doc["engine_points"] == 48
+        assert doc["points"] == doc["ecm_points"] + doc["engine_points"]
+        assert doc["points_per_sec"] > 0
+        assert set(doc["shard"]) >= {"routing", "workers", "jobs"}
+        assert set(doc["winners"]) == {"simple", "sqrt"}
+        for win in doc["winners"].values():
+            assert set(win) == {"kernel", "machine", "toolchain",
+                                "seconds", "cycles_per_element", "bound"}
+
+    def test_winner_is_the_minimum(self):
+        doc = run_machine_grid(machines=32, kernels=("simple",),
+                               engine_kernels=(), include_rows=True)
+        rows = [r for r in doc["rows"] if r["kernel"] == "simple"]
+        assert doc["winners"]["simple"]["seconds"] == min(
+            r["seconds"] for r in rows)
+
+    def test_thousand_machine_grid_is_enumerable(self):
+        specs = grid_specs(1000)
+        assert len(specs) == 1000
+        assert len({s.name for s in specs}) == 1000
+
+
+class TestCrossoverReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return crossover_report()
+
+    def test_structure(self, report):
+        assert report["format"] == REPORT_FORMAT
+        assert set(report["machines"]) == set(DEFAULT_MACHINES)
+        assert report["points"] > 0
+        for entry in report["kernels"].values():
+            assert entry["winner"] in entry["per_machine"]
+
+    def test_reproduces_the_paper_crossover(self, report):
+        """Figs. 1-2 qualitatively: Skylake's clock wins the small
+        latency-bound kernels, the A64FX's HBM2 wins the
+        bandwidth-bound sparse/stencil workloads."""
+        kernels = report["kernels"]
+        assert kernels["simple"]["winner"] != "a64fx"
+        for kernel in ("spmv_sell", "stencil2d", "stencil3d"):
+            assert kernels[kernel]["a64fx_over_skylake"] > 1.0, kernel
+        assert 1 <= report["a64fx_wins"] < len(kernels)
+
+    def test_fexpa_only_recipes_skip_machines(self, report):
+        """rvv has no FEXPA: fujitsu/cray exp recipes must not appear
+        for it, but exp still scores via arm/gnu."""
+        assert "exp" in report["kernels"]
+        assert "rvv" in report["kernels"]["exp"]["per_machine"]
+
+    def test_render(self, report):
+        text = render(report)
+        assert "machine crossover" in text
+        for key in DEFAULT_MACHINES:
+            assert key in text

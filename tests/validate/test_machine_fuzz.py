@@ -1,0 +1,81 @@
+"""Machine-spec fuzz lane (repro.validate.fuzz, pass 6).
+
+Random valid :class:`~repro.machine.spec.MachineSpec` draws must
+survive the same differential oracle as the preset machines: JSON
+round-trip identity, build-cache identity, and fast / full / reference
+/ batched scheduler agreement on a random loop — machines that exist
+only as data get no weaker guarantees than the in-code A64FX.
+"""
+
+import random
+
+import pytest
+
+from repro.machine.spec import MachineSpec
+from repro.validate.fuzz import (
+    check_machine_seed,
+    random_machine_spec,
+    run_machine_fuzz_pass,
+)
+
+#: the shipped regression range, like run_machine_fuzz_pass()
+SEEDS = tuple(range(5000, 5010))
+
+
+class TestRandomMachineSpec:
+    def test_draws_are_valid_and_buildable(self):
+        rng = random.Random(7)
+        for i in range(10):
+            spec = random_machine_spec(rng, name=f"t{i}")
+            assert isinstance(spec, MachineSpec)
+            march = spec.build_core()
+            assert march.lanes_f64 == spec.vector_bits // 64
+
+    def test_draws_are_deterministic(self):
+        a = random_machine_spec(random.Random(42))
+        b = random_machine_spec(random.Random(42))
+        assert a == b
+        assert a.build_core() is b.build_core()
+
+    def test_blocking_ops_stay_blocking(self):
+        """Latency jitter must preserve rtput == latency (the A64FX
+        FSQRT/FDIV blocking mechanism) wherever the base had it."""
+        from repro.machine.spec import MACHINE_SPECS
+
+        bases = {s.name: s for s in MACHINE_SPECS.values()}
+        rng = random.Random(3)
+        for i in range(20):
+            spec = random_machine_spec(rng, name=f"b{i}")
+            base = next(b for name, b in bases.items()
+                        if f"({name})" in spec.name)
+            base_timings = {t.op: t for t in base.timings}
+            for t in spec.timings:
+                if base_timings[t.op].rtput == base_timings[t.op].latency:
+                    assert t.rtput == t.latency, t.op
+
+    def test_round_trip(self):
+        spec = random_machine_spec(random.Random(99))
+        assert MachineSpec.from_json(spec.to_json()) == spec
+
+
+class TestMachineSeeds:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_seed_is_clean(self, seed):
+        violations = check_machine_seed(seed)
+        assert violations == [], [v.to_json() for v in violations]
+
+
+class TestMachineFuzzPass:
+    def test_pass_result(self):
+        result = run_machine_fuzz_pass(seeds=5)
+        assert result.name == "machine-fuzz"
+        assert result.checked == 5
+        assert result.ok
+
+    def test_wired_into_validate_all(self):
+        """validate_all must include the machine-fuzz lane (pass 6)."""
+        import inspect
+
+        from repro.validate.runner import validate_all
+
+        assert "run_machine_fuzz_pass" in inspect.getsource(validate_all)

@@ -64,6 +64,7 @@ class TestParseCommand:
         assert set(COMMANDS) == {
             "list", "run", "asm", "pipeline", "profile", "ecm", "verify",
             "bench", "cache", "validate", "serve", "serve-bench",
+            "sweep", "machines",
         }
 
     @pytest.mark.parametrize("argv", [
@@ -130,7 +131,7 @@ class TestValidateCli:
         assert doc["schema"] == "repro.validate/1"
         assert doc["ok"] is True
         assert [p["name"] for p in doc["passes"]] == [
-            "ir", "schedule", "counters", "fuzz", "ecm"]
+            "ir", "schedule", "counters", "fuzz", "ecm", "machine-fuzz"]
         assert all(p["ok"] for p in doc["passes"])
 
     def test_bad_flag_exits_nonzero(self, capsys):
